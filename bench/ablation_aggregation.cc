@@ -1,0 +1,51 @@
+// Ablation: model summation vs model averaging (Petuum vs Petuum*).
+// Zhang & Jordan [15]: summation can diverge, but when it converges
+// it can converge faster. Sweep the learning rate and watch where the
+// summation variant falls over while averaging stays stable.
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace mllibstar;
+
+  SyntheticSpec spec = AvazuSpec(3e-4);
+  const Dataset data = GenerateSynthetic(spec);
+  const ClusterConfig cluster = ClusterConfig::Cluster1(8);
+
+  std::printf(
+      "Ablation — model summation (petuum) vs model averaging "
+      "(petuum*)\n\n");
+  std::printf("%-8s %22s %22s\n", "lr", "summation final-obj",
+              "averaging final-obj");
+
+  for (double lr : {0.005, 0.02, 0.08, 0.32}) {
+    TrainerConfig config;
+    config.loss = LossKind::kLogistic;
+    config.base_lr = lr;
+    config.lr_schedule = LrScheduleKind::kConstant;
+    config.batch_fraction = 0.2;
+    config.max_comm_steps = 30;
+
+    const TrainResult sum =
+        MakeTrainer(SystemKind::kPetuum, config)->Train(data, cluster);
+    const TrainResult avg =
+        MakeTrainer(SystemKind::kPetuumStar, config)->Train(data, cluster);
+
+    char sum_buf[32];
+    if (sum.diverged) {
+      std::snprintf(sum_buf, sizeof(sum_buf), "DIVERGED");
+    } else {
+      std::snprintf(sum_buf, sizeof(sum_buf), "%.4f",
+                    sum.curve.FinalObjective());
+    }
+    std::printf("%-8.3f %22s %22.4f\n", lr, sum_buf,
+                avg.curve.FinalObjective());
+  }
+  std::printf(
+      "\nExpected shape: summation multiplies the effective step by the "
+      "worker count — competitive at small lr, divergent as lr grows; "
+      "averaging remains stable throughout.\n");
+  return 0;
+}

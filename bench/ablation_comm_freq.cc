@@ -1,0 +1,61 @@
+// Ablation: communication frequency on the parameter server — the
+// Petuum-vs-Angel axis (§III-B). Per-batch communication (small batch
+// fraction, one step per batch) sends often and updates the global
+// model in tiny increments; per-epoch communication does a full local
+// pass before talking. Sweep the batch fraction for both strategies.
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace mllibstar;
+
+  const Dataset data = GenerateSynthetic(AvazuSpec(3e-4));
+  const ClusterConfig cluster = ClusterConfig::Cluster1(8);
+
+  std::printf(
+      "Ablation — PS communication frequency (L2=0.1 so each Petuum "
+      "step is one batch-GD update)\n\n");
+  std::printf("%-10s %-12s %10s %12s %14s\n", "system", "batch-frac",
+              "best-obj", "sim-time(s)", "bytes/update");
+
+  for (double fraction : {0.01, 0.05, 0.2}) {
+    TrainerConfig base;
+    base.loss = LossKind::kHinge;
+    base.regularizer = RegularizerKind::kL2;
+    base.lambda = 0.1;
+    base.base_lr = 0.3;
+    base.lr_schedule = LrScheduleKind::kConstant;
+    base.batch_fraction = fraction;
+
+    // Petuum-style: one batch per communication step. Budget the same
+    // number of local updates (~2 epochs worth) for both systems.
+    TrainerConfig petuum_config = base;
+    petuum_config.max_comm_steps =
+        static_cast<int>(2.0 / fraction);
+    petuum_config.eval_every = 5;
+    const TrainResult petuum = MakeTrainer(SystemKind::kPetuumStar,
+                                           petuum_config)
+                                   ->Train(data, cluster);
+
+    // Angel-style: a whole epoch of batches per communication step.
+    TrainerConfig angel_config = base;
+    angel_config.max_comm_steps = 2;
+    const TrainResult angel =
+        MakeTrainer(SystemKind::kAngel, angel_config)->Train(data, cluster);
+
+    for (const TrainResult* r : {&petuum, &angel}) {
+      std::printf("%-10s %-12.2f %10.4f %12.2f %14.0f\n", r->system.c_str(),
+                  fraction, r->curve.BestObjective(), r->sim_seconds,
+                  static_cast<double>(r->total_bytes) /
+                      std::max<uint64_t>(1, r->total_model_updates));
+    }
+  }
+  std::printf(
+      "\nExpected shape: with a nonzero regularizer, per-batch "
+      "communication pays a full pull+push per single update — Angel's "
+      "per-epoch strategy amortizes the traffic over ~1/fraction "
+      "updates and wins in time (paper Figure 5e-5h discussion).\n");
+  return 0;
+}

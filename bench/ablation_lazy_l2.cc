@@ -1,0 +1,51 @@
+// Ablation: Bottou's lazy (scaled-vector) L2 update vs the eager
+// dense shrinkage, inside MLlib*'s local SGD. The eager variant pays
+// O(d) per update; lazy pays O(nnz). On high-dimensional sparse data
+// the difference is the reason SendModel is viable with L2 at all
+// (paper §IV-B1).
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace mllibstar;
+
+  std::printf("Ablation — lazy vs eager L2 updates in MLlib*\n\n");
+  std::printf("%-8s %14s %14s %10s %12s %12s\n", "dataset", "lazy-time(s)",
+              "eager-time(s)", "speedup", "lazy-obj", "eager-obj");
+
+  for (const char* dataset : {"avazu", "kddb"}) {
+    const Dataset data = GenerateSynthetic(SpecByName(dataset, 3e-4));
+    const ClusterConfig cluster = ClusterConfig::Cluster1(8);
+
+    TrainerConfig config;
+    config.loss = LossKind::kHinge;
+    config.regularizer = RegularizerKind::kL2;
+    config.lambda = 0.1;
+    config.base_lr = 0.1;
+    config.lr_schedule = LrScheduleKind::kConstant;
+    config.max_comm_steps = 8;
+
+    TrainerConfig lazy_config = config;
+    lazy_config.lazy_regularization = true;
+    const TrainResult lazy = MakeTrainer(SystemKind::kMllibStar, lazy_config)
+                                 ->Train(data, cluster);
+
+    TrainerConfig eager_config = config;
+    eager_config.lazy_regularization = false;
+    const TrainResult eager =
+        MakeTrainer(SystemKind::kMllibStar, eager_config)
+            ->Train(data, cluster);
+
+    std::printf("%-8s %14.2f %14.2f %9.1fx %12.4f %12.4f\n", dataset,
+                lazy.sim_seconds, eager.sim_seconds,
+                eager.sim_seconds / lazy.sim_seconds,
+                lazy.curve.FinalObjective(), eager.curve.FinalObjective());
+  }
+  std::printf(
+      "\nExpected shape: identical objectives (same arithmetic, "
+      "reordered), with the lazy variant faster by roughly d/nnz per "
+      "update — dramatic on kddb (30k features, 30 nnz/row).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation (extension): which local update rule should the SendModel
+// workers run? The paper uses plain SGD; adaptive rules (momentum,
+// Adagrad, Adam) interact with model averaging differently — each
+// worker's optimizer state is local and never averaged.
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace mllibstar;
+
+  const Dataset data = GenerateSynthetic(AvazuSpec(3e-4));
+  const ClusterConfig cluster = ClusterConfig::Cluster1(8);
+
+  std::printf(
+      "Ablation — local update rule inside MLlib* (logistic, 8 "
+      "workers)\n\n");
+  std::printf("%-10s %8s %12s %12s %12s\n", "rule", "lr", "best-obj",
+              "obj@5", "sim-time(s)");
+
+  const struct {
+    LocalOptimizerKind kind;
+    const char* name;
+    double lr;
+  } rules[] = {
+      {LocalOptimizerKind::kSgd, "sgd", 0.3},
+      {LocalOptimizerKind::kMomentum, "momentum", 0.05},
+      {LocalOptimizerKind::kAdagrad, "adagrad", 0.3},
+      {LocalOptimizerKind::kAdam, "adam", 0.03},
+  };
+  for (const auto& rule : rules) {
+    TrainerConfig config;
+    config.loss = LossKind::kLogistic;
+    config.base_lr = rule.lr;
+    config.lr_schedule = LrScheduleKind::kConstant;
+    config.max_comm_steps = 15;
+    config.local_optimizer.kind = rule.kind;
+    const TrainResult result =
+        MakeTrainer(SystemKind::kMllibStar, config)->Train(data, cluster);
+    double at5 = result.curve.points().back().objective;
+    for (const ConvergencePoint& p : result.curve.points()) {
+      if (p.comm_step == 5) at5 = p.objective;
+    }
+    std::printf("%-10s %8.2f %12.4f %12.4f %12.2f\n", rule.name, rule.lr,
+                result.curve.BestObjective(), at5, result.sim_seconds);
+  }
+  std::printf(
+      "\nExpected shape: all rules converge under averaging; adaptive "
+      "rules trade per-update cost for steadier early progress. The "
+      "paper's plain SGD remains a strong default — consistent with "
+      "its claim that the win comes from the communication pattern, "
+      "not the local rule.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#ifndef MLLIBSTAR_BENCH_BENCH_UTIL_H_
+#define MLLIBSTAR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/convergence.h"
+#include "train/report.h"
+
+namespace mllibstar {
+namespace bench {
+
+/// Directory all figure harnesses write their CSV series into.
+inline std::string ResultsDir() {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  return "results";
+}
+
+/// Writes the curves for one subfigure and logs where they went.
+inline void SaveCurves(const std::string& stem,
+                       const std::vector<ConvergenceCurve>& curves) {
+  const std::string path = ResultsDir() + "/" + stem + ".csv";
+  const Status st = WriteCurvesCsv(path, curves);
+  if (st.ok()) {
+    std::printf("  [series written to %s]\n", path.c_str());
+  } else {
+    std::printf("  [could not write %s: %s]\n", path.c_str(),
+                st.ToString().c_str());
+  }
+}
+
+/// Prints "label: 12.3x" or "label: n/a (baseline stuck)" speedup rows.
+inline void PrintSpeedup(const char* label, std::optional<double> speedup) {
+  if (speedup.has_value()) {
+    std::printf("  %-34s %8.1fx\n", label, *speedup);
+  } else {
+    std::printf("  %-34s %8s\n", label, "n/a");
+  }
+}
+
+}  // namespace bench
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_BENCH_BENCH_UTIL_H_

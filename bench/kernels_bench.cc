@@ -1,0 +1,118 @@
+// Microbenchmarks (google-benchmark) for the numeric kernels the
+// trainers are built from: sparse dot/axpy, batch gradients, local
+// SGD epochs with lazy vs eager L2, and synthetic data generation.
+#include <benchmark/benchmark.h>
+
+#include "core/gd.h"
+#include "core/model.h"
+#include "data/synthetic.h"
+
+namespace mllibstar {
+namespace {
+
+Dataset BenchData(size_t instances, size_t features, size_t nnz) {
+  SyntheticSpec spec;
+  spec.name = "bench";
+  spec.num_instances = instances;
+  spec.num_features = features;
+  spec.avg_nnz = nnz;
+  spec.seed = 3;
+  return GenerateSynthetic(spec);
+}
+
+void BM_SparseDot(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  DenseVector w(dim);
+  for (size_t i = 0; i < dim; ++i) w[i] = 0.5;
+  SparseVector x;
+  for (size_t i = 0; i < dim; i += 37) {
+    x.Push(static_cast<FeatureIndex>(i), 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.Dot(x));
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz());
+}
+BENCHMARK(BM_SparseDot)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SparseAxpy(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  DenseVector w(dim);
+  SparseVector x;
+  for (size_t i = 0; i < dim; i += 37) {
+    x.Push(static_cast<FeatureIndex>(i), 1.0);
+  }
+  for (auto _ : state) {
+    w.AddScaled(x, 1e-6);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.nnz());
+}
+BENCHMARK(BM_SparseAxpy)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BatchGradient(benchmark::State& state) {
+  const Dataset data = BenchData(4000, 10000, 20);
+  auto loss = MakeLoss(LossKind::kLogistic);
+  DenseVector w(data.num_features());
+  DenseVector grad(data.num_features());
+  std::vector<size_t> batch;
+  for (size_t i = 0; i < data.size(); i += 10) batch.push_back(i);
+  for (auto _ : state) {
+    grad.SetZero();
+    benchmark::DoNotOptimize(
+        AccumulateBatchGradient(data.points(), batch, *loss, w, &grad));
+  }
+  state.SetItemsProcessed(state.iterations() * batch.size());
+}
+BENCHMARK(BM_BatchGradient);
+
+void BM_SgdEpochLazyL2(benchmark::State& state) {
+  const Dataset data = BenchData(2000, 50000, 20);
+  auto loss = MakeLoss(LossKind::kLogistic);
+  auto reg = MakeRegularizer(RegularizerKind::kL2, 0.1);
+  Rng rng(7);
+  for (auto _ : state) {
+    DenseVector w(data.num_features());
+    benchmark::DoNotOptimize(
+        LocalSgdEpoch(data.points(), *loss, *reg, 0.1, true, &rng, &w));
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_SgdEpochLazyL2);
+
+void BM_SgdEpochEagerL2(benchmark::State& state) {
+  const Dataset data = BenchData(2000, 50000, 20);
+  auto loss = MakeLoss(LossKind::kLogistic);
+  auto reg = MakeRegularizer(RegularizerKind::kL2, 0.1);
+  Rng rng(7);
+  for (auto _ : state) {
+    DenseVector w(data.num_features());
+    benchmark::DoNotOptimize(
+        LocalSgdEpoch(data.points(), *loss, *reg, 0.1, false, &rng, &w));
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_SgdEpochEagerL2);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BenchData(5000, 10000, 15));
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_SyntheticGeneration);
+
+void BM_Objective(benchmark::State& state) {
+  const Dataset data = BenchData(20000, 10000, 15);
+  auto loss = MakeLoss(LossKind::kHinge);
+  auto reg = MakeRegularizer(RegularizerKind::kL2, 0.1);
+  DenseVector w(data.num_features());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Objective(data.points(), *loss, *reg, w));
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Objective);
+
+}  // namespace
+}  // namespace mllibstar

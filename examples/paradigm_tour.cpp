@@ -1,0 +1,53 @@
+// Tour of all five systems on one workload: MLlib (SendGradient),
+// MLlib+MA, MLlib*, Petuum*, and Angel, with the per-system gantt
+// summary. A compact version of the paper's Sections III-V.
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "train/report.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace mllibstar;
+
+  const Dataset data = GenerateSynthetic(Kdd12Spec(/*scale=*/1e-4));
+  const ClusterConfig cluster = ClusterConfig::Cluster1(8);
+  std::printf("workload: kdd12-shaped, %zu x %zu\n\n", data.size(),
+              data.num_features());
+
+  TrainerConfig config;
+  config.loss = LossKind::kHinge;
+  config.base_lr = 0.2;
+  config.lr_schedule = LrScheduleKind::kConstant;
+  config.batch_fraction = 0.05;
+  config.max_comm_steps = 12;
+
+  std::vector<ConvergenceCurve> curves;
+  std::printf("%-10s %8s %12s %14s %12s\n", "system", "steps",
+              "sim-time(s)", "updates", "MB moved");
+  for (SystemKind kind :
+       {SystemKind::kMllib, SystemKind::kMllibMa, SystemKind::kMllibStar,
+        SystemKind::kPetuumStar, SystemKind::kAngel}) {
+    TrainerConfig c = config;
+    if (kind == SystemKind::kMllib) {
+      c.max_comm_steps = 100;  // SendGradient needs many more steps
+      c.eval_every = 5;
+    } else if (kind == SystemKind::kPetuumStar) {
+      // Petuum communicates per batch: its steps are ~20x cheaper, so
+      // a fair tour gives it proportionally more of them.
+      c.max_comm_steps = 120;
+      c.eval_every = 5;
+    }
+    const TrainResult result = MakeTrainer(kind, c)->Train(data, cluster);
+    curves.push_back(result.curve);
+    std::printf("%-10s %8d %12.2f %14llu %12.3f\n", result.system.c_str(),
+                result.comm_steps, result.sim_seconds,
+                static_cast<unsigned long long>(result.total_model_updates),
+                static_cast<double>(result.total_bytes) / 1e6);
+  }
+
+  const double target = TargetObjective(curves, 0.01);
+  std::printf("\ntime/steps to reach objective %.4f:\n  %s\n", target,
+              ComparisonRow(curves, target).c_str());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Malicious-URL detection on an underdetermined dataset (more features
+// than examples, like the paper's `url`): shows why regularization
+// matters there, and exercises the lazy L2 machinery — the dense
+// shrinkage would otherwise dominate at 3M+ features.
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace mllibstar;
+
+  const Dataset data = GenerateSynthetic(UrlSpec(/*scale=*/1e-3));
+  const DatasetStats stats = data.Stats();
+  std::printf("url workload: %zu urls x %zu features (%s)\n",
+              stats.num_instances, stats.num_features,
+              stats.underdetermined ? "underdetermined" : "determined");
+
+  const ClusterConfig cluster = ClusterConfig::Cluster1(8);
+
+  TrainerConfig base;
+  base.loss = LossKind::kHinge;
+  base.base_lr = 0.1;
+  base.lr_schedule = LrScheduleKind::kConstant;
+  base.max_comm_steps = 15;
+
+  // Without regularization the problem is ill-conditioned.
+  TrainerConfig no_reg = base;
+  const TrainResult plain =
+      MakeTrainer(SystemKind::kMllibStar, no_reg)->Train(data, cluster);
+
+  // With L2 = 0.1 (paper Figure 4c) it becomes well-behaved; the
+  // trainer uses Bottou's lazy update so each SGD step stays O(nnz).
+  TrainerConfig l2 = base;
+  l2.regularizer = RegularizerKind::kL2;
+  l2.lambda = 0.1;
+  const TrainResult regularized =
+      MakeTrainer(SystemKind::kMllibStar, l2)->Train(data, cluster);
+
+  std::printf("\n%-6s %16s %16s\n", "step", "objective(L2=0)",
+              "objective(L2=0.1)");
+  const size_t rows = std::min(plain.curve.points().size(),
+                               regularized.curve.points().size());
+  for (size_t i = 0; i < rows; ++i) {
+    std::printf("%-6d %16.6f %16.6f\n",
+                plain.curve.points()[i].comm_step,
+                plain.curve.points()[i].objective,
+                regularized.curve.points()[i].objective);
+  }
+
+  std::printf("\nfinal weights nonzeros: L2=0 -> %zu, L2=0.1 -> %zu "
+              "(of %zu dims)\n",
+              plain.final_weights.CountNonZeros(1e-9),
+              regularized.final_weights.CountNonZeros(1e-9),
+              static_cast<size_t>(data.num_features()));
+  return 0;
+}

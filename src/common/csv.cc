@@ -1,0 +1,24 @@
+#include "common/csv.h"
+
+#include "common/strings.h"
+
+namespace mllibstar {
+
+Result<CsvWriter> CsvWriter::Open(const std::string& path,
+                                  const std::vector<std::string>& header) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  CsvWriter writer(std::move(out));
+  writer.WriteRow(header);
+  return writer;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  out_ << StrJoin(fields, ",") << "\n";
+}
+
+void CsvWriter::Flush() { out_.flush(); }
+
+}  // namespace mllibstar

@@ -1,0 +1,39 @@
+#ifndef MLLIBSTAR_COMMON_CSV_H_
+#define MLLIBSTAR_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mllibstar {
+
+/// Writes rows of values to a CSV file. Benchmarks use this to emit
+/// the series behind every figure so they can be re-plotted.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits `header` as the first row.
+  /// Returns IoError if the file cannot be created.
+  static Result<CsvWriter> Open(const std::string& path,
+                                const std::vector<std::string>& header);
+
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+
+  /// Appends one row; values are written verbatim (caller quotes if
+  /// needed — bench output contains only numbers and identifiers).
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes buffered output to disk.
+  void Flush();
+
+ private:
+  explicit CsvWriter(std::ofstream out) : out_(std::move(out)) {}
+
+  std::ofstream out_;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_COMMON_CSV_H_

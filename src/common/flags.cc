@@ -1,0 +1,138 @@
+#include "common/flags.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace mllibstar {
+
+void FlagParser::AddString(const std::string& name,
+                           std::string default_value, std::string help) {
+  MLLIBSTAR_CHECK(!flags_.count(name)) << "duplicate flag " << name;
+  flags_[name] = {Type::kString, default_value, std::move(default_value),
+                  std::move(help)};
+}
+
+void FlagParser::AddInt64(const std::string& name, int64_t default_value,
+                          std::string help) {
+  MLLIBSTAR_CHECK(!flags_.count(name)) << "duplicate flag " << name;
+  const std::string text = std::to_string(default_value);
+  flags_[name] = {Type::kInt64, text, text, std::move(help)};
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           std::string help) {
+  MLLIBSTAR_CHECK(!flags_.count(name)) << "duplicate flag " << name;
+  const std::string text = FormatDouble(default_value, 17);
+  flags_[name] = {Type::kDouble, text, text, std::move(help)};
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         std::string help) {
+  MLLIBSTAR_CHECK(!flags_.count(name)) << "duplicate flag " << name;
+  const std::string text = default_value ? "true" : "false";
+  flags_[name] = {Type::kBool, text, text, std::move(help)};
+}
+
+Status FlagParser::SetValue(const std::string& name,
+                            const std::string& text) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  // Validate by type before storing.
+  switch (it->second.type) {
+    case Type::kString:
+      break;
+    case Type::kInt64:
+      MLLIBSTAR_RETURN_NOT_OK(ParseInt64(text).status());
+      break;
+    case Type::kDouble:
+      MLLIBSTAR_RETURN_NOT_OK(ParseDouble(text).status());
+      break;
+    case Type::kBool:
+      if (text != "true" && text != "false") {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got " + text);
+      }
+      break;
+  }
+  it->second.value = text;
+  return Status::Ok();
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return Status::Ok();
+    }
+    if (!StrStartsWith(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      MLLIBSTAR_RETURN_NOT_OK(SetValue(std::string(arg.substr(0, eq)),
+                                       std::string(arg.substr(eq + 1))));
+      continue;
+    }
+    const std::string name(arg);
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (it->second.type == Type::kBool) {
+      it->second.value = "true";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + name + " needs a value");
+    }
+    MLLIBSTAR_RETURN_NOT_OK(SetValue(name, argv[++i]));
+  }
+  return Status::Ok();
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  MLLIBSTAR_CHECK(it != flags_.end()) << "unregistered flag " << name;
+  MLLIBSTAR_CHECK(it->second.type == Type::kString);
+  return it->second.value;
+}
+
+int64_t FlagParser::GetInt64(const std::string& name) const {
+  auto it = flags_.find(name);
+  MLLIBSTAR_CHECK(it != flags_.end()) << "unregistered flag " << name;
+  MLLIBSTAR_CHECK(it->second.type == Type::kInt64);
+  return ParseInt64(it->second.value).value();
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  auto it = flags_.find(name);
+  MLLIBSTAR_CHECK(it != flags_.end()) << "unregistered flag " << name;
+  MLLIBSTAR_CHECK(it->second.type == Type::kDouble);
+  return ParseDouble(it->second.value).value();
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  auto it = flags_.find(name);
+  MLLIBSTAR_CHECK(it != flags_.end()) << "unregistered flag " << name;
+  MLLIBSTAR_CHECK(it->second.type == Type::kBool);
+  return it->second.value == "true";
+}
+
+std::string FlagParser::Usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")\n"
+       << "      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mllibstar

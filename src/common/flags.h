@@ -1,0 +1,69 @@
+#ifndef MLLIBSTAR_COMMON_FLAGS_H_
+#define MLLIBSTAR_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mllibstar {
+
+/// Minimal command-line flag parser for the example binaries and CLI
+/// tools. Supports `--name=value`, `--name value`, bare boolean
+/// `--name`, and `--help`; everything else is positional.
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program_description)
+      : description_(std::move(program_description)) {}
+
+  /// Registration (call before Parse). Names must be unique.
+  void AddString(const std::string& name, std::string default_value,
+                 std::string help);
+  void AddInt64(const std::string& name, int64_t default_value,
+                std::string help);
+  void AddDouble(const std::string& name, double default_value,
+                 std::string help);
+  void AddBool(const std::string& name, bool default_value,
+               std::string help);
+
+  /// Parses argv (skipping argv[0]). Returns InvalidArgument for
+  /// unknown flags or unparseable values. `--help` sets
+  /// help_requested() and returns OK without further parsing.
+  Status Parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_requested_; }
+
+  /// Value accessors; the flag must have been registered with the
+  /// matching type (checked).
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// Non-flag arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Formatted usage text listing every flag with default and help.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kString, kInt64, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string value;  // canonical textual value
+    std::string default_value;
+    std::string help;
+  };
+
+  Status SetValue(const std::string& name, const std::string& text);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_COMMON_FLAGS_H_

@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace mllibstar {
+namespace internal_logging {
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetMinLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Strip directories from __FILE__ for terser output.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  const bool enabled = level_ >= GetMinLogLevel() || level_ == LogLevel::kFatal;
+  if (enabled) {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace mllibstar

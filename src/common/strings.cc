@@ -1,0 +1,103 @@
+#include "common/strings.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace mllibstar {
+
+std::vector<std::string_view> StrSplit(std::string_view text, char delimiter) {
+  std::vector<std::string_view> pieces;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delimiter) {
+      pieces.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return pieces;
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) result += separator;
+    result += pieces[i];
+  }
+  return result;
+}
+
+std::string_view StrTrim(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         (text[begin] == ' ' || text[begin] == '\t' || text[begin] == '\r' ||
+          text[begin] == '\n')) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+          text[end - 1] == '\r' || text[end - 1] == '\n')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StrStartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty integer");
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not an integer: " + buf);
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty double");
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("double out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a double: " + buf);
+  }
+  return value;
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os.precision(3);
+  os << value << " " << kUnits[unit];
+  return os.str();
+}
+
+}  // namespace mllibstar

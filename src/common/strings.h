@@ -1,0 +1,41 @@
+#ifndef MLLIBSTAR_COMMON_STRINGS_H_
+#define MLLIBSTAR_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mllibstar {
+
+/// Splits `text` at every occurrence of `delimiter`. Empty pieces are
+/// kept ("a,,b" -> {"a", "", "b"}); splitting the empty string yields
+/// a single empty piece.
+std::vector<std::string_view> StrSplit(std::string_view text, char delimiter);
+
+/// Joins `pieces` with `separator` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view separator);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view StrTrim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StrStartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a base-10 signed integer; rejects trailing garbage.
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// Parses a floating-point number; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view text);
+
+/// Formats `value` with `precision` significant digits (for bench CSVs).
+std::string FormatDouble(double value, int precision = 6);
+
+/// Renders a byte count as "12.3 MB"-style text.
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_COMMON_STRINGS_H_

@@ -1,0 +1,56 @@
+#ifndef MLLIBSTAR_COMMON_THREAD_POOL_H_
+#define MLLIBSTAR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mllibstar {
+
+/// Fixed-size pool of worker threads with a shared FIFO task queue.
+///
+/// The simulator mostly runs worker tasks sequentially (virtual time
+/// makes parallel host execution unnecessary for correctness), but the
+/// pool is used to parallelize independent experiment runs and data
+/// generation.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitAll();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_COMMON_THREAD_POOL_H_

@@ -1,0 +1,49 @@
+#include "core/convergence.h"
+
+#include <limits>
+
+namespace mllibstar {
+
+double ConvergenceCurve::BestObjective() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const ConvergencePoint& p : points_) {
+    if (p.objective < best) best = p.objective;
+  }
+  return best;
+}
+
+std::optional<double> ConvergenceCurve::TimeToReach(double target) const {
+  for (const ConvergencePoint& p : points_) {
+    if (p.objective <= target) return p.time_sec;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> ConvergenceCurve::StepsToReach(double target) const {
+  for (const ConvergencePoint& p : points_) {
+    if (p.objective <= target) return p.comm_step;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> SpeedupAtTarget(const ConvergenceCurve& baseline,
+                                      const ConvergenceCurve& improved,
+                                      double target) {
+  const std::optional<double> t_base = baseline.TimeToReach(target);
+  const std::optional<double> t_improved = improved.TimeToReach(target);
+  if (!t_base.has_value() || !t_improved.has_value()) return std::nullopt;
+  if (*t_improved <= 0.0) return std::nullopt;
+  return *t_base / *t_improved;
+}
+
+std::optional<double> StepSpeedupAtTarget(const ConvergenceCurve& baseline,
+                                          const ConvergenceCurve& improved,
+                                          double target) {
+  const std::optional<int> s_base = baseline.StepsToReach(target);
+  const std::optional<int> s_improved = improved.StepsToReach(target);
+  if (!s_base.has_value() || !s_improved.has_value()) return std::nullopt;
+  if (*s_improved <= 0) return std::nullopt;
+  return static_cast<double>(*s_base) / static_cast<double>(*s_improved);
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,69 @@
+#ifndef MLLIBSTAR_CORE_CONVERGENCE_H_
+#define MLLIBSTAR_CORE_CONVERGENCE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mllibstar {
+
+/// One sample of training progress: the objective value observed after
+/// `comm_step` communication steps at simulated time `time_sec`.
+struct ConvergencePoint {
+  int comm_step = 0;
+  double time_sec = 0.0;
+  double objective = 0.0;
+};
+
+/// The objective-versus-time / objective-versus-steps series a trainer
+/// records, i.e. one curve of the paper's Figures 4–6.
+class ConvergenceCurve {
+ public:
+  ConvergenceCurve() = default;
+  explicit ConvergenceCurve(std::string label) : label_(std::move(label)) {}
+
+  void Add(int comm_step, double time_sec, double objective) {
+    points_.push_back({comm_step, time_sec, objective});
+  }
+
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::vector<ConvergencePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Last recorded objective; 0 if empty.
+  double FinalObjective() const {
+    return points_.empty() ? 0.0 : points_.back().objective;
+  }
+
+  /// Smallest objective seen; +inf if empty.
+  double BestObjective() const;
+
+  /// Simulated time of the first sample with objective <= target, or
+  /// nullopt if the curve never reaches it.
+  std::optional<double> TimeToReach(double target) const;
+
+  /// Communication steps of the first sample with objective <= target.
+  std::optional<int> StepsToReach(double target) const;
+
+ private:
+  std::string label_;
+  std::vector<ConvergencePoint> points_;
+};
+
+/// Time-to-target ratio baseline/improved at `target` (paper's
+/// "speedup when the accuracy loss is 0.01"). Returns nullopt when
+/// either curve fails to reach the target.
+std::optional<double> SpeedupAtTarget(const ConvergenceCurve& baseline,
+                                      const ConvergenceCurve& improved,
+                                      double target);
+
+/// Steps-to-target ratio baseline/improved at `target` (the left-hand
+/// plots of Figure 4).
+std::optional<double> StepSpeedupAtTarget(const ConvergenceCurve& baseline,
+                                          const ConvergenceCurve& improved,
+                                          double target);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_CORE_CONVERGENCE_H_

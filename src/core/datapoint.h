@@ -1,0 +1,19 @@
+#ifndef MLLIBSTAR_CORE_DATAPOINT_H_
+#define MLLIBSTAR_CORE_DATAPOINT_H_
+
+#include "core/vector.h"
+
+namespace mllibstar {
+
+/// One labeled training example. For classification the label is ±1;
+/// for regression it is the target value.
+struct DataPoint {
+  double label = 0.0;
+  SparseVector features;
+
+  size_t nnz() const { return features.nnz(); }
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_CORE_DATAPOINT_H_

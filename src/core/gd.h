@@ -1,0 +1,107 @@
+#ifndef MLLIBSTAR_CORE_GD_H_
+#define MLLIBSTAR_CORE_GD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/datapoint.h"
+#include "core/local_optimizer.h"
+#include "core/loss.h"
+#include "core/regularizer.h"
+#include "core/vector.h"
+
+namespace mllibstar {
+
+/// Work accounting for one local computation, consumed by the
+/// simulator's compute cost model (time ∝ nnz_processed / node speed).
+struct ComputeStats {
+  uint64_t nnz_processed = 0;  ///< sparse coordinates touched
+  uint64_t model_updates = 0;  ///< number of updates applied to a model
+
+  ComputeStats& operator+=(const ComputeStats& other) {
+    nnz_processed += other.nnz_processed;
+    model_updates += other.model_updates;
+    return *this;
+  }
+};
+
+/// Adds Σ_{i in batch} ∇l(w·xᵢ, yᵢ) to `*gradient` (the SendGradient
+/// worker task in Algorithm 2). `batch` holds indices into `points`.
+ComputeStats AccumulateBatchGradient(const std::vector<DataPoint>& points,
+                                     const std::vector<size_t>& batch,
+                                     const Loss& loss, const DenseVector& w,
+                                     DenseVector* gradient);
+
+/// Samples `batch_size` indices from [0, n) without replacement when
+/// batch_size < n (otherwise returns all indices, i.e. full GD).
+std::vector<size_t> SampleBatch(size_t n, size_t batch_size, Rng* rng);
+
+/// Dense weight vector stored as scale · v so that the multiplicative
+/// L2 shrinkage w ← (1 − ηλ)·w costs O(1) instead of O(d) per update
+/// (Bottou's lazy trick, paper §IV-B1). Sparse gradient updates divide
+/// by the scale; the representation re-materializes when the scale
+/// underflows.
+class ScaledVector {
+ public:
+  explicit ScaledVector(DenseVector initial)
+      : v_(std::move(initial)), scale_(1.0) {}
+
+  size_t dim() const { return v_.dim(); }
+  double scale() const { return scale_; }
+
+  /// (scale · v) · x.
+  double Dot(const SparseVector& x) const { return scale_ * v_.Dot(x); }
+
+  /// w ← factor · w in O(1).
+  void Shrink(double factor);
+
+  /// w ← w + alpha · x (sparse, O(nnz(x))).
+  void AddScaled(const SparseVector& x, double alpha);
+
+  /// Materializes the plain dense weights (O(d)).
+  DenseVector ToDense() const;
+
+ private:
+  void Materialize();
+
+  DenseVector v_;
+  double scale_;
+};
+
+/// One pass of sequential SGD (batch size 1) over `points` in a
+/// freshly shuffled order, updating `*w` in place. This is the local
+/// computation MLlib* and Petuum* run when the workload allows
+/// parallel SGD (paper §III-B1, §IV-B).
+///
+/// When `reg` is L2 and `lazy_regularization` is true, the shrinkage
+/// is applied via ScaledVector in O(nnz) per update; otherwise the
+/// regularizer's dense gradient step runs per update and its O(d) cost
+/// is charged to the returned ComputeStats (the ablation baseline).
+ComputeStats LocalSgdEpoch(const std::vector<DataPoint>& points,
+                           const Loss& loss, const Regularizer& reg,
+                           double lr, bool lazy_regularization, Rng* rng,
+                           DenseVector* w);
+
+/// One shuffled pass of per-point updates applied through a stateful
+/// LocalOptimizer (momentum/Adagrad/Adam variants of the SendModel
+/// local computation). L2 regularization is applied as lazy decoupled
+/// weight decay on touched coordinates (flushed at epoch end); L1
+/// falls back to the eager dense step.
+ComputeStats LocalOptimizerEpoch(const std::vector<DataPoint>& points,
+                                 const Loss& loss, const Regularizer& reg,
+                                 double lr, LocalOptimizer* optimizer,
+                                 Rng* rng, DenseVector* w);
+
+/// `num_batches` steps of local mini-batch GD: each step samples
+/// `batch_size` points, computes the averaged batch gradient at the
+/// current local model and applies one update (the Angel-style local
+/// computation, and Petuum's when the regularizer is nonzero).
+ComputeStats LocalMiniBatchGd(const std::vector<DataPoint>& points,
+                              const Loss& loss, const Regularizer& reg,
+                              double lr, size_t batch_size,
+                              size_t num_batches, Rng* rng, DenseVector* w);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_CORE_GD_H_

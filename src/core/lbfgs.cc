@@ -1,0 +1,140 @@
+#include "core/lbfgs.h"
+
+#include <cmath>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace mllibstar {
+namespace {
+
+double InfNorm(const DenseVector& v) {
+  double best = 0.0;
+  for (size_t i = 0; i < v.dim(); ++i) {
+    best = std::max(best, std::fabs(v[i]));
+  }
+  return best;
+}
+
+}  // namespace
+
+LbfgsResult LbfgsSolver::Minimize(const Oracle& oracle,
+                                  DenseVector initial) const {
+  const size_t dim = initial.dim();
+  LbfgsResult result;
+  result.minimizer = std::move(initial);
+
+  DenseVector gradient(dim);
+  double objective = oracle(result.minimizer, &gradient);
+  ++result.function_evaluations;
+
+  // Correction pairs s_i = w_{i+1} - w_i, y_i = g_{i+1} - g_i.
+  std::deque<DenseVector> s_history;
+  std::deque<DenseVector> y_history;
+  std::deque<double> rho_history;  // 1 / (y_i . s_i)
+
+  DenseVector direction(dim);
+  std::vector<double> alpha(options_.history, 0.0);
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    const double gnorm = InfNorm(gradient);
+    if (gnorm <= options_.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Two-loop recursion: direction = -H_k * gradient.
+    direction = gradient;
+    const size_t m = s_history.size();
+    for (size_t j = m; j-- > 0;) {
+      alpha[j] = rho_history[j] * s_history[j].Dot(direction);
+      direction.AddScaled(y_history[j], -alpha[j]);
+    }
+    if (m > 0) {
+      // Initial Hessian scaling gamma = (s.y)/(y.y) (Nocedal 7.20).
+      const double ys = y_history[m - 1].Dot(s_history[m - 1]);
+      const double yy = y_history[m - 1].SquaredNorm();
+      if (yy > 0) direction.Scale(ys / yy);
+    }
+    for (size_t j = 0; j < m; ++j) {
+      const double beta = rho_history[j] * y_history[j].Dot(direction);
+      direction.AddScaled(s_history[j], alpha[j] - beta);
+    }
+    direction.Scale(-1.0);
+
+    double directional = gradient.Dot(direction);
+    if (directional >= 0) {
+      // Not a descent direction (can happen with noisy oracles):
+      // restart from steepest descent.
+      direction = gradient;
+      direction.Scale(-1.0);
+      directional = -gradient.SquaredNorm();
+      s_history.clear();
+      y_history.clear();
+      rho_history.clear();
+    }
+
+    // Armijo backtracking line search.
+    double step = 1.0;
+    DenseVector candidate(dim);
+    DenseVector candidate_gradient(dim);
+    double candidate_objective = objective;
+    int evals_this_iter = 0;
+    bool accepted = false;
+    for (int ls = 0; ls < options_.max_line_search_steps; ++ls) {
+      candidate = result.minimizer;
+      candidate.AddScaled(direction, step);
+      candidate_objective = oracle(candidate, &candidate_gradient);
+      ++result.function_evaluations;
+      ++evals_this_iter;
+      if (candidate_objective <=
+          objective + options_.armijo_c * step * directional) {
+        accepted = true;
+        break;
+      }
+      step *= options_.backtrack_factor;
+    }
+    if (!accepted) {
+      // The line search failed: gradient noise floor reached.
+      result.trace.push_back(
+          {iter, objective, gnorm, evals_this_iter});
+      break;
+    }
+
+    // Update histories.
+    DenseVector s = candidate;
+    s.AddScaled(result.minimizer, -1.0);
+    DenseVector y = candidate_gradient;
+    y.AddScaled(gradient, -1.0);
+    const double ys = y.Dot(s);
+    if (ys > 1e-12) {
+      s_history.push_back(std::move(s));
+      y_history.push_back(std::move(y));
+      rho_history.push_back(1.0 / ys);
+      if (s_history.size() > options_.history) {
+        s_history.pop_front();
+        y_history.pop_front();
+        rho_history.pop_front();
+      }
+    }
+
+    const double previous = objective;
+    result.minimizer = std::move(candidate);
+    gradient = std::move(candidate_gradient);
+    objective = candidate_objective;
+    result.iterations = iter + 1;
+    result.trace.push_back({iter, objective, InfNorm(gradient),
+                            evals_this_iter});
+
+    if (previous - objective <=
+        options_.objective_tolerance * std::max(1.0, std::fabs(previous))) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.objective = objective;
+  return result;
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,66 @@
+#ifndef MLLIBSTAR_CORE_LBFGS_H_
+#define MLLIBSTAR_CORE_LBFGS_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/vector.h"
+
+namespace mllibstar {
+
+/// Options for the limited-memory BFGS solver.
+struct LbfgsOptions {
+  size_t history = 10;          ///< stored (s, y) pairs
+  int max_iterations = 100;
+  double gradient_tolerance = 1e-8;   ///< stop when ||g||_inf below this
+  double objective_tolerance = 1e-10; ///< stop on relative improvement
+  double armijo_c = 1e-4;       ///< sufficient-decrease constant
+  double backtrack_factor = 0.5;
+  int max_line_search_steps = 20;
+};
+
+/// One iteration record (for convergence plots).
+struct LbfgsIterate {
+  int iteration = 0;
+  double objective = 0.0;
+  double gradient_norm = 0.0;
+  int function_evaluations = 0;  ///< oracle calls used by this iteration
+};
+
+/// Outcome of a minimization run.
+struct LbfgsResult {
+  DenseVector minimizer;
+  double objective = 0.0;
+  int iterations = 0;
+  int function_evaluations = 0;
+  bool converged = false;
+  std::vector<LbfgsIterate> trace;
+};
+
+/// Limited-memory BFGS with the standard two-loop recursion and an
+/// Armijo backtracking line search (Liu & Nocedal [27] — the
+/// second-order method the paper names as spark.ml's optimizer and
+/// flags as future work for the MLlib* techniques).
+///
+/// The objective is supplied as an oracle computing f(w) and ∇f(w)
+/// together; distributed callers wire the oracle to a cluster pass so
+/// that every evaluation is charged simulated time.
+class LbfgsSolver {
+ public:
+  /// f(w) -> objective; writes the gradient into *gradient (same dim).
+  using Oracle =
+      std::function<double(const DenseVector& w, DenseVector* gradient)>;
+
+  explicit LbfgsSolver(LbfgsOptions options) : options_(options) {}
+
+  /// Minimizes the oracle starting from `initial`. Requires a smooth
+  /// objective (use logistic or squared loss, not hinge).
+  LbfgsResult Minimize(const Oracle& oracle, DenseVector initial) const;
+
+ private:
+  LbfgsOptions options_;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_CORE_LBFGS_H_

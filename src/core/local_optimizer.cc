@@ -1,0 +1,155 @@
+#include "core/local_optimizer.h"
+
+#include <cmath>
+
+namespace mllibstar {
+namespace {
+
+class SgdOptimizer final : public LocalOptimizer {
+ public:
+  uint64_t ApplyUpdate(const SparseVector& x, double dl, double lr,
+                       DenseVector* w) override {
+    if (dl == 0.0) return 0;
+    w->AddScaled(x, -lr * dl);
+    return x.nnz();
+  }
+  LocalOptimizerKind kind() const override {
+    return LocalOptimizerKind::kSgd;
+  }
+  std::string name() const override { return "sgd"; }
+};
+
+// Heavy-ball momentum with lazy decay: velocity components decay as
+// mu^(gap) where gap is the number of updates since the coordinate was
+// last touched — the standard trick for sparse momentum.
+class MomentumOptimizer final : public LocalOptimizer {
+ public:
+  MomentumOptimizer(double mu, size_t dim)
+      : mu_(mu), velocity_(dim), last_step_(dim, 0) {}
+
+  uint64_t ApplyUpdate(const SparseVector& x, double dl, double lr,
+                       DenseVector* w) override {
+    ++step_;
+    if (dl == 0.0) return 0;
+    const size_t n = x.nnz();
+    for (size_t i = 0; i < n; ++i) {
+      const FeatureIndex j = x.indices[i];
+      const uint64_t gap = step_ - last_step_[j];
+      double v = velocity_[j] * std::pow(mu_, static_cast<double>(gap));
+      v += dl * x.values[i];
+      velocity_[j] = v;
+      last_step_[j] = step_;
+      (*w)[j] -= lr * v;
+    }
+    return n;
+  }
+  LocalOptimizerKind kind() const override {
+    return LocalOptimizerKind::kMomentum;
+  }
+  std::string name() const override { return "momentum"; }
+
+ private:
+  double mu_;
+  DenseVector velocity_;
+  std::vector<uint64_t> last_step_;
+  uint64_t step_ = 0;
+};
+
+class AdagradOptimizer final : public LocalOptimizer {
+ public:
+  AdagradOptimizer(double epsilon, size_t dim)
+      : epsilon_(epsilon), accumulator_(dim) {}
+
+  uint64_t ApplyUpdate(const SparseVector& x, double dl, double lr,
+                       DenseVector* w) override {
+    if (dl == 0.0) return 0;
+    const size_t n = x.nnz();
+    for (size_t i = 0; i < n; ++i) {
+      const FeatureIndex j = x.indices[i];
+      const double g = dl * x.values[i];
+      accumulator_[j] += g * g;
+      (*w)[j] -= lr * g / (std::sqrt(accumulator_[j]) + epsilon_);
+    }
+    return n;
+  }
+  LocalOptimizerKind kind() const override {
+    return LocalOptimizerKind::kAdagrad;
+  }
+  std::string name() const override { return "adagrad"; }
+
+ private:
+  double epsilon_;
+  DenseVector accumulator_;
+};
+
+// Sparse Adam: moments update only on touched coordinates (the common
+// "lazy Adam" variant); bias correction uses the global step count.
+class AdamOptimizer final : public LocalOptimizer {
+ public:
+  AdamOptimizer(double beta1, double beta2, double epsilon, size_t dim)
+      : beta1_(beta1),
+        beta2_(beta2),
+        epsilon_(epsilon),
+        first_(dim),
+        second_(dim) {}
+
+  uint64_t ApplyUpdate(const SparseVector& x, double dl, double lr,
+                       DenseVector* w) override {
+    ++step_;
+    if (dl == 0.0) return 0;
+    const double correction1 =
+        1.0 - std::pow(beta1_, static_cast<double>(step_));
+    const double correction2 =
+        1.0 - std::pow(beta2_, static_cast<double>(step_));
+    const size_t n = x.nnz();
+    for (size_t i = 0; i < n; ++i) {
+      const FeatureIndex j = x.indices[i];
+      const double g = dl * x.values[i];
+      first_[j] = beta1_ * first_[j] + (1.0 - beta1_) * g;
+      second_[j] = beta2_ * second_[j] + (1.0 - beta2_) * g * g;
+      const double m_hat = first_[j] / correction1;
+      const double v_hat = second_[j] / correction2;
+      (*w)[j] -= lr * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+    return n;
+  }
+  LocalOptimizerKind kind() const override {
+    return LocalOptimizerKind::kAdam;
+  }
+  std::string name() const override { return "adam"; }
+
+ private:
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  DenseVector first_;
+  DenseVector second_;
+  uint64_t step_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<LocalOptimizer> MakeLocalOptimizer(
+    const LocalOptimizerConfig& config, size_t dim) {
+  switch (config.kind) {
+    case LocalOptimizerKind::kSgd:
+      return std::make_unique<SgdOptimizer>();
+    case LocalOptimizerKind::kMomentum:
+      return std::make_unique<MomentumOptimizer>(config.momentum, dim);
+    case LocalOptimizerKind::kAdagrad:
+      return std::make_unique<AdagradOptimizer>(config.epsilon, dim);
+    case LocalOptimizerKind::kAdam:
+      return std::make_unique<AdamOptimizer>(config.beta1, config.beta2,
+                                             config.epsilon, dim);
+  }
+  return std::make_unique<SgdOptimizer>();
+}
+
+LocalOptimizerKind LocalOptimizerKindFromName(const std::string& name) {
+  if (name == "momentum") return LocalOptimizerKind::kMomentum;
+  if (name == "adagrad") return LocalOptimizerKind::kAdagrad;
+  if (name == "adam") return LocalOptimizerKind::kAdam;
+  return LocalOptimizerKind::kSgd;
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,62 @@
+#ifndef MLLIBSTAR_CORE_LOCAL_OPTIMIZER_H_
+#define MLLIBSTAR_CORE_LOCAL_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/vector.h"
+
+namespace mllibstar {
+
+/// First-order update rules a worker can apply locally during the
+/// SendModel paradigm's per-point updates. All rules are sparse-aware:
+/// per update they touch only the coordinates of the example (plus
+/// O(nnz) optimizer state), which is what keeps SendModel viable on
+/// high-dimensional data.
+enum class LocalOptimizerKind {
+  kSgd,       ///< w -= lr * g
+  kMomentum,  ///< heavy-ball with lazily decayed velocity
+  kAdagrad,   ///< per-coordinate adaptive scale
+  kAdam,      ///< bias-corrected first/second moments (sparse variant)
+};
+
+/// Hyperparameters for the local update rules.
+struct LocalOptimizerConfig {
+  LocalOptimizerKind kind = LocalOptimizerKind::kSgd;
+  double momentum = 0.9;   ///< kMomentum decay
+  double beta1 = 0.9;      ///< kAdam first-moment decay
+  double beta2 = 0.999;    ///< kAdam second-moment decay
+  double epsilon = 1e-8;   ///< kAdagrad/kAdam denominator floor
+};
+
+/// Stateful per-worker optimizer. One instance per worker; state
+/// persists across local passes within a training run.
+///
+/// ApplyUpdate performs w -= lr * rule(dl_dmargin * x) where x is the
+/// example's sparse feature vector. Regularization is handled by the
+/// caller (the trainers use lazy L2 shrinkage, which composes with any
+/// rule as decoupled weight decay).
+class LocalOptimizer {
+ public:
+  virtual ~LocalOptimizer() = default;
+
+  /// Applies one update for an example with gradient dl_dmargin * x.
+  /// Touches only x's coordinates. Returns coordinates touched (work
+  /// units for the cost model).
+  virtual uint64_t ApplyUpdate(const SparseVector& x, double dl_dmargin,
+                               double lr, DenseVector* w) = 0;
+
+  virtual LocalOptimizerKind kind() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Creates the optimizer for `config` over a `dim`-dimensional model.
+std::unique_ptr<LocalOptimizer> MakeLocalOptimizer(
+    const LocalOptimizerConfig& config, size_t dim);
+
+/// Parses "sgd" / "momentum" / "adagrad" / "adam"; defaults to kSgd.
+LocalOptimizerKind LocalOptimizerKindFromName(const std::string& name);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_CORE_LOCAL_OPTIMIZER_H_

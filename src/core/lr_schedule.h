@@ -1,0 +1,41 @@
+#ifndef MLLIBSTAR_CORE_LR_SCHEDULE_H_
+#define MLLIBSTAR_CORE_LR_SCHEDULE_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace mllibstar {
+
+/// Learning-rate schedules used by the trainers.
+enum class LrScheduleKind {
+  kConstant,     ///< lr(t) = lr0
+  kInverseSqrt,  ///< lr(t) = lr0 / sqrt(1 + t)  (MLlib's default decay)
+};
+
+/// Computes the step size for global update index `t` (0-based).
+class LrSchedule {
+ public:
+  LrSchedule(LrScheduleKind kind, double base_lr)
+      : kind_(kind), base_lr_(base_lr) {}
+
+  double LrAt(uint64_t t) const {
+    switch (kind_) {
+      case LrScheduleKind::kConstant:
+        return base_lr_;
+      case LrScheduleKind::kInverseSqrt:
+        return base_lr_ / std::sqrt(1.0 + static_cast<double>(t));
+    }
+    return base_lr_;
+  }
+
+  LrScheduleKind kind() const { return kind_; }
+  double base_lr() const { return base_lr_; }
+
+ private:
+  LrScheduleKind kind_;
+  double base_lr_;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_CORE_LR_SCHEDULE_H_

@@ -1,0 +1,54 @@
+#ifndef MLLIBSTAR_CORE_MODEL_H_
+#define MLLIBSTAR_CORE_MODEL_H_
+
+#include <vector>
+
+#include "core/datapoint.h"
+#include "core/loss.h"
+#include "core/regularizer.h"
+#include "core/vector.h"
+
+namespace mllibstar {
+
+/// A trained (or in-training) generalized linear model: a weight
+/// vector w scoring examples by the margin w·x.
+class GlmModel {
+ public:
+  GlmModel() = default;
+  /// Zero-initialized model of the given dimensionality.
+  explicit GlmModel(size_t dim) : weights_(dim) {}
+  explicit GlmModel(DenseVector weights) : weights_(std::move(weights)) {}
+
+  size_t dim() const { return weights_.dim(); }
+  const DenseVector& weights() const { return weights_; }
+  DenseVector* mutable_weights() { return &weights_; }
+
+  /// Margin w·x for one example.
+  double Margin(const DataPoint& point) const {
+    return weights_.Dot(point.features);
+  }
+
+  /// Predicted class in {-1, +1} (sign of the margin; 0 maps to +1).
+  double PredictLabel(const DataPoint& point) const {
+    return Margin(point) >= 0.0 ? 1.0 : -1.0;
+  }
+
+ private:
+  DenseVector weights_;
+};
+
+/// Mean point loss (1/n) Σ l(w·xᵢ, yᵢ) over `points`. Returns 0 for an
+/// empty range.
+double MeanLoss(const std::vector<DataPoint>& points, const Loss& loss,
+                const DenseVector& w);
+
+/// Full objective f(w, X) = mean loss + Ω(w) (paper Equation 1).
+double Objective(const std::vector<DataPoint>& points, const Loss& loss,
+                 const Regularizer& reg, const DenseVector& w);
+
+/// Fraction of points whose predicted class matches the label.
+double Accuracy(const std::vector<DataPoint>& points, const DenseVector& w);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_CORE_MODEL_H_

@@ -1,0 +1,72 @@
+#include "core/model_io.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace mllibstar {
+
+namespace {
+constexpr char kMagic[] = "mllibstar-model v1";
+}  // namespace
+
+Status SaveModel(const GlmModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << kMagic << '\n';
+  out << "dim " << model.dim() << '\n';
+  out.precision(17);
+  const DenseVector& w = model.weights();
+  for (size_t i = 0; i < w.dim(); ++i) {
+    if (w[i] != 0.0) out << i << ' ' << w[i] << '\n';
+  }
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<GlmModel> LoadModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) || StrTrim(line) != kMagic) {
+    return Status::InvalidArgument("bad model header in " + path);
+  }
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("missing dim line in " + path);
+  }
+  const auto dim_fields = StrSplit(StrTrim(line), ' ');
+  if (dim_fields.size() != 2 || dim_fields[0] != "dim") {
+    return Status::InvalidArgument("bad dim line in " + path);
+  }
+  MLLIBSTAR_ASSIGN_OR_RETURN(int64_t dim, ParseInt64(dim_fields[1]));
+  if (dim < 0) return Status::InvalidArgument("negative dim in " + path);
+
+  GlmModel model(static_cast<size_t>(dim));
+  DenseVector* w = model.mutable_weights();
+  size_t line_number = 2;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = StrTrim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = StrSplit(trimmed, ' ');
+    if (fields.size() != 2) {
+      return Status::InvalidArgument("bad weight line " +
+                                     std::to_string(line_number) + " in " +
+                                     path);
+    }
+    MLLIBSTAR_ASSIGN_OR_RETURN(int64_t index, ParseInt64(fields[0]));
+    MLLIBSTAR_ASSIGN_OR_RETURN(double value, ParseDouble(fields[1]));
+    if (index < 0 || index >= dim) {
+      return Status::OutOfRange("weight index " + std::to_string(index) +
+                                " outside dim " + std::to_string(dim));
+    }
+    (*w)[static_cast<size_t>(index)] = value;
+  }
+  return model;
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,169 @@
+#include "core/owlqn.h"
+
+#include <cmath>
+#include <deque>
+
+namespace mllibstar {
+namespace {
+
+double Sign(double x) { return x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0); }
+
+/// Pseudo-gradient of f(w) + lambda*||w||_1 (Andrew & Gao, eq. 4).
+void PseudoGradient(const DenseVector& w, const DenseVector& grad,
+                    double lambda, DenseVector* pseudo) {
+  const size_t d = w.dim();
+  for (size_t j = 0; j < d; ++j) {
+    if (w[j] > 0) {
+      (*pseudo)[j] = grad[j] + lambda;
+    } else if (w[j] < 0) {
+      (*pseudo)[j] = grad[j] - lambda;
+    } else if (grad[j] + lambda < 0) {
+      (*pseudo)[j] = grad[j] + lambda;  // moving positive decreases F
+    } else if (grad[j] - lambda > 0) {
+      (*pseudo)[j] = grad[j] - lambda;  // moving negative decreases F
+    } else {
+      (*pseudo)[j] = 0.0;
+    }
+  }
+}
+
+double InfNorm(const DenseVector& v) {
+  double best = 0.0;
+  for (size_t i = 0; i < v.dim(); ++i) {
+    best = std::max(best, std::fabs(v[i]));
+  }
+  return best;
+}
+
+}  // namespace
+
+LbfgsResult OwlqnSolver::Minimize(const LbfgsSolver::Oracle& oracle,
+                                  DenseVector initial) const {
+  const size_t dim = initial.dim();
+  const double lambda = l1_strength_;
+  LbfgsResult result;
+  result.minimizer = std::move(initial);
+
+  DenseVector gradient(dim);
+  double smooth = oracle(result.minimizer, &gradient);
+  double objective = smooth + lambda * result.minimizer.Norm1();
+  ++result.function_evaluations;
+
+  std::deque<DenseVector> s_history;
+  std::deque<DenseVector> y_history;
+  std::deque<double> rho_history;
+
+  DenseVector pseudo(dim);
+  DenseVector direction(dim);
+  std::vector<double> alpha(options_.history, 0.0);
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    PseudoGradient(result.minimizer, gradient, lambda, &pseudo);
+    const double pnorm = InfNorm(pseudo);
+    if (pnorm <= options_.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Two-loop recursion on the pseudo-gradient.
+    direction = pseudo;
+    const size_t m = s_history.size();
+    for (size_t j = m; j-- > 0;) {
+      alpha[j] = rho_history[j] * s_history[j].Dot(direction);
+      direction.AddScaled(y_history[j], -alpha[j]);
+    }
+    if (m > 0) {
+      const double ys = y_history[m - 1].Dot(s_history[m - 1]);
+      const double yy = y_history[m - 1].SquaredNorm();
+      if (yy > 0) direction.Scale(ys / yy);
+    }
+    for (size_t j = 0; j < m; ++j) {
+      const double beta = rho_history[j] * y_history[j].Dot(direction);
+      direction.AddScaled(s_history[j], alpha[j] - beta);
+    }
+    direction.Scale(-1.0);
+
+    // Alignment projection: drop components that disagree with the
+    // steepest-descent direction of F.
+    for (size_t j = 0; j < dim; ++j) {
+      if (direction[j] * -pseudo[j] <= 0) direction[j] = 0.0;
+    }
+    double directional = pseudo.Dot(direction);
+    if (directional >= 0) break;  // numerical dead end
+
+    // The orthant each coordinate must stay in this step.
+    // xi = sign(w_j), or sign(-pseudo_j) at zero.
+    DenseVector orthant(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      orthant[j] = result.minimizer[j] != 0.0 ? Sign(result.minimizer[j])
+                                              : Sign(-pseudo[j]);
+    }
+
+    // Backtracking line search with orthant projection.
+    double step = 1.0;
+    DenseVector candidate(dim);
+    DenseVector candidate_gradient(dim);
+    double candidate_objective = objective;
+    double candidate_smooth = smooth;
+    int evals_this_iter = 0;
+    bool accepted = false;
+    for (int ls = 0; ls < options_.max_line_search_steps; ++ls) {
+      candidate = result.minimizer;
+      candidate.AddScaled(direction, step);
+      for (size_t j = 0; j < dim; ++j) {
+        if (candidate[j] * orthant[j] <= 0) candidate[j] = 0.0;
+      }
+      candidate_smooth = oracle(candidate, &candidate_gradient);
+      candidate_objective = candidate_smooth + lambda * candidate.Norm1();
+      ++result.function_evaluations;
+      ++evals_this_iter;
+      if (candidate_objective <=
+          objective + options_.armijo_c * step * directional) {
+        accepted = true;
+        break;
+      }
+      step *= options_.backtrack_factor;
+    }
+    if (!accepted) {
+      result.trace.push_back({iter, objective, pnorm, evals_this_iter});
+      break;
+    }
+
+    // Curvature pairs use the smooth gradient (standard OWL-QN).
+    DenseVector s = candidate;
+    s.AddScaled(result.minimizer, -1.0);
+    DenseVector y = candidate_gradient;
+    y.AddScaled(gradient, -1.0);
+    const double ys = y.Dot(s);
+    if (ys > 1e-12) {
+      s_history.push_back(std::move(s));
+      y_history.push_back(std::move(y));
+      rho_history.push_back(1.0 / ys);
+      if (s_history.size() > options_.history) {
+        s_history.pop_front();
+        y_history.pop_front();
+        rho_history.pop_front();
+      }
+    }
+
+    const double previous = objective;
+    result.minimizer = std::move(candidate);
+    gradient = std::move(candidate_gradient);
+    smooth = candidate_smooth;
+    objective = candidate_objective;
+    result.iterations = iter + 1;
+    result.trace.push_back({iter, objective, InfNorm(gradient),
+                            evals_this_iter});
+
+    if (previous - objective <=
+        options_.objective_tolerance * std::max(1.0, std::fabs(previous))) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.objective = objective;
+  return result;
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,34 @@
+#ifndef MLLIBSTAR_CORE_OWLQN_H_
+#define MLLIBSTAR_CORE_OWLQN_H_
+
+#include "core/lbfgs.h"
+
+namespace mllibstar {
+
+/// Orthant-Wise Limited-memory Quasi-Newton (Andrew & Gao 2007): the
+/// L-BFGS variant spark.ml uses for L1-regularized objectives, where
+/// plain L-BFGS fails because ||w||_1 is not differentiable at 0.
+///
+/// Minimizes F(w) = f(w) + l1_strength * ||w||_1 where `oracle`
+/// computes the *smooth* part f and its gradient. The curvature pairs
+/// come from the smooth gradient; descent uses the pseudo-gradient and
+/// every trial point is projected back into the orthant chosen at the
+/// start of the step, which is what produces exactly-zero weights.
+class OwlqnSolver {
+ public:
+  OwlqnSolver(LbfgsOptions options, double l1_strength)
+      : options_(options), l1_strength_(l1_strength) {}
+
+  /// Minimizes F from `initial`. LbfgsResult::objective includes the
+  /// L1 term.
+  LbfgsResult Minimize(const LbfgsSolver::Oracle& oracle,
+                       DenseVector initial) const;
+
+ private:
+  LbfgsOptions options_;
+  double l1_strength_;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_CORE_OWLQN_H_

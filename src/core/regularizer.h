@@ -1,0 +1,50 @@
+#ifndef MLLIBSTAR_CORE_REGULARIZER_H_
+#define MLLIBSTAR_CORE_REGULARIZER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/vector.h"
+
+namespace mllibstar {
+
+/// Kinds of regularization penalties Ω(w) in the GLM objective
+/// f(w, X) = l(w, X) + Ω(w) (paper Equation 1).
+enum class RegularizerKind {
+  kNone,  ///< Ω(w) = 0
+  kL2,    ///< Ω(w) = (λ/2) ||w||²
+  kL1,    ///< Ω(w) = λ ||w||₁
+};
+
+/// Regularization penalty with the operations GD needs: the value and
+/// the (sub)gradient step. The L2 gradient is dense (λ·w touches every
+/// coordinate), which motivates the paper's lazy-update discussion.
+class Regularizer {
+ public:
+  virtual ~Regularizer() = default;
+
+  /// Ω(w).
+  virtual double Value(const DenseVector& w) const = 0;
+
+  /// In-place step w -= lr * ∇Ω(w) (subgradient for L1).
+  virtual void ApplyGradientStep(DenseVector* w, double lr) const = 0;
+
+  /// grad += ∇Ω(w) (subgradient for L1). Used by batch solvers like
+  /// L-BFGS that need the explicit regularizer gradient.
+  virtual void AddGradient(const DenseVector& w, DenseVector* grad) const = 0;
+
+  /// Regularization strength λ (0 for kNone).
+  virtual double lambda() const = 0;
+
+  virtual RegularizerKind kind() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Creates the regularizer for `kind` with strength `lambda`.
+/// For kNone, `lambda` is ignored.
+std::unique_ptr<Regularizer> MakeRegularizer(RegularizerKind kind,
+                                             double lambda);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_CORE_REGULARIZER_H_

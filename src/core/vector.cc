@@ -1,0 +1,92 @@
+#include "core/vector.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mllibstar {
+
+bool SparseVector::IsSorted() const {
+  for (size_t i = 1; i < indices.size(); ++i) {
+    if (indices[i] <= indices[i - 1]) return false;
+  }
+  return true;
+}
+
+double SparseVector::SquaredNorm() const {
+  double sum = 0.0;
+  for (double v : values) sum += v * v;
+  return sum;
+}
+
+void DenseVector::SetZero() {
+  std::fill(values_.begin(), values_.end(), 0.0);
+}
+
+void DenseVector::AddScaled(const SparseVector& x, double alpha) {
+  const size_t n = x.nnz();
+  for (size_t i = 0; i < n; ++i) {
+    values_[x.indices[i]] += alpha * x.values[i];
+  }
+}
+
+void DenseVector::AddScaled(const DenseVector& x, double alpha) {
+  MLLIBSTAR_CHECK_EQ(dim(), x.dim());
+  const size_t n = values_.size();
+  const double* xs = x.data();
+  for (size_t i = 0; i < n; ++i) values_[i] += alpha * xs[i];
+}
+
+void DenseVector::Scale(double alpha) {
+  for (double& v : values_) v *= alpha;
+}
+
+double DenseVector::Dot(const SparseVector& x) const {
+  double sum = 0.0;
+  const size_t n = x.nnz();
+  for (size_t i = 0; i < n; ++i) {
+    sum += values_[x.indices[i]] * x.values[i];
+  }
+  return sum;
+}
+
+double DenseVector::Dot(const DenseVector& x) const {
+  MLLIBSTAR_CHECK_EQ(dim(), x.dim());
+  double sum = 0.0;
+  const size_t n = values_.size();
+  const double* xs = x.data();
+  for (size_t i = 0; i < n; ++i) sum += values_[i] * xs[i];
+  return sum;
+}
+
+double DenseVector::Norm2() const { return std::sqrt(SquaredNorm()); }
+
+double DenseVector::SquaredNorm() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v * v;
+  return sum;
+}
+
+double DenseVector::Norm1() const {
+  double sum = 0.0;
+  for (double v : values_) sum += std::fabs(v);
+  return sum;
+}
+
+size_t DenseVector::CountNonZeros(double tolerance) const {
+  size_t count = 0;
+  for (double v : values_) {
+    if (std::fabs(v) > tolerance) ++count;
+  }
+  return count;
+}
+
+DenseVector Average(const std::vector<DenseVector>& vectors) {
+  MLLIBSTAR_CHECK(!vectors.empty());
+  DenseVector result(vectors[0].dim());
+  for (const DenseVector& v : vectors) result.AddScaled(v, 1.0);
+  result.Scale(1.0 / static_cast<double>(vectors.size()));
+  return result;
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,97 @@
+#ifndef MLLIBSTAR_CORE_VECTOR_H_
+#define MLLIBSTAR_CORE_VECTOR_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace mllibstar {
+
+/// Index type for feature dimensions. 32 bits covers the paper's
+/// largest model (54.7M features) with room to spare.
+using FeatureIndex = uint32_t;
+
+/// A sparse vector in coordinate format with strictly increasing
+/// indices. Used for data points and sparse gradients.
+struct SparseVector {
+  std::vector<FeatureIndex> indices;
+  std::vector<double> values;
+
+  size_t nnz() const { return indices.size(); }
+
+  /// Appends an entry; caller must append in increasing index order.
+  void Push(FeatureIndex index, double value) {
+    indices.push_back(index);
+    values.push_back(value);
+  }
+
+  /// True if indices are strictly increasing (the class invariant).
+  bool IsSorted() const;
+
+  /// Sum of squared values.
+  double SquaredNorm() const;
+};
+
+/// A dense vector of doubles with the handful of BLAS-1 operations the
+/// training algorithms need. Sized once; all operations preserve size.
+class DenseVector {
+ public:
+  DenseVector() = default;
+  /// Creates a zero vector of the given dimension.
+  explicit DenseVector(size_t dim) : values_(dim, 0.0) {}
+  /// Wraps existing values.
+  explicit DenseVector(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  DenseVector(const DenseVector&) = default;
+  DenseVector& operator=(const DenseVector&) = default;
+  DenseVector(DenseVector&&) = default;
+  DenseVector& operator=(DenseVector&&) = default;
+
+  size_t dim() const { return values_.size(); }
+  double operator[](size_t i) const { return values_[i]; }
+  double& operator[](size_t i) { return values_[i]; }
+  const std::vector<double>& values() const { return values_; }
+  double* data() { return values_.data(); }
+  const double* data() const { return values_.data(); }
+
+  /// Sets every component to zero.
+  void SetZero();
+
+  /// this += alpha * x (sparse axpy; x indices must be < dim()).
+  void AddScaled(const SparseVector& x, double alpha);
+
+  /// this += alpha * x. Dimensions must match.
+  void AddScaled(const DenseVector& x, double alpha);
+
+  /// this *= alpha.
+  void Scale(double alpha);
+
+  /// Dot product with a sparse vector (indices must be < dim()).
+  double Dot(const SparseVector& x) const;
+
+  /// Dot product with a dense vector of the same dimension.
+  double Dot(const DenseVector& x) const;
+
+  /// Euclidean norm.
+  double Norm2() const;
+
+  /// Sum of squared components.
+  double SquaredNorm() const;
+
+  /// Sum of absolute values.
+  double Norm1() const;
+
+  /// Number of entries with |value| > tolerance (for sparsity stats).
+  size_t CountNonZeros(double tolerance = 0.0) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Elementwise average of `vectors` (all same dimension, non-empty).
+DenseVector Average(const std::vector<DenseVector>& vectors);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_CORE_VECTOR_H_

@@ -1,0 +1,47 @@
+#include "data/dataset.h"
+
+#include "common/logging.h"
+
+namespace mllibstar {
+
+void Dataset::Add(DataPoint point) {
+  if (!point.features.indices.empty()) {
+    MLLIBSTAR_CHECK_LT(point.features.indices.back(), num_features_);
+  }
+  points_.push_back(std::move(point));
+}
+
+uint64_t Dataset::TotalNnz() const {
+  uint64_t total = 0;
+  for (const DataPoint& p : points_) total += p.nnz();
+  return total;
+}
+
+void Dataset::Shuffle(Rng* rng) { rng->Shuffle(&points_); }
+
+Dataset Dataset::Slice(size_t begin, size_t end) const {
+  MLLIBSTAR_CHECK_LE(begin, end);
+  MLLIBSTAR_CHECK_LE(end, points_.size());
+  Dataset result(num_features_, name_);
+  for (size_t i = begin; i < end; ++i) result.Add(points_[i]);
+  return result;
+}
+
+DatasetStats Dataset::Stats() const {
+  DatasetStats stats;
+  stats.name = name_;
+  stats.num_instances = points_.size();
+  stats.num_features = num_features_;
+  stats.total_nnz = TotalNnz();
+  stats.avg_nnz_per_row =
+      points_.empty()
+          ? 0.0
+          : static_cast<double>(stats.total_nnz) / points_.size();
+  // LIBSVM text stores roughly "index:value " per nnz (~12 bytes for
+  // the index/value widths seen in these datasets) plus the label.
+  stats.approx_bytes = stats.total_nnz * 12 + stats.num_instances * 3;
+  stats.underdetermined = stats.num_features > stats.num_instances;
+  return stats;
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,66 @@
+#ifndef MLLIBSTAR_DATA_DATASET_H_
+#define MLLIBSTAR_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/datapoint.h"
+
+namespace mllibstar {
+
+/// Summary statistics in the style of the paper's Table I.
+struct DatasetStats {
+  std::string name;
+  size_t num_instances = 0;
+  size_t num_features = 0;
+  uint64_t total_nnz = 0;
+  double avg_nnz_per_row = 0.0;
+  uint64_t approx_bytes = 0;  ///< LIBSVM-text-like size estimate
+  bool underdetermined = false;  ///< #features > #instances
+};
+
+/// An in-memory labeled sparse dataset.
+class Dataset {
+ public:
+  Dataset() = default;
+  /// Creates an empty dataset whose feature space is [0, num_features).
+  explicit Dataset(size_t num_features, std::string name = "")
+      : num_features_(num_features), name_(std::move(name)) {}
+
+  /// Appends a point. Feature indices must be < num_features().
+  void Add(DataPoint point);
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  size_t num_features() const { return num_features_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const DataPoint& point(size_t i) const { return points_[i]; }
+  const std::vector<DataPoint>& points() const { return points_; }
+  std::vector<DataPoint>* mutable_points() { return &points_; }
+
+  /// Total number of stored nonzero feature values.
+  uint64_t TotalNnz() const;
+
+  /// Randomly permutes the points (e.g. before contiguous partitioning).
+  void Shuffle(Rng* rng);
+
+  /// Copies points [begin, end) into a new dataset with the same
+  /// feature space.
+  Dataset Slice(size_t begin, size_t end) const;
+
+  /// Computes Table-I-style statistics.
+  DatasetStats Stats() const;
+
+ private:
+  std::vector<DataPoint> points_;
+  size_t num_features_ = 0;
+  std::string name_;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_DATA_DATASET_H_

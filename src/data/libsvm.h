@@ -1,0 +1,26 @@
+#ifndef MLLIBSTAR_DATA_LIBSVM_H_
+#define MLLIBSTAR_DATA_LIBSVM_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace mllibstar {
+
+/// Reads a LIBSVM-format text file ("label idx:val idx:val ...", with
+/// 1-based or 0-based indices auto-detected as written, '#' comments
+/// allowed). Labels 0/1 are mapped to -1/+1. The feature space is the
+/// max index + 1 unless `num_features` forces a larger one.
+///
+/// This reader exists so the paper's real datasets (avazu, url, kddb,
+/// kdd12 from LIBSVM) can be dropped in when available; the benchmarks
+/// default to the synthetic equivalents.
+Result<Dataset> ReadLibSvm(const std::string& path, size_t num_features = 0);
+
+/// Writes `dataset` in LIBSVM format with 1-based indices.
+Status WriteLibSvm(const Dataset& dataset, const std::string& path);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_DATA_LIBSVM_H_

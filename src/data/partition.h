@@ -1,0 +1,43 @@
+#ifndef MLLIBSTAR_DATA_PARTITION_H_
+#define MLLIBSTAR_DATA_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/datapoint.h"
+#include "data/dataset.h"
+
+namespace mllibstar {
+
+/// Splits the dataset's points into `k` partitions by dealing rows
+/// round-robin (the layout Spark gets after a random repartition).
+std::vector<std::vector<DataPoint>> PartitionRoundRobin(
+    const Dataset& dataset, size_t k);
+
+/// Splits into `k` contiguous, near-equal ranges (HDFS-block-style).
+std::vector<std::vector<DataPoint>> PartitionContiguous(
+    const Dataset& dataset, size_t k);
+
+/// A half-open range [begin, end) of model coordinates.
+struct ModelRange {
+  FeatureIndex begin = 0;
+  FeatureIndex end = 0;
+
+  size_t size() const { return end - begin; }
+  bool Contains(FeatureIndex i) const { return i >= begin && i < end; }
+};
+
+/// Partitions the model [0, dim) into `k` near-equal contiguous
+/// ranges; the first dim % k ranges get one extra coordinate. Used
+/// both for AllReduce ownership (paper Figure 2b) and for parameter-
+/// server sharding.
+std::vector<ModelRange> PartitionModel(size_t dim, size_t k);
+
+/// Index of the range in `ranges` containing coordinate `i`
+/// (binary search; `ranges` must come from PartitionModel).
+size_t OwnerOfCoordinate(const std::vector<ModelRange>& ranges,
+                         FeatureIndex i);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_DATA_PARTITION_H_

@@ -1,0 +1,39 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mllibstar {
+
+TrainTestSplit RandomSplit(const Dataset& data, double train_fraction,
+                           Rng* rng) {
+  train_fraction = std::clamp(train_fraction, 0.0, 1.0);
+  TrainTestSplit split{Dataset(data.num_features(), data.name() + "/train"),
+                       Dataset(data.num_features(), data.name() + "/test")};
+  for (const DataPoint& p : data.points()) {
+    if (rng->NextBool(train_fraction)) {
+      split.train.Add(p);
+    } else {
+      split.test.Add(p);
+    }
+  }
+  return split;
+}
+
+TrainTestSplit KFold(const Dataset& data, size_t num_folds, size_t fold) {
+  MLLIBSTAR_CHECK_GT(num_folds, 1u);
+  MLLIBSTAR_CHECK_LT(fold, num_folds);
+  TrainTestSplit split{Dataset(data.num_features(), data.name() + "/train"),
+                       Dataset(data.num_features(), data.name() + "/test")};
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (i % num_folds == fold) {
+      split.test.Add(data.point(i));
+    } else {
+      split.train.Add(data.point(i));
+    }
+  }
+  return split;
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,90 @@
+#ifndef MLLIBSTAR_ENGINE_SHUFFLE_H_
+#define MLLIBSTAR_ENGINE_SHUFFLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "engine/spark_cluster.h"
+
+namespace mllibstar {
+
+/// One shuffle message: `bytes` of payload from its producing worker
+/// to `dest`, carrying a host-side value of type T.
+template <typename T>
+struct ShuffleMessage {
+  size_t dest = 0;
+  uint64_t bytes = 0;
+  T value;
+};
+
+/// A typed all-to-all exchange with per-link timing: every worker
+/// produces messages (possibly of different sizes — skewed shuffles
+/// are the norm), the engine routes the values host-side, and each
+/// worker's outbound/inbound link is charged for exactly the bytes it
+/// produced/received. The full-duplex completion time per worker is
+/// max(outbound, inbound) from the barrier at which the map outputs
+/// are ready — unlike the uniform ShuffleAllToAll, a skewed exchange
+/// finishes when its most loaded link does.
+///
+/// Returns, for each worker, the values addressed to it (in producer
+/// order). This is the primitive MLlib*'s Reduce-Scatter and AllGather
+/// are instances of (paper Figure 2b).
+template <typename T>
+std::vector<std::vector<T>> ShuffleExchange(
+    SparkCluster* cluster,
+    std::vector<std::vector<ShuffleMessage<T>>> outgoing,
+    const std::string& detail) {
+  MLLIBSTAR_CHECK(cluster != nullptr);
+  const size_t k = cluster->num_workers();
+  MLLIBSTAR_CHECK_EQ(outgoing.size(), k);
+
+  // Per-direction byte loads (self-sends are free: no network hop).
+  std::vector<uint64_t> out_bytes(k, 0);
+  std::vector<uint64_t> in_bytes(k, 0);
+  std::vector<std::vector<T>> received(k);
+  uint64_t total_bytes = 0;
+  for (size_t src = 0; src < k; ++src) {
+    for (ShuffleMessage<T>& msg : outgoing[src]) {
+      MLLIBSTAR_CHECK_LT(msg.dest, k);
+      if (msg.dest != src) {
+        out_bytes[src] += msg.bytes;
+        in_bytes[msg.dest] += msg.bytes;
+        total_bytes += msg.bytes;
+      }
+      received[msg.dest].push_back(std::move(msg.value));
+    }
+  }
+
+  // The shuffle fetch starts once every map output exists (stage
+  // boundary), then each link drains its own load.
+  SimCluster& sim = cluster->sim();
+  const NetworkModel& net = cluster->network();
+  SimTime start = 0.0;
+  for (size_t r = 0; r < k; ++r) {
+    start = std::max(start, sim.worker(r).clock);
+  }
+  for (size_t r = 0; r < k; ++r) {
+    SimNode& worker = sim.worker(r);
+    if (worker.clock < start) {
+      sim.trace().Record(worker.name, worker.clock, start,
+                         ActivityKind::kWait, detail + "/fetch-wait");
+      worker.clock = start;
+    }
+    const uint64_t link_bytes = std::max(out_bytes[r], in_bytes[r]);
+    if (link_bytes > 0) {
+      const SimTime end =
+          start + net.latency() +
+          static_cast<double>(link_bytes) / net.bandwidth();
+      sim.trace().Record(worker.name, worker.clock, end,
+                         ActivityKind::kCommunicate, detail + "/shuffle");
+      worker.clock = end;
+    }
+  }
+  cluster->AddShuffledBytes(total_bytes);
+  return received;
+}
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_ENGINE_SHUFFLE_H_

@@ -1,0 +1,191 @@
+#include "engine/spark_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mllibstar {
+
+SparkCluster::SparkCluster(const ClusterConfig& config) : sim_(config) {}
+
+void SparkCluster::BeginStage(const std::string& label) {
+  trace().MarkStage(Barrier(), label);
+}
+
+void SparkCluster::RunOnWorkers(const std::string& detail,
+                                const std::function<uint64_t(size_t)>& fn) {
+  for (size_t r = 0; r < num_workers(); ++r) {
+    const uint64_t work = fn(r);
+    SimNode& worker = sim_.worker(r);
+    // Spark lineage recovery: a failed task re-executes from its
+    // cached partition after a scheduling delay. The host-side result
+    // is unaffected (the retry recomputes the same thing); only the
+    // virtual clock pays.
+    while (sim_.NextTaskFailure()) {
+      const SimTime fail_at = worker.clock + sim_.config().task_restart_seconds;
+      trace().Record(worker.name, worker.clock, fail_at, ActivityKind::kWait,
+                     detail + "/task-retry");
+      worker.clock = fail_at;
+      sim_.Compute(&worker, work, detail + "/retry");
+    }
+    sim_.Compute(&worker, work, detail);
+  }
+}
+
+void SparkCluster::RunOnDriver(const std::string& detail,
+                               uint64_t work_units) {
+  sim_.ComputeExact(&sim_.driver(), work_units, ActivityKind::kUpdate,
+                    detail);
+}
+
+void SparkCluster::TreeAggregate(uint64_t bytes, size_t num_aggregators,
+                                 uint64_t merge_work_units,
+                                 const std::string& detail) {
+  const size_t k = num_workers();
+  num_aggregators = std::clamp<size_t>(num_aggregators, 1, k);
+  const NetworkModel& net = sim_.network();
+  // Level 1 moves (k - g) payloads, level 2 moves g: k total.
+  total_bytes_ += bytes * k;
+
+  // Group workers round-robin onto aggregators (workers [0, g) act as
+  // the intermediate aggregators themselves, like MLlib reusing
+  // executors).
+  for (size_t g = 0; g < num_aggregators; ++g) {
+    SimNode& agg = sim_.worker(g);
+    // Senders in this group, excluding the aggregator itself.
+    size_t senders = 0;
+    SimTime last_sender_ready = agg.clock;
+    for (size_t r = g; r < k; r += num_aggregators) {
+      if (r == g) continue;
+      SimNode& sender = sim_.worker(r);
+      const SimTime send_end = sender.clock + net.TransferTime(bytes);
+      trace().Record(sender.name, sender.clock, send_end,
+                     ActivityKind::kCommunicate, detail + "/send");
+      sender.clock = send_end;
+      last_sender_ready = std::max(last_sender_ready, sender.clock);
+      ++senders;
+    }
+    if (senders > 0) {
+      // The aggregator's inbound link serializes the payloads; the
+      // earliest it can finish is when the slowest sender is done.
+      const SimTime recv_start = std::max(agg.clock, last_sender_ready -
+                                                         net.TransferTime(
+                                                             bytes));
+      const SimTime recv_end =
+          std::max(last_sender_ready,
+                   recv_start + net.SerializedTransferTime(bytes, senders));
+      trace().Record(agg.name, agg.clock, recv_end,
+                     ActivityKind::kCommunicate, detail + "/recv");
+      agg.clock = recv_end;
+      sim_.ComputeExact(&agg, merge_work_units * senders,
+                        ActivityKind::kAggregate, detail + "/merge");
+    }
+  }
+
+  // Aggregators forward their partial aggregate to the driver; the
+  // driver's inbound link serializes them.
+  SimNode& driver = sim_.driver();
+  SimTime last_ready = driver.clock;
+  for (size_t g = 0; g < num_aggregators; ++g) {
+    SimNode& agg = sim_.worker(g);
+    const SimTime send_end = agg.clock + net.TransferTime(bytes);
+    trace().Record(agg.name, agg.clock, send_end, ActivityKind::kCommunicate,
+                   detail + "/to-driver");
+    agg.clock = send_end;
+    last_ready = std::max(last_ready, agg.clock);
+  }
+  const SimTime recv_start =
+      std::max(driver.clock, last_ready - net.TransferTime(bytes));
+  const SimTime recv_end = std::max(
+      last_ready,
+      recv_start + net.SerializedTransferTime(bytes, num_aggregators));
+  trace().Record(driver.name, driver.clock, recv_end,
+                 ActivityKind::kCommunicate, detail + "/gather");
+  driver.clock = recv_end;
+  sim_.ComputeExact(&driver, merge_work_units * num_aggregators,
+                    ActivityKind::kAggregate, detail + "/final-merge");
+}
+
+void SparkCluster::Broadcast(uint64_t bytes, BroadcastMode mode,
+                             const std::string& detail) {
+  const size_t k = num_workers();
+  const NetworkModel& net = sim_.network();
+  SimNode& driver = sim_.driver();
+  const SimTime start = driver.clock;
+  total_bytes_ += bytes * k;
+
+  switch (mode) {
+    case BroadcastMode::kDriverSequential: {
+      // The driver's outbound link pushes k copies back-to-back;
+      // worker i's copy lands after i+1 payloads.
+      for (size_t r = 0; r < k; ++r) {
+        SimNode& w = sim_.worker(r);
+        const SimTime arrive =
+            start + net.latency() +
+            static_cast<double>(bytes) * static_cast<double>(r + 1) /
+                net.bandwidth();
+        const SimTime recv_start = std::max(w.clock, start);
+        const SimTime recv_end = std::max(arrive, recv_start);
+        trace().Record(w.name, recv_start, recv_end,
+                       ActivityKind::kCommunicate, detail + "/recv");
+        w.clock = recv_end;
+      }
+      const SimTime send_end = start + net.SerializedTransferTime(bytes, k);
+      trace().Record(driver.name, start, send_end,
+                     ActivityKind::kCommunicate, detail + "/send");
+      driver.clock = send_end;
+      break;
+    }
+    case BroadcastMode::kTorrent: {
+      // Doubling rounds: after ceil(log2(k+1)) rounds every node has
+      // the payload; each round costs one point-to-point transfer.
+      const double rounds =
+          std::ceil(std::log2(static_cast<double>(k) + 1.0));
+      const SimTime done = start + rounds * net.TransferTime(bytes);
+      for (size_t r = 0; r < k; ++r) {
+        SimNode& w = sim_.worker(r);
+        const SimTime recv_start = std::max(w.clock, start);
+        const SimTime recv_end = std::max(done, recv_start);
+        trace().Record(w.name, recv_start, recv_end,
+                       ActivityKind::kCommunicate, detail + "/recv");
+        w.clock = recv_end;
+      }
+      const SimTime send_end = start + net.TransferTime(bytes);
+      trace().Record(driver.name, start, send_end,
+                     ActivityKind::kCommunicate, detail + "/seed");
+      driver.clock = send_end;
+      break;
+    }
+  }
+}
+
+void SparkCluster::ShuffleAllToAll(uint64_t bytes_per_peer,
+                                   const std::string& detail) {
+  const size_t k = num_workers();
+  if (k <= 1) return;
+  const NetworkModel& net = sim_.network();
+  total_bytes_ += bytes_per_peer * k * (k - 1);
+
+  // Shuffle fetch starts once all map outputs exist (stage boundary),
+  // then every link moves (k-1) payloads; sends and receives overlap
+  // on full-duplex links.
+  const SimTime start = sim_.MaxWorkerClock();
+  const SimTime end =
+      start + net.SerializedTransferTime(bytes_per_peer, k - 1);
+  for (size_t r = 0; r < k; ++r) {
+    SimNode& w = sim_.worker(r);
+    if (w.clock < start) {
+      trace().Record(w.name, w.clock, start, ActivityKind::kWait,
+                     detail + "/fetch-wait");
+      w.clock = start;
+    }
+    trace().Record(w.name, w.clock, end, ActivityKind::kCommunicate,
+                   detail + "/shuffle");
+    w.clock = end;
+  }
+}
+
+SimTime SparkCluster::Barrier() { return sim_.Barrier(); }
+
+}  // namespace mllibstar

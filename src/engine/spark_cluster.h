@@ -1,0 +1,88 @@
+#ifndef MLLIBSTAR_ENGINE_SPARK_CLUSTER_H_
+#define MLLIBSTAR_ENGINE_SPARK_CLUSTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/cluster_config.h"
+#include "sim/sim_cluster.h"
+#include "sim/trace.h"
+
+namespace mllibstar {
+
+/// How the driver ships the model to the executors.
+enum class BroadcastMode {
+  kDriverSequential,  ///< driver's link serializes k copies (the bottleneck)
+  kTorrent,           ///< BitTorrent-style: ~log2(k) pipelined rounds
+};
+
+/// A Spark-like BSP cluster: one driver plus executors, with the
+/// primitives MLlib's MGD uses (per-stage worker tasks, treeAggregate,
+/// broadcast) and the shuffle from which MLlib* composes
+/// Reduce-Scatter and AllGather (paper Figure 2b).
+///
+/// The engine only accounts virtual time and traces activity; the
+/// actual gradient/model arithmetic runs host-side in the trainers.
+/// This mirrors the paper's implementation strategy: MLlib* changes
+/// no Spark internals, it only composes existing primitives.
+class SparkCluster {
+ public:
+  explicit SparkCluster(const ClusterConfig& config);
+
+  size_t num_workers() const { return sim_.num_workers(); }
+  SimCluster& sim() { return sim_; }
+  TraceLog& trace() { return sim_.trace(); }
+  const NetworkModel& network() const { return sim_.network(); }
+
+  /// Marks the start of a new Spark stage (the red vertical lines in
+  /// Figure 3) at the current barrier time.
+  void BeginStage(const std::string& label);
+
+  /// Runs `fn(worker_index)` for every worker. `fn` performs the real
+  /// computation host-side and returns the work units to charge; the
+  /// worker's virtual clock advances by units/speed (with straggler
+  /// jitter).
+  void RunOnWorkers(const std::string& detail,
+                    const std::function<uint64_t(size_t)>& fn);
+
+  /// Charges `work_units` to the driver (model update bookkeeping).
+  void RunOnDriver(const std::string& detail, uint64_t work_units);
+
+  /// Every worker sends `bytes` toward the driver through a two-level
+  /// tree with `num_aggregators` intermediate executors (MLlib's
+  /// treeAggregate). Aggregators each charge `merge_work_units` of
+  /// combining work. Ends with the driver holding the aggregate.
+  void TreeAggregate(uint64_t bytes, size_t num_aggregators,
+                     uint64_t merge_work_units, const std::string& detail);
+
+  /// Driver sends `bytes` to every worker.
+  void Broadcast(uint64_t bytes, BroadcastMode mode,
+                 const std::string& detail);
+
+  /// All-to-all shuffle: every worker sends `bytes_per_peer` to each
+  /// of the other k-1 workers (full-duplex links, so inbound and
+  /// outbound overlap). Both MLlib* phases use this.
+  void ShuffleAllToAll(uint64_t bytes_per_peer, const std::string& detail);
+
+  /// BSP barrier across driver + workers; returns the barrier time.
+  SimTime Barrier();
+
+  /// Current global simulated time.
+  SimTime Now() const { return sim_.Now(); }
+
+  /// Total bytes moved by all collectives so far (the paper's "2km
+  /// per communication step" accounting).
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Byte accounting hook for the typed ShuffleExchange (engine/shuffle.h).
+  void AddShuffledBytes(uint64_t bytes) { total_bytes_ += bytes; }
+
+ private:
+  SimCluster sim_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_ENGINE_SPARK_CLUSTER_H_

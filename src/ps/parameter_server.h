@@ -1,0 +1,119 @@
+#ifndef MLLIBSTAR_PS_PARAMETER_SERVER_H_
+#define MLLIBSTAR_PS_PARAMETER_SERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/vector.h"
+#include "sim/sim_cluster.h"
+
+namespace mllibstar {
+
+/// Consistency schemes a parameter server can enforce between workers
+/// (paper Section III-B).
+enum class ConsistencyKind {
+  kBsp,  ///< barrier every round
+  kSsp,  ///< a worker may lead the slowest by at most `staleness` rounds
+  kAsp,  ///< no coordination
+};
+
+/// How the server combines worker contributions (paper Section IV-B1
+/// remark: Petuum uses summation, MLlib*/Petuum* use averaging).
+enum class PsAggregation {
+  kSumDeltas,      ///< w += Σ_r (w_r − w_pulled_r), applied as pushes land
+  kAverageModels,  ///< w ← (1/k) Σ_r w_r at the end of each round
+};
+
+/// Configuration of the parameter-server tier.
+struct PsConfig {
+  size_t num_shards = 2;
+  ConsistencyKind consistency = ConsistencyKind::kBsp;
+  int staleness = 0;  ///< only used by kSsp
+  PsAggregation aggregation = PsAggregation::kSumDeltas;
+  /// Multiplier applied to pushed deltas in kSumDeltas mode (real
+  /// systems normalize by worker count or batch size; 1.0 = raw sum).
+  double delta_scale = 1.0;
+  /// Workers pull only the coordinates their partition touches
+  /// (Angel's feature-filtered pull) instead of the dense model.
+  bool sparse_pull = false;
+};
+
+/// The global model sharded across server nodes, plus the timing model
+/// for pull/push traffic (paper Figure 2c).
+///
+/// As everywhere in this codebase, the numeric state lives host-side
+/// in one place; the shards exist to model queueing: each shard's
+/// link serializes the requests it serves, which is exactly why a
+/// parameter server beats a single driver — the same bytes spread
+/// over `num_shards` links.
+class PsContext {
+ public:
+  /// `sim` must outlive this context and have been built with
+  /// config.num_shards server nodes.
+  PsContext(SimCluster* sim, size_t dim, const PsConfig& config);
+
+  const PsConfig& config() const { return config_; }
+  size_t dim() const { return model_.dim(); }
+
+  const DenseVector& model() const { return model_; }
+  DenseVector* mutable_model() { return &model_; }
+
+  /// Charges the time for `worker` to pull the full model (one
+  /// request per shard, shard links serve in parallel, the worker's
+  /// inbound link is the floor). Returns the completion time and
+  /// advances the worker and shard clocks. The `bytes` overload pulls
+  /// a filtered slice (sparse_pull).
+  SimTime TimePull(SimNode* worker);
+  SimTime TimePull(SimNode* worker, uint64_t bytes);
+
+  /// Charges the time for `worker` to push an update of `bytes`
+  /// (sparse updates are cheaper — real PS clients ship index/value
+  /// pairs), including the shards' apply work. Returns the completion
+  /// time. The overload without `bytes` pushes a dense full model.
+  SimTime TimePush(SimNode* worker, uint64_t bytes);
+  SimTime TimePush(SimNode* worker);
+
+  /// Wire size of a sparse update with `nnz` nonzeros out of `dim`
+  /// coordinates: 12 bytes per entry (4-byte index + 8-byte value),
+  /// never more than the dense encoding.
+  static uint64_t SparseUpdateBytes(size_t nnz, size_t dim);
+
+  /// kSumDeltas: applies `delta` (scaled by config.delta_scale) to the
+  /// global model immediately, in push order.
+  void ApplyDelta(const DenseVector& delta);
+
+  /// kAverageModels: stages one worker's local model for this round.
+  void AccumulateForAverage(const DenseVector& local_model);
+
+  /// kAverageModels: replaces the global model with the average of the
+  /// staged models and clears the stage. No-op if nothing was staged.
+  void FinalizeAverage();
+
+  /// Total bytes moved through the server tier so far.
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  SimTime TimeTransfer(SimNode* worker, uint64_t total_bytes, bool is_pull,
+                       const std::string& detail);
+
+  SimCluster* sim_;
+  PsConfig config_;
+  DenseVector model_;
+  DenseVector average_accumulator_;
+  size_t staged_models_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+/// Returns the virtual time at which a worker may start round `round`
+/// under the given consistency model, given each worker's completion
+/// time per finished round. `finish_times[r][t]` is worker r's
+/// completion time of round t; rounds not yet run are absent.
+SimTime ConsistencyStartTime(ConsistencyKind kind, int staleness,
+                             size_t worker, int round,
+                             const std::vector<std::vector<SimTime>>&
+                                 finish_times);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_PS_PARAMETER_SERVER_H_

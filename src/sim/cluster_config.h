@@ -1,0 +1,52 @@
+#ifndef MLLIBSTAR_SIM_CLUSTER_CONFIG_H_
+#define MLLIBSTAR_SIM_CLUSTER_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mllibstar {
+
+/// Static description of a simulated cluster.
+///
+/// `compute_speed` is in "work units" per second, where one unit is
+/// one sparse coordinate touched (core::ComputeStats::nnz_processed).
+/// The presets calibrate it so that compute and communication are on
+/// the same footing as in the paper's gantt charts at the synthetic
+/// datasets' 1/1000 scale.
+struct ClusterConfig {
+  size_t num_workers = 8;
+  size_t num_servers = 0;      ///< parameter-server shards (PS runs only)
+  double latency_sec = 1e-3;   ///< per-message network latency
+  double bandwidth_bytes_per_sec = 125e6 * 1e-3;  ///< per-link (see presets)
+  double compute_speed = 5e6;  ///< work units per second per node
+  /// Cores a parameter-server shard applies updates with (updates to
+  /// disjoint model ranges apply in parallel on real servers).
+  size_t server_cores = 16;
+  double straggler_sigma = 0.05;  ///< lognormal sigma of per-task jitter
+  /// Static per-node speed multipliers, cycled over the workers (e.g.
+  /// {1.0, 1.0, 0.5} makes every third worker half-speed). Empty =
+  /// homogeneous. Models persistent heterogeneity, on top of the
+  /// per-task jitter above.
+  std::vector<double> node_speed_factors;
+  /// Probability that one worker task fails and is re-executed from
+  /// its cached input (Spark's lineage recovery). The retry costs the
+  /// task's work again plus task_restart_seconds of scheduling delay.
+  double task_failure_prob = 0.0;
+  double task_restart_seconds = 1.0;
+  uint64_t seed = 7;
+
+  /// The paper's Cluster 1: 9 nodes (1 driver + 8 executors) on a
+  /// 1 Gbps network. Bandwidth is scaled by the same 1/1000 factor as
+  /// the synthetic datasets so that bytes-per-model / bandwidth keeps
+  /// the paper's proportions; compute speed is calibrated to match.
+  static ClusterConfig Cluster1(size_t workers = 8);
+
+  /// The paper's Cluster 2: large, 10 Gbps, heterogeneous machines
+  /// (high per-task variance — the straggler effect of Figure 6).
+  static ClusterConfig Cluster2(size_t workers);
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_SIM_CLUSTER_CONFIG_H_

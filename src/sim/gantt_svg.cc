@@ -1,0 +1,129 @@
+#include "sim/gantt_svg.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace mllibstar {
+namespace {
+
+const char* ActivityColor(ActivityKind kind) {
+  switch (kind) {
+    case ActivityKind::kCompute:
+      return "#4c9f70";  // green
+    case ActivityKind::kCommunicate:
+      return "#4878cf";  // blue
+    case ActivityKind::kAggregate:
+      return "#e0a83c";  // amber
+    case ActivityKind::kUpdate:
+      return "#b05bbf";  // purple
+    case ActivityKind::kWait:
+      return "#d8d8d8";  // light gray
+  }
+  return "#000000";
+}
+
+}  // namespace
+
+std::string RenderGanttSvg(const TraceLog& trace,
+                           const GanttSvgOptions& options) {
+  const SimTime total = trace.EndTime();
+  std::vector<std::string> nodes;
+  for (const TraceEvent& e : trace.events()) {
+    if (std::find(nodes.begin(), nodes.end(), e.node) == nodes.end()) {
+      nodes.push_back(e.node);
+    }
+  }
+
+  const int header = options.title.empty() ? 10 : 34;
+  const int axis_height = 24;
+  const int chart_width = options.width_px - options.label_width_px - 10;
+  const int height = header +
+                     static_cast<int>(nodes.size()) * options.row_height_px +
+                     axis_height;
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+     << options.width_px << "\" height=\"" << height
+     << "\" font-family=\"sans-serif\" font-size=\"11\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!options.title.empty()) {
+    os << "<text x=\"" << options.width_px / 2
+       << "\" y=\"18\" text-anchor=\"middle\" font-size=\"14\">"
+       << options.title << "</text>\n";
+  }
+  if (total <= 0.0 || nodes.empty()) {
+    os << "</svg>\n";
+    return os.str();
+  }
+
+  const double scale = static_cast<double>(chart_width) / total;
+  auto x_of = [&](SimTime t) {
+    return options.label_width_px + t * scale;
+  };
+  auto row_of = [&](const std::string& node) {
+    const auto it = std::find(nodes.begin(), nodes.end(), node);
+    return header + static_cast<int>(it - nodes.begin()) *
+                        options.row_height_px;
+  };
+
+  // Row labels and separators.
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const int y = header + static_cast<int>(i) * options.row_height_px;
+    os << "<text x=\"4\" y=\"" << y + options.row_height_px - 7 << "\">"
+       << nodes[i] << "</text>\n";
+  }
+
+  // Activity bars.
+  for (const TraceEvent& e : trace.events()) {
+    const double x = x_of(e.start);
+    const double w = std::max(0.5, (e.end - e.start) * scale);
+    os << "<rect x=\"" << FormatDouble(x, 6) << "\" y=\""
+       << row_of(e.node) + 2 << "\" width=\"" << FormatDouble(w, 6)
+       << "\" height=\"" << options.row_height_px - 4 << "\" fill=\""
+       << ActivityColor(e.kind) << "\"><title>" << e.detail << " ["
+       << FormatDouble(e.start, 5) << "s, " << FormatDouble(e.end, 5)
+       << "s]</title></rect>\n";
+  }
+
+  // Stage boundaries (the red vertical lines of Figure 3).
+  if (options.draw_stage_lines) {
+    const int y0 = header;
+    const int y1 =
+        header + static_cast<int>(nodes.size()) * options.row_height_px;
+    for (const auto& [time, label] : trace.stages()) {
+      const double x = x_of(time);
+      os << "<line x1=\"" << FormatDouble(x, 6) << "\" y1=\"" << y0
+         << "\" x2=\"" << FormatDouble(x, 6) << "\" y2=\"" << y1
+         << "\" stroke=\"#cc3333\" stroke-width=\"1\"><title>" << label
+         << "</title></line>\n";
+    }
+  }
+
+  // Time axis.
+  const int axis_y =
+      header + static_cast<int>(nodes.size()) * options.row_height_px + 14;
+  os << "<text x=\"" << options.label_width_px << "\" y=\"" << axis_y
+     << "\">0s</text>\n";
+  os << "<text x=\"" << options.width_px - 10 << "\" y=\"" << axis_y
+     << "\" text-anchor=\"end\">" << FormatDouble(total, 5)
+     << "s</text>\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+Status WriteGanttSvg(const TraceLog& trace, const std::string& path,
+                     const GanttSvgOptions& options) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << RenderGanttSvg(trace, options);
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace mllibstar

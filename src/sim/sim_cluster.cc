@@ -1,0 +1,96 @@
+#include "sim/sim_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mllibstar {
+
+SimCluster::SimCluster(const ClusterConfig& config)
+    : config_(config),
+      network_(config.latency_sec, config.bandwidth_bytes_per_sec),
+      jitter_rng_(config.seed) {
+  MLLIBSTAR_CHECK_GT(config.num_workers, 0u);
+  MLLIBSTAR_CHECK_GT(config.compute_speed, 0.0);
+  driver_.name = "driver";
+  driver_.compute_speed = config.compute_speed;
+  workers_.resize(config.num_workers);
+  for (size_t i = 0; i < config.num_workers; ++i) {
+    workers_[i].name = "executor" + std::to_string(i + 1);
+    double factor = 1.0;
+    if (!config.node_speed_factors.empty()) {
+      factor = config.node_speed_factors[i % config.node_speed_factors.size()];
+      MLLIBSTAR_CHECK_GT(factor, 0.0);
+    }
+    workers_[i].compute_speed = config.compute_speed * factor;
+  }
+  servers_.resize(config.num_servers);
+  for (size_t i = 0; i < config.num_servers; ++i) {
+    servers_[i].name = "server" + std::to_string(i + 1);
+    servers_[i].compute_speed = config.compute_speed;
+  }
+}
+
+SimTime SimCluster::Compute(SimNode* node, uint64_t work_units,
+                            const std::string& detail) {
+  const double jitter = NextJitter();
+  const double seconds =
+      static_cast<double>(work_units) / node->compute_speed * jitter;
+  const SimTime start = node->clock;
+  node->clock += seconds;
+  trace_.Record(node->name, start, node->clock, ActivityKind::kCompute,
+                detail);
+  return node->clock;
+}
+
+SimTime SimCluster::ComputeExact(SimNode* node, uint64_t work_units,
+                                 ActivityKind kind,
+                                 const std::string& detail) {
+  const double seconds =
+      static_cast<double>(work_units) / node->compute_speed;
+  const SimTime start = node->clock;
+  node->clock += seconds;
+  trace_.Record(node->name, start, node->clock, kind, detail);
+  return node->clock;
+}
+
+SimTime SimCluster::MaxWorkerClock() const {
+  SimTime latest = 0.0;
+  for (const SimNode& w : workers_) latest = std::max(latest, w.clock);
+  return latest;
+}
+
+void SimCluster::SyncWorkersTo(SimTime time) {
+  for (SimNode& w : workers_) {
+    if (w.clock < time) {
+      trace_.Record(w.name, w.clock, time, ActivityKind::kWait, "barrier");
+      w.clock = time;
+    }
+  }
+}
+
+SimTime SimCluster::Barrier() {
+  const SimTime latest = std::max(MaxWorkerClock(), driver_.clock);
+  SyncWorkersTo(latest);
+  if (driver_.clock < latest) driver_.clock = latest;
+  return latest;
+}
+
+SimTime SimCluster::Now() const {
+  SimTime latest = std::max(MaxWorkerClock(), driver_.clock);
+  for (const SimNode& s : servers_) latest = std::max(latest, s.clock);
+  return latest;
+}
+
+double SimCluster::NextJitter() {
+  if (config_.straggler_sigma <= 0.0) return 1.0;
+  return std::exp(config_.straggler_sigma * jitter_rng_.NextGaussian());
+}
+
+bool SimCluster::NextTaskFailure() {
+  if (config_.task_failure_prob <= 0.0) return false;
+  return jitter_rng_.NextBool(config_.task_failure_prob);
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,58 @@
+#include "train/estimators.h"
+
+#include <cmath>
+
+#include "core/model_io.h"
+
+namespace mllibstar {
+
+GlmEstimator::GlmEstimator(EstimatorOptions options, LossKind loss)
+    : options_(std::move(options)) {
+  options_.trainer.loss = loss;
+}
+
+Status GlmEstimator::Fit(const Dataset& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot fit on an empty dataset");
+  }
+  auto trainer = MakeTrainer(options_.system, options_.trainer);
+  if (trainer == nullptr) {
+    return Status::Internal("unknown system kind");
+  }
+  result_ = trainer->Train(data, options_.cluster);
+  if (result_.diverged) {
+    fitted_ = false;
+    return Status::FailedPrecondition(
+        "training diverged; lower the learning rate");
+  }
+  model_ = GlmModel(result_.final_weights);
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Status GlmEstimator::Save(const std::string& path) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("model not fitted");
+  }
+  return SaveModel(model_, path);
+}
+
+Status GlmEstimator::Load(const std::string& path) {
+  MLLIBSTAR_ASSIGN_OR_RETURN(GlmModel model, LoadModel(path));
+  model_ = std::move(model);
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double LogisticRegressionClassifier::PredictProbability(
+    const DataPoint& point) const {
+  const double margin = DecisionFunction(point);
+  // Stable sigmoid.
+  if (margin >= 0) {
+    return 1.0 / (1.0 + std::exp(-margin));
+  }
+  const double e = std::exp(margin);
+  return e / (1.0 + e);
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,112 @@
+#ifndef MLLIBSTAR_TRAIN_ESTIMATORS_H_
+#define MLLIBSTAR_TRAIN_ESTIMATORS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/metrics.h"
+#include "core/model.h"
+#include "train/trainer.h"
+
+namespace mllibstar {
+
+/// Options shared by the high-level estimators: which distributed
+/// system trains the model, on what (simulated) cluster, and the
+/// optimization knobs. Loss and default regularization are chosen by
+/// the concrete estimator.
+struct EstimatorOptions {
+  SystemKind system = SystemKind::kMllibStar;
+  ClusterConfig cluster = ClusterConfig::Cluster1();
+  TrainerConfig trainer;
+};
+
+/// Base for the scikit-style fit/predict wrappers over the trainers.
+/// Not intended for direct use — see SvmClassifier,
+/// LogisticRegressionClassifier, LinearRegression below.
+class GlmEstimator {
+ public:
+  virtual ~GlmEstimator() = default;
+
+  /// Trains on `data`. Returns FailedPrecondition when the run
+  /// diverged, InvalidArgument for empty data.
+  Status Fit(const Dataset& data);
+
+  bool fitted() const { return fitted_; }
+
+  /// Raw margin w·x. Requires fitted().
+  double DecisionFunction(const DataPoint& point) const {
+    return model_.Margin(point);
+  }
+
+  const GlmModel& model() const { return model_; }
+
+  /// Full outcome of the underlying training run (curve, trace, ...).
+  const TrainResult& train_result() const { return result_; }
+
+  /// Persists / restores the learned weights (core/model_io format).
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+ protected:
+  explicit GlmEstimator(EstimatorOptions options, LossKind loss);
+
+  EstimatorOptions options_;
+  GlmModel model_;
+  TrainResult result_;
+  bool fitted_ = false;
+};
+
+/// Linear SVM (hinge loss) — the paper's benchmark model.
+class SvmClassifier : public GlmEstimator {
+ public:
+  explicit SvmClassifier(EstimatorOptions options = {})
+      : GlmEstimator(std::move(options), LossKind::kHinge) {}
+
+  /// Predicted class in {-1, +1}.
+  double Predict(const DataPoint& point) const {
+    return DecisionFunction(point) >= 0.0 ? 1.0 : -1.0;
+  }
+
+  /// Accuracy / precision / recall / F1 / AUC on `data`.
+  ClassificationMetrics Evaluate(const Dataset& data) const {
+    return EvaluateClassifier(data.points(), model_.weights());
+  }
+};
+
+/// Logistic regression (log loss) with probability outputs.
+class LogisticRegressionClassifier : public GlmEstimator {
+ public:
+  explicit LogisticRegressionClassifier(EstimatorOptions options = {})
+      : GlmEstimator(std::move(options), LossKind::kLogistic) {}
+
+  double Predict(const DataPoint& point) const {
+    return DecisionFunction(point) >= 0.0 ? 1.0 : -1.0;
+  }
+
+  /// P(label = +1 | x) via the logistic link.
+  double PredictProbability(const DataPoint& point) const;
+
+  ClassificationMetrics Evaluate(const Dataset& data) const {
+    return EvaluateClassifier(data.points(), model_.weights());
+  }
+};
+
+/// Least-squares linear regression on real-valued labels.
+class LinearRegression : public GlmEstimator {
+ public:
+  explicit LinearRegression(EstimatorOptions options = {})
+      : GlmEstimator(std::move(options), LossKind::kSquared) {}
+
+  double Predict(const DataPoint& point) const {
+    return DecisionFunction(point);
+  }
+
+  /// Mean squared error on `data`.
+  double Evaluate(const Dataset& data) const {
+    return MeanSquaredError(data.points(), model_.weights());
+  }
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_TRAIN_ESTIMATORS_H_

@@ -1,0 +1,39 @@
+#ifndef MLLIBSTAR_TRAIN_GRID_SEARCH_H_
+#define MLLIBSTAR_TRAIN_GRID_SEARCH_H_
+
+#include <vector>
+
+#include "train/trainer.h"
+
+namespace mllibstar {
+
+/// Hyperparameter grid for one system (the paper tunes batch size,
+/// learning rate, and — for the PS systems — staleness by grid
+/// search, §V-A).
+struct GridSearchSpec {
+  std::vector<double> learning_rates = {0.01, 0.1, 1.0};
+  std::vector<double> batch_fractions = {0.001, 0.01, 0.1};
+  std::vector<int> stalenesses = {0};  ///< only applied to PS systems
+  /// Budget per candidate (overrides config.max_comm_steps).
+  int trial_comm_steps = 20;
+};
+
+/// Result of a grid search: the winning configuration and the
+/// objective it reached within the trial budget.
+struct GridSearchOutcome {
+  TrainerConfig best_config;
+  double best_objective = 0.0;
+  size_t candidates_evaluated = 0;
+};
+
+/// Exhaustively evaluates the grid for `kind`, starting from `base`
+/// (which supplies everything the grid does not vary), and returns
+/// the candidate with the lowest best-seen objective. Diverged runs
+/// are discarded.
+GridSearchOutcome GridSearch(SystemKind kind, const TrainerConfig& base,
+                             const GridSearchSpec& spec, const Dataset& data,
+                             const ClusterConfig& cluster);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_TRAIN_GRID_SEARCH_H_

@@ -1,0 +1,33 @@
+#ifndef MLLIBSTAR_TRAIN_LBFGS_TRAINER_H_
+#define MLLIBSTAR_TRAIN_LBFGS_TRAINER_H_
+
+#include <string>
+
+#include "train/trainer.h"
+
+namespace mllibstar {
+
+/// spark.ml-style distributed L-BFGS (the paper's §VII next step):
+/// the driver runs the L-BFGS iteration; every objective/gradient
+/// evaluation is one distributed pass — broadcast the candidate model,
+/// each executor computes its partition's full loss and gradient sums,
+/// and treeAggregate brings them back. Line-search backtracking steps
+/// therefore cost a whole extra cluster pass each, which is exactly
+/// the communication behavior spark.ml exhibits.
+///
+/// Requires a smooth loss (logistic or squared); hinge runs on its
+/// subgradient but without convergence guarantees.
+class MllibLbfgsTrainer final : public Trainer {
+ public:
+  explicit MllibLbfgsTrainer(TrainerConfig config)
+      : Trainer(std::move(config)) {}
+
+  std::string name() const override { return "mllib-lbfgs"; }
+
+  TrainResult Train(const Dataset& data,
+                    const ClusterConfig& cluster) override;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_TRAIN_LBFGS_TRAINER_H_

@@ -1,0 +1,293 @@
+#include "train/mllib_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/gd.h"
+#include "data/partition.h"
+#include "sim/network.h"
+
+namespace mllibstar {
+namespace {
+
+/// MLlib's default treeAggregate uses about sqrt(k) intermediate
+/// aggregators (depth 2).
+size_t DefaultAggregators(size_t k, size_t configured) {
+  if (configured > 0) return std::min(configured, k);
+  return std::max<size_t>(1, static_cast<size_t>(std::sqrt(
+                                 static_cast<double>(k))));
+}
+
+std::vector<Rng> WorkerRngs(uint64_t seed, size_t k) {
+  Rng root(seed);
+  std::vector<Rng> rngs;
+  rngs.reserve(k);
+  for (size_t r = 0; r < k; ++r) rngs.push_back(root.Fork());
+  return rngs;
+}
+
+size_t BatchSize(size_t partition_size, double fraction) {
+  if (partition_size == 0) return 0;
+  const double raw = fraction * static_cast<double>(partition_size);
+  return std::clamp<size_t>(static_cast<size_t>(raw), 1, partition_size);
+}
+
+}  // namespace
+
+TrainResult MllibTrainer::Train(const Dataset& data,
+                                const ClusterConfig& cluster) {
+  TrainResult result;
+  result.system = name();
+
+  SparkCluster spark(cluster);
+  const size_t k = spark.num_workers();
+  const size_t d = data.num_features();
+  const uint64_t model_bytes = NetworkModel::DenseBytes(d);
+  const size_t num_agg = DefaultAggregators(k, config().num_aggregators);
+
+  std::vector<std::vector<DataPoint>> partitions =
+      PartitionRoundRobin(data, k);
+  std::vector<Rng> rngs = WorkerRngs(config().seed, k);
+
+  DenseVector w(d);
+  std::vector<DenseVector> gradients(k, DenseVector(d));
+
+  result.curve.set_label(name());
+  result.curve.Add(0, 0.0, Eval(data, w));
+
+  for (int t = 0; t < config().max_comm_steps; ++t) {
+    spark.BeginStage("iteration " + std::to_string(t));
+
+    // (1) Driver broadcasts the current model.
+    spark.Broadcast(model_bytes, config().broadcast, "model-bcast");
+
+    // (2) Executors compute batch gradients at the received model.
+    size_t total_batch = 0;
+    spark.RunOnWorkers("gradient", [&](size_t r) -> uint64_t {
+      const std::vector<DataPoint>& part = partitions[r];
+      const size_t bsize = BatchSize(part.size(), config().batch_fraction);
+      if (bsize == 0) return 0;
+      const std::vector<size_t> batch =
+          SampleBatch(part.size(), bsize, &rngs[r]);
+      gradients[r].SetZero();
+      const ComputeStats stats =
+          AccumulateBatchGradient(part, batch, loss(), w, &gradients[r]);
+      total_batch += batch.size();
+      return stats.nnz_processed;
+    });
+
+    // (3) Gradients flow to the driver through treeAggregate.
+    spark.TreeAggregate(model_bytes, num_agg, d, "grad-agg");
+
+    // (4) The driver applies the single update of this step.
+    DenseVector gradient_sum(d);
+    for (const DenseVector& g : gradients) gradient_sum.AddScaled(g, 1.0);
+    const double lr = schedule().LrAt(t);
+    regularizer().ApplyGradientStep(&w, lr);
+    if (total_batch > 0) {
+      w.AddScaled(gradient_sum, -lr / static_cast<double>(total_batch));
+    }
+    spark.RunOnDriver("model-update", 2 * d);
+    ++result.total_model_updates;
+
+    const SimTime now = spark.Barrier();
+    if ((t + 1) % config().eval_every == 0 ||
+        t + 1 == config().max_comm_steps) {
+      const double objective = Eval(data, w);
+      result.curve.Add(t + 1, now, objective);
+      result.comm_steps = t + 1;
+      if (IsDiverged(objective)) {
+        result.diverged = true;
+        break;
+      }
+      if (ShouldStop(t + 1, now, objective)) break;
+    } else {
+      result.comm_steps = t + 1;
+    }
+  }
+
+  result.final_weights = std::move(w);
+  result.sim_seconds = spark.Now();
+  result.total_bytes = spark.total_bytes();
+  result.trace = std::move(spark.trace());
+  return result;
+}
+
+TrainResult MllibMaTrainer::Train(const Dataset& data,
+                                  const ClusterConfig& cluster) {
+  TrainResult result;
+  result.system = name();
+
+  SparkCluster spark(cluster);
+  const size_t k = spark.num_workers();
+  const size_t d = data.num_features();
+  const uint64_t model_bytes = NetworkModel::DenseBytes(d);
+  const size_t num_agg = DefaultAggregators(k, config().num_aggregators);
+
+  std::vector<std::vector<DataPoint>> partitions =
+      PartitionRoundRobin(data, k);
+  std::vector<Rng> rngs = WorkerRngs(config().seed, k);
+
+  DenseVector w(d);
+  std::vector<DenseVector> locals(k, DenseVector(d));
+  std::vector<std::unique_ptr<LocalOptimizer>> optimizers;
+  if (config().local_optimizer.kind != LocalOptimizerKind::kSgd) {
+    for (size_t r = 0; r < k; ++r) {
+      optimizers.push_back(MakeLocalOptimizer(config().local_optimizer, d));
+    }
+  }
+
+  result.curve.set_label(name());
+  result.curve.Add(0, 0.0, Eval(data, w));
+
+  for (int t = 0; t < config().max_comm_steps; ++t) {
+    spark.BeginStage("iteration " + std::to_string(t));
+
+    // (1) Driver broadcasts the current global model.
+    spark.Broadcast(model_bytes, config().broadcast, "model-bcast");
+
+    // (2) Executors run local SGD passes starting from it (SendModel).
+    const double lr = schedule().LrAt(t);
+    spark.RunOnWorkers("local-sgd", [&](size_t r) -> uint64_t {
+      locals[r] = w;
+      ComputeStats stats;
+      for (size_t e = 0; e < std::max<size_t>(1, config().local_epochs);
+           ++e) {
+        stats += optimizers.empty()
+                     ? LocalSgdEpoch(partitions[r], loss(), regularizer(),
+                                     lr, config().lazy_regularization,
+                                     &rngs[r], &locals[r])
+                     : LocalOptimizerEpoch(partitions[r], loss(),
+                                           regularizer(), lr,
+                                           optimizers[r].get(), &rngs[r],
+                                           &locals[r]);
+      }
+      result.total_model_updates += stats.model_updates;
+      return stats.nnz_processed;
+    });
+
+    // (3) Local models flow back through the same treeAggregate path.
+    spark.TreeAggregate(model_bytes, num_agg, d, "model-agg");
+
+    // (4) Driver averages them into the new global model.
+    w = Average(locals);
+    spark.RunOnDriver("model-average", d);
+
+    const SimTime now = spark.Barrier();
+    if ((t + 1) % config().eval_every == 0 ||
+        t + 1 == config().max_comm_steps) {
+      const double objective = Eval(data, w);
+      result.curve.Add(t + 1, now, objective);
+      result.comm_steps = t + 1;
+      if (IsDiverged(objective)) {
+        result.diverged = true;
+        break;
+      }
+      if (ShouldStop(t + 1, now, objective)) break;
+    } else {
+      result.comm_steps = t + 1;
+    }
+  }
+
+  result.final_weights = std::move(w);
+  result.sim_seconds = spark.Now();
+  result.total_bytes = spark.total_bytes();
+  result.trace = std::move(spark.trace());
+  return result;
+}
+
+TrainResult MllibStarTrainer::Train(const Dataset& data,
+                                    const ClusterConfig& cluster) {
+  TrainResult result;
+  result.system = name();
+
+  SparkCluster spark(cluster);
+  const size_t k = spark.num_workers();
+  const size_t d = data.num_features();
+  // Each shuffle moves one model partition (~d/k doubles) per peer pair.
+  const uint64_t partition_bytes =
+      NetworkModel::DenseBytes((d + k - 1) / k);
+
+  std::vector<std::vector<DataPoint>> partitions =
+      PartitionRoundRobin(data, k);
+  std::vector<Rng> rngs = WorkerRngs(config().seed, k);
+
+  // Every executor holds a full copy of the model; ownership of the
+  // k model ranges is logical (paper §IV-B2). Averaging range p over
+  // all workers and concatenating equals the full average, so the
+  // host-side math uses Average() directly while the engine charges
+  // the two shuffles.
+  DenseVector global(d);
+  std::vector<DenseVector> locals(k, DenseVector(d));
+  std::vector<std::unique_ptr<LocalOptimizer>> optimizers;
+  if (config().local_optimizer.kind != LocalOptimizerKind::kSgd) {
+    for (size_t r = 0; r < k; ++r) {
+      optimizers.push_back(MakeLocalOptimizer(config().local_optimizer, d));
+    }
+  }
+
+  result.curve.set_label(name());
+  result.curve.Add(0, 0.0, Eval(data, global));
+
+  for (int t = 0; t < config().max_comm_steps; ++t) {
+    spark.BeginStage("iteration " + std::to_string(t));
+
+    // (1) UpdateModel: local SGD passes over the whole partition.
+    const double lr = schedule().LrAt(t);
+    spark.RunOnWorkers("local-sgd", [&](size_t r) -> uint64_t {
+      ComputeStats stats;
+      for (size_t e = 0; e < std::max<size_t>(1, config().local_epochs);
+           ++e) {
+        stats += optimizers.empty()
+                     ? LocalSgdEpoch(partitions[r], loss(), regularizer(),
+                                     lr, config().lazy_regularization,
+                                     &rngs[r], &locals[r])
+                     : LocalOptimizerEpoch(partitions[r], loss(),
+                                           regularizer(), lr,
+                                           optimizers[r].get(), &rngs[r],
+                                           &locals[r]);
+      }
+      result.total_model_updates += stats.model_updates;
+      return stats.nnz_processed;
+    });
+
+    // (2) Reduce-Scatter: everyone ships the ranges it does not own to
+    // their owners, then averages the range it owns.
+    spark.ShuffleAllToAll(partition_bytes, "reduce-scatter");
+    for (size_t r = 0; r < k; ++r) {
+      // Averaging k contributions of d/k coordinates ~ d work units.
+      spark.sim().ComputeExact(&spark.sim().worker(r), d,
+                               ActivityKind::kAggregate, "range-average");
+    }
+    global = Average(locals);
+
+    // (3) AllGather: owners broadcast their averaged range; every
+    // executor reassembles the full model.
+    spark.ShuffleAllToAll(partition_bytes, "all-gather");
+    for (size_t r = 0; r < k; ++r) locals[r] = global;
+
+    const SimTime now = spark.Barrier();
+    if ((t + 1) % config().eval_every == 0 ||
+        t + 1 == config().max_comm_steps) {
+      const double objective = Eval(data, global);
+      result.curve.Add(t + 1, now, objective);
+      result.comm_steps = t + 1;
+      if (IsDiverged(objective)) {
+        result.diverged = true;
+        break;
+      }
+      if (ShouldStop(t + 1, now, objective)) break;
+    } else {
+      result.comm_steps = t + 1;
+    }
+  }
+
+  result.final_weights = std::move(global);
+  result.sim_seconds = spark.Now();
+  result.total_bytes = spark.total_bytes();
+  result.trace = std::move(spark.trace());
+  return result;
+}
+
+}  // namespace mllibstar

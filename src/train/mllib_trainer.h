@@ -1,0 +1,57 @@
+#ifndef MLLIBSTAR_TRAIN_MLLIB_TRAINER_H_
+#define MLLIBSTAR_TRAIN_MLLIB_TRAINER_H_
+
+#include <string>
+
+#include "train/trainer.h"
+
+namespace mllibstar {
+
+/// Baseline Spark MLlib mini-batch gradient descent (paper §III-A):
+/// SendGradient. Per communication step the driver broadcasts the
+/// model, every executor computes the gradient of a sampled batch of
+/// its partition, gradients flow back through treeAggregate, and the
+/// driver applies exactly one model update.
+class MllibTrainer final : public Trainer {
+ public:
+  explicit MllibTrainer(TrainerConfig config) : Trainer(std::move(config)) {}
+
+  std::string name() const override { return "mllib"; }
+
+  TrainResult Train(const Dataset& data,
+                    const ClusterConfig& cluster) override;
+};
+
+/// MLlib with the first fix only (paper Figure 3b): SendModel via
+/// model averaging, but still aggregated through treeAggregate and
+/// broadcast by the driver. Used to separate the contribution of the
+/// two techniques in Figure 4.
+class MllibMaTrainer final : public Trainer {
+ public:
+  explicit MllibMaTrainer(TrainerConfig config)
+      : Trainer(std::move(config)) {}
+
+  std::string name() const override { return "mllib+ma"; }
+
+  TrainResult Train(const Dataset& data,
+                    const ClusterConfig& cluster) override;
+};
+
+/// MLlib* (paper Algorithm 3): SendModel with model averaging, global
+/// model maintained by the executors themselves via the two-phase
+/// shuffle (Reduce-Scatter then AllGather). No driver on the data
+/// path.
+class MllibStarTrainer final : public Trainer {
+ public:
+  explicit MllibStarTrainer(TrainerConfig config)
+      : Trainer(std::move(config)) {}
+
+  std::string name() const override { return "mllib*"; }
+
+  TrainResult Train(const Dataset& data,
+                    const ClusterConfig& cluster) override;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_TRAIN_MLLIB_TRAINER_H_

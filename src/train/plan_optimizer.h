@@ -1,0 +1,54 @@
+#ifndef MLLIBSTAR_TRAIN_PLAN_OPTIMIZER_H_
+#define MLLIBSTAR_TRAIN_PLAN_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "sim/cluster_config.h"
+#include "train/trainer.h"
+
+namespace mllibstar {
+
+/// Analytic per-communication-step cost prediction for one system on
+/// one workload — the alpha-beta/work model the simulator itself uses,
+/// evaluated in closed form (no execution).
+struct PlanCost {
+  SystemKind system = SystemKind::kMllibStar;
+  double compute_seconds = 0.0;  ///< slowest worker's local compute
+  double network_seconds = 0.0;  ///< collectives / PS traffic
+  double driver_seconds = 0.0;   ///< serialized time at the driver
+  double step_seconds = 0.0;     ///< total per communication step
+  /// Local model updates bought by one communication step — the
+  /// SendGradient-vs-SendModel axis (paper §II-B).
+  double updates_per_step = 0.0;
+};
+
+/// A ranked recommendation: systems ordered by estimated time to make
+/// `target_updates` model updates (a proxy for equal optimization
+/// progress across SendModel-style systems; SendGradient systems are
+/// penalized by their single update per step).
+struct PlanRecommendation {
+  std::vector<PlanCost> ranked;  ///< best first
+  std::string rationale;         ///< human-readable explanation
+};
+
+/// Predicts the per-step cost of `system` on this workload/cluster
+/// without running anything. Mirrors the simulator's cost model:
+/// compute = nnz-work / speed, network = alpha-beta collectives,
+/// driver = serialized broadcast/gather (Spark) or 0 (AllReduce).
+PlanCost EstimateStepCost(SystemKind system, const DatasetStats& stats,
+                          const ClusterConfig& cluster,
+                          const TrainerConfig& config);
+
+/// Ranks the candidate systems for this workload (the cost-based
+/// optimizer idea of Kaoudi et al. [11], built on this repo's cost
+/// model). `target_updates` defaults to ~5 epochs of SGD updates.
+PlanRecommendation RecommendPlan(const DatasetStats& stats,
+                                 const ClusterConfig& cluster,
+                                 const TrainerConfig& config,
+                                 double target_updates = 0.0);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_TRAIN_PLAN_OPTIMIZER_H_

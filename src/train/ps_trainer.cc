@@ -1,0 +1,290 @@
+#include "train/ps_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <tuple>
+
+#include "common/logging.h"
+#include "core/gd.h"
+#include "data/partition.h"
+#include "sim/network.h"
+
+namespace mllibstar {
+namespace {
+
+size_t BatchSize(size_t partition_size, double fraction) {
+  if (partition_size == 0) return 0;
+  const double raw = fraction * static_cast<double>(partition_size);
+  return std::clamp<size_t>(static_cast<size_t>(raw), 1, partition_size);
+}
+
+}  // namespace
+
+PsTrainer::PsTrainer(Mode mode, TrainerConfig config)
+    : Trainer(std::move(config)), mode_(mode) {}
+
+std::string PsTrainer::name() const {
+  switch (mode_) {
+    case Mode::kPetuum:
+      return "petuum";
+    case Mode::kPetuumStar:
+      return "petuum*";
+    case Mode::kAngel:
+      return "angel";
+  }
+  return "ps";
+}
+
+// The PS systems run as a discrete-event simulation: each worker is a
+// state machine (pull -> compute -> push -> next round) and the
+// earliest pending event executes first, so a fast worker's
+// round-(t+1) pull is served before a straggler's round-t push — the
+// causal behavior that makes SSP/ASP actually pay off. Consistency
+// gates when a worker may *start* a round; the model a pull returns is
+// the live server state at pull time (summation mode) or the newest
+// finalized round average (averaging mode).
+TrainResult PsTrainer::Train(const Dataset& data,
+                             const ClusterConfig& cluster) {
+  TrainResult result;
+  result.system = name();
+
+  const size_t d = data.num_features();
+
+  // The aggregation scheme is what distinguishes the systems; the
+  // shard count and consistency come from the config.
+  PsConfig ps = config().ps;
+  switch (mode_) {
+    case Mode::kPetuum:
+      ps.aggregation = PsAggregation::kSumDeltas;
+      break;
+    case Mode::kPetuumStar:
+      ps.aggregation = PsAggregation::kAverageModels;
+      break;
+    case Mode::kAngel:
+      // Angel normalizes each worker's epoch update by the worker
+      // count when applying (otherwise k simultaneous epoch deltas
+      // overshoot), so the sum behaves like an average of deltas.
+      ps.aggregation = PsAggregation::kSumDeltas;
+      ps.delta_scale =
+          config().ps.delta_scale / static_cast<double>(cluster.num_workers);
+      break;
+  }
+
+  ClusterConfig cc = cluster;
+  cc.num_servers = ps.num_shards;
+  SimCluster sim(cc);
+  PsContext server(&sim, d, ps);
+
+  const size_t k = sim.num_workers();
+  std::vector<std::vector<DataPoint>> partitions =
+      PartitionRoundRobin(data, k);
+  Rng root(config().seed);
+  std::vector<Rng> rngs;
+  rngs.reserve(k);
+  for (size_t r = 0; r < k; ++r) rngs.push_back(root.Fork());
+
+  // Per-worker and per-round progress.
+  // Feature-filtered pulls: each worker only needs the coordinates its
+  // partition actually references (Angel's optimization). Computed
+  // once from the static partitioning.
+  std::vector<uint64_t> pull_bytes(k, NetworkModel::DenseBytes(d));
+  if (ps.sparse_pull) {
+    std::vector<bool> touched(d);
+    for (size_t r = 0; r < k; ++r) {
+      std::fill(touched.begin(), touched.end(), false);
+      size_t features = 0;
+      for (const DataPoint& p : partitions[r]) {
+        for (FeatureIndex j : p.features.indices) {
+          if (!touched[j]) {
+            touched[j] = true;
+            ++features;
+          }
+        }
+      }
+      pull_bytes[r] = PsContext::SparseUpdateBytes(features, d);
+    }
+  }
+
+  std::vector<std::vector<SimTime>> finish_times(k);
+  std::vector<int> rounds_done(k, 0);
+  std::vector<DenseVector> pending_delta(k);  // between pull and push
+  std::vector<size_t> round_pushes;           // pushes seen per round
+  std::vector<SimTime> round_end;             // latest push per round
+  std::vector<DenseVector> round_stage;       // averaging: delta sums
+
+  result.curve.set_label(name());
+  result.curve.Add(0, 0.0, Eval(data, server.model()));
+
+  // Runs the system-specific local computation, updating `*local` in
+  // place and returning the work done (paper §III-B differences).
+  auto local_compute = [&](size_t r, int round,
+                           DenseVector* local) -> ComputeStats {
+    const std::vector<DataPoint>& part = partitions[r];
+    const size_t bsize = BatchSize(part.size(), config().batch_fraction);
+    const double lr = schedule().LrAt(round);
+    ComputeStats stats;
+    if (bsize == 0) return stats;
+    switch (mode_) {
+      case Mode::kPetuum:
+      case Mode::kPetuumStar: {
+        if (regularizer().kind() == RegularizerKind::kNone) {
+          // Parallel SGD inside the batch: many updates per step.
+          const std::vector<size_t> batch =
+              SampleBatch(part.size(), bsize, &rngs[r]);
+          std::vector<DataPoint> batch_points;
+          batch_points.reserve(batch.size());
+          for (size_t idx : batch) batch_points.push_back(part[idx]);
+          stats = LocalSgdEpoch(batch_points, loss(), regularizer(), lr,
+                                config().lazy_regularization, &rngs[r],
+                                local);
+        } else {
+          // Nonzero regularization: one batch-GD update per step
+          // (dense regularizer updates are too expensive per point).
+          stats = LocalMiniBatchGd(part, loss(), regularizer(), lr, bsize,
+                                   /*num_batches=*/1, &rngs[r], local);
+        }
+        break;
+      }
+      case Mode::kAngel: {
+        // One epoch of batch GD locally, communicating once.
+        const size_t num_batches = (part.size() + bsize - 1) / bsize;
+        stats = LocalMiniBatchGd(part, loss(), regularizer(), lr, bsize,
+                                 num_batches, &rngs[r], local);
+        if (config().angel_allocation_overhead) {
+          // Allocating and collecting a dense gradient buffer per
+          // batch (paper §V-B2's memory/GC overhead).
+          stats.nnz_processed += num_batches * (d / 4);
+        }
+        break;
+      }
+    }
+    return stats;
+  };
+
+  // Event queue: (time, phase, worker), earliest first. Workers whose
+  // next round is blocked on the consistency barrier wait in `parked`
+  // and are reconsidered whenever any worker finishes a round.
+  enum Phase { kPull = 0, kPush = 1 };
+  using Event = std::tuple<SimTime, int, size_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  std::vector<size_t> parked;
+
+  int max_rounds = config().max_comm_steps;
+  int last_completed_round = 0;
+
+  // Schedules worker r's next pull if the consistency barrier for its
+  // round is already determined; parks it otherwise.
+  auto try_schedule_pull = [&](size_t r) {
+    const int round = rounds_done[r];
+    if (round >= max_rounds) return;
+    if (ps.consistency != ConsistencyKind::kAsp) {
+      const int gate =
+          round - 1 -
+          (ps.consistency == ConsistencyKind::kSsp ? ps.staleness : 0);
+      if (gate >= 0) {
+        for (size_t v = 0; v < k; ++v) {
+          if (rounds_done[v] <= gate) {
+            parked.push_back(r);
+            return;
+          }
+        }
+      }
+    }
+    const SimTime barrier = ConsistencyStartTime(
+        ps.consistency, ps.staleness, r, round, finish_times);
+    SimNode& node = sim.worker(r);
+    if (node.clock < barrier) {
+      sim.trace().Record(node.name, node.clock, barrier, ActivityKind::kWait,
+                         "consistency-wait");
+      node.clock = barrier;
+    }
+    queue.emplace(node.clock, kPull, r);
+  };
+
+  for (size_t r = 0; r < k; ++r) try_schedule_pull(r);
+
+  while (!queue.empty()) {
+    const auto [time, phase, r] = queue.top();
+    queue.pop();
+    SimNode& node = sim.worker(r);
+    const int round = rounds_done[r];
+
+    if (phase == kPull) {
+      server.TimePull(&node, pull_bytes[r]);
+      DenseVector local = server.model();
+      const DenseVector snapshot = local;
+      const ComputeStats stats = local_compute(r, round, &local);
+      result.total_model_updates += stats.model_updates;
+      sim.Compute(&node, stats.nnz_processed, "local-train");
+      local.AddScaled(snapshot, -1.0);  // local := delta
+      pending_delta[r] = std::move(local);
+      queue.emplace(node.clock, kPush, r);
+      continue;
+    }
+
+    // kPush: ship the delta (sparse index/value pairs on the wire).
+    DenseVector& delta = pending_delta[r];
+    const uint64_t push_bytes =
+        PsContext::SparseUpdateBytes(delta.CountNonZeros(), d);
+    server.TimePush(&node, push_bytes);
+    if (static_cast<size_t>(round) >= round_pushes.size()) {
+      round_pushes.resize(round + 1, 0);
+      round_end.resize(round + 1, 0.0);
+      if (ps.aggregation == PsAggregation::kAverageModels) {
+        round_stage.resize(round + 1, DenseVector(d));
+      }
+    }
+    if (ps.aggregation == PsAggregation::kSumDeltas) {
+      server.ApplyDelta(delta);
+    } else {
+      round_stage[round].AddScaled(delta, 1.0);
+    }
+    delta = DenseVector();  // release
+    ++round_pushes[round];
+    round_end[round] = std::max(round_end[round], node.clock);
+    finish_times[r].push_back(node.clock);
+    ++rounds_done[r];
+
+    if (round_pushes[round] == k) {
+      // The round is complete everywhere.
+      if (ps.aggregation == PsAggregation::kAverageModels) {
+        // New global model = old model + average of the k deltas.
+        round_stage[round].Scale(1.0 / static_cast<double>(k));
+        server.mutable_model()->AddScaled(round_stage[round], 1.0);
+        round_stage[round] = DenseVector();  // release
+      }
+      const int completed = round + 1;
+      last_completed_round = std::max(last_completed_round, completed);
+      if (completed % config().eval_every == 0 || completed >= max_rounds) {
+        const double objective = Eval(data, server.model());
+        result.curve.Add(completed, round_end[round], objective);
+        if (IsDiverged(objective)) {
+          result.diverged = true;
+          break;
+        }
+        if (ShouldStop(completed, round_end[round], objective)) {
+          max_rounds = std::min(max_rounds, completed);
+        }
+      }
+    }
+
+    // This push may have unblocked parked workers (the gate condition
+    // is per-worker progress, not whole-round completion).
+    std::vector<size_t> to_retry;
+    std::swap(parked, to_retry);
+    for (size_t v : to_retry) try_schedule_pull(v);
+    try_schedule_pull(r);
+  }
+
+  result.comm_steps = std::min(last_completed_round, max_rounds);
+  result.final_weights = server.model();
+  result.sim_seconds = sim.Now();
+  result.total_bytes = server.total_bytes();
+  result.trace = std::move(sim.trace());
+  return result;
+}
+
+}  // namespace mllibstar

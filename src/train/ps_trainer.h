@@ -1,0 +1,39 @@
+#ifndef MLLIBSTAR_TRAIN_PS_TRAINER_H_
+#define MLLIBSTAR_TRAIN_PS_TRAINER_H_
+
+#include <string>
+
+#include "train/trainer.h"
+
+namespace mllibstar {
+
+/// Parameter-server trainers (paper §III-B): Petuum, Petuum* and
+/// Angel on one substrate. The differences the paper calls out are
+/// exactly the knobs here:
+///
+///  * Petuum  — communicates every *batch*; parallel SGD inside the
+///    batch when the regularizer is zero, one batch-GD update
+///    otherwise; model *summation* at the servers (can diverge).
+///  * Petuum* — Petuum with model *averaging* (the paper's fix).
+///  * Angel   — communicates every *epoch*; always batch GD per batch
+///    locally; per-batch gradient-buffer allocation overhead models
+///    the JVM memory/GC cost the paper blames for Angel's small-batch
+///    inefficiency (§V-B2).
+class PsTrainer final : public Trainer {
+ public:
+  enum class Mode { kPetuum, kPetuumStar, kAngel };
+
+  PsTrainer(Mode mode, TrainerConfig config);
+
+  std::string name() const override;
+
+  TrainResult Train(const Dataset& data,
+                    const ClusterConfig& cluster) override;
+
+ private:
+  Mode mode_;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_TRAIN_PS_TRAINER_H_

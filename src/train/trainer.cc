@@ -1,0 +1,78 @@
+#include "train/trainer.h"
+
+#include <cmath>
+
+#include "train/lbfgs_trainer.h"
+#include "train/mllib_trainer.h"
+#include "train/ps_trainer.h"
+
+namespace mllibstar {
+
+std::string SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kMllib:
+      return "mllib";
+    case SystemKind::kMllibMa:
+      return "mllib+ma";
+    case SystemKind::kMllibStar:
+      return "mllib*";
+    case SystemKind::kPetuum:
+      return "petuum";
+    case SystemKind::kPetuumStar:
+      return "petuum*";
+    case SystemKind::kAngel:
+      return "angel";
+    case SystemKind::kMllibLbfgs:
+      return "mllib-lbfgs";
+  }
+  return "unknown";
+}
+
+Trainer::Trainer(TrainerConfig config)
+    : config_(std::move(config)),
+      loss_(MakeLoss(config_.loss)),
+      reg_(MakeRegularizer(config_.regularizer, config_.lambda)),
+      schedule_(config_.lr_schedule, config_.base_lr) {}
+
+double Trainer::Eval(const Dataset& data, const DenseVector& w) const {
+  return Objective(data.points(), *loss_, *reg_, w);
+}
+
+bool Trainer::ShouldStop(int step, SimTime now, double objective) const {
+  if (step >= config_.max_comm_steps) return true;
+  if (now >= config_.max_sim_seconds) return true;
+  if (config_.target_objective.has_value() &&
+      objective <= *config_.target_objective) {
+    return true;
+  }
+  return IsDiverged(objective);
+}
+
+bool Trainer::IsDiverged(double objective) {
+  return !std::isfinite(objective) || objective > 1e9;
+}
+
+std::unique_ptr<Trainer> MakeTrainer(SystemKind kind, TrainerConfig config) {
+  switch (kind) {
+    case SystemKind::kMllib:
+      return std::make_unique<MllibTrainer>(std::move(config));
+    case SystemKind::kMllibMa:
+      return std::make_unique<MllibMaTrainer>(std::move(config));
+    case SystemKind::kMllibStar:
+      return std::make_unique<MllibStarTrainer>(std::move(config));
+    case SystemKind::kPetuum:
+      return std::make_unique<PsTrainer>(PsTrainer::Mode::kPetuum,
+                                         std::move(config));
+    case SystemKind::kPetuumStar:
+      return std::make_unique<PsTrainer>(PsTrainer::Mode::kPetuumStar,
+                                         std::move(config));
+    case SystemKind::kAngel:
+      return std::make_unique<PsTrainer>(PsTrainer::Mode::kAngel,
+                                         std::move(config));
+    case SystemKind::kMllibLbfgs:
+      return std::make_unique<MllibLbfgsTrainer>(std::move(config));
+  }
+  return nullptr;
+}
+
+}  // namespace mllibstar

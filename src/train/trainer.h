@@ -1,0 +1,139 @@
+#ifndef MLLIBSTAR_TRAIN_TRAINER_H_
+#define MLLIBSTAR_TRAIN_TRAINER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/convergence.h"
+#include "core/local_optimizer.h"
+#include "core/loss.h"
+#include "core/lr_schedule.h"
+#include "core/model.h"
+#include "core/regularizer.h"
+#include "data/dataset.h"
+#include "engine/spark_cluster.h"
+#include "ps/parameter_server.h"
+#include "sim/cluster_config.h"
+#include "sim/trace.h"
+
+namespace mllibstar {
+
+/// The distributed training systems this library reproduces.
+enum class SystemKind {
+  kMllib,       ///< SendGradient + treeAggregate + driver update (§III-A)
+  kMllibMa,     ///< MLlib + model averaging, still driver-centric (§IV-B1)
+  kMllibStar,   ///< model averaging + Reduce-Scatter/AllGather (§IV-B2)
+  kPetuum,      ///< PS, per-batch communication, model summation (§III-B1)
+  kPetuumStar,  ///< Petuum with model averaging (paper's Petuum*)
+  kAngel,       ///< PS, per-epoch communication, batch GD locally (§III-B2)
+  kMllibLbfgs,  ///< spark.ml-style distributed L-BFGS (§VII next step)
+};
+
+/// Short identifier ("mllib", "mllib*", ...) used in bench output.
+std::string SystemName(SystemKind kind);
+
+/// Hyperparameters and run limits shared by every trainer. Fields that
+/// a given system does not use are ignored by it (e.g. `ps` for the
+/// Spark-based trainers).
+struct TrainerConfig {
+  // Objective.
+  LossKind loss = LossKind::kHinge;
+  RegularizerKind regularizer = RegularizerKind::kNone;
+  double lambda = 0.0;
+
+  // Optimization.
+  double base_lr = 0.1;
+  LrScheduleKind lr_schedule = LrScheduleKind::kInverseSqrt;
+  /// Mini-batch size as a fraction of each worker's partition
+  /// (MLlib's sampling fraction; Petuum/Angel's batch size).
+  double batch_fraction = 0.01;
+  /// Local passes over the partition per communication step for the
+  /// SendModel Spark trainers.
+  size_t local_epochs = 1;
+  /// Use the Bottou lazy/sparse trick for L2 in local SGD.
+  bool lazy_regularization = true;
+  /// Update rule for the SendModel trainers' local passes (kSgd
+  /// reproduces the paper; the adaptive rules are extensions).
+  LocalOptimizerConfig local_optimizer;
+
+  // Run limits.
+  int max_comm_steps = 100;
+  double max_sim_seconds = 1e18;
+  /// Stop once the evaluated objective reaches this value.
+  std::optional<double> target_objective;
+  int eval_every = 1;
+  uint64_t seed = 123;
+
+  // Spark engine knobs.
+  BroadcastMode broadcast = BroadcastMode::kDriverSequential;
+  /// Intermediate aggregators for treeAggregate; 0 = floor(sqrt(k)).
+  size_t num_aggregators = 0;
+
+  // Parameter-server knobs (Petuum/Petuum*/Angel).
+  PsConfig ps;
+  /// Model Angel's per-batch gradient-buffer allocation + GC overhead
+  /// (paper §V-B2); adds work proportional to the model size per batch.
+  bool angel_allocation_overhead = true;
+};
+
+/// Outcome of one training run.
+struct TrainResult {
+  std::string system;
+  ConvergenceCurve curve;
+  DenseVector final_weights;
+  int comm_steps = 0;
+  double sim_seconds = 0.0;
+  uint64_t total_bytes = 0;
+  uint64_t total_model_updates = 0;
+  bool diverged = false;
+  TraceLog trace;
+};
+
+/// Interface every system implements: train on `data` over a simulated
+/// `cluster`, recording an objective-vs-time curve.
+class Trainer {
+ public:
+  explicit Trainer(TrainerConfig config);
+  virtual ~Trainer() = default;
+
+  Trainer(const Trainer&) = delete;
+  Trainer& operator=(const Trainer&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Runs training to the configured limits. Deterministic given the
+  /// config seeds.
+  virtual TrainResult Train(const Dataset& data,
+                            const ClusterConfig& cluster) = 0;
+
+ protected:
+  const TrainerConfig& config() const { return config_; }
+  const Loss& loss() const { return *loss_; }
+  const Regularizer& regularizer() const { return *reg_; }
+  const LrSchedule& schedule() const { return schedule_; }
+
+  /// Full objective f(w, X) on `data` (host-side; costs no sim time —
+  /// the paper also measures the objective out-of-band).
+  double Eval(const Dataset& data, const DenseVector& w) const;
+
+  /// True when the run should stop after observing `objective` at
+  /// virtual time `now` having completed `step` communication steps.
+  bool ShouldStop(int step, SimTime now, double objective) const;
+
+  /// Detects a diverged run (non-finite or exploding objective).
+  static bool IsDiverged(double objective);
+
+ private:
+  TrainerConfig config_;
+  std::unique_ptr<Loss> loss_;
+  std::unique_ptr<Regularizer> reg_;
+  LrSchedule schedule_;
+};
+
+/// Creates the trainer for `kind`.
+std::unique_ptr<Trainer> MakeTrainer(SystemKind kind, TrainerConfig config);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_TRAIN_TRAINER_H_

@@ -1,0 +1,118 @@
+#include "train/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mllibstar {
+namespace {
+
+bool IsPsSystem(SystemKind kind) {
+  return kind == SystemKind::kPetuum || kind == SystemKind::kPetuumStar ||
+         kind == SystemKind::kAngel;
+}
+
+double LogUniform(Rng* rng, double lo, double hi) {
+  return lo * std::exp(rng->NextDouble() * std::log(hi / lo));
+}
+
+TrainerConfig SampleConfig(const TrainerConfig& base,
+                           const TunerSpace& space, SystemKind kind,
+                           Rng* rng) {
+  TrainerConfig config = base;
+  config.base_lr = LogUniform(rng, space.lr_min, space.lr_max);
+  config.batch_fraction = LogUniform(rng, space.batch_fraction_min,
+                                     space.batch_fraction_max);
+  if (space.staleness_max > 0 && IsPsSystem(kind)) {
+    const int staleness = static_cast<int>(
+        rng->NextUint64(static_cast<uint64_t>(space.staleness_max) + 1));
+    if (staleness > 0) {
+      config.ps.consistency = ConsistencyKind::kSsp;
+      config.ps.staleness = staleness;
+    }
+  }
+  return config;
+}
+
+TunerTrial Evaluate(SystemKind kind, TrainerConfig config, int steps,
+                    const Dataset& data, const ClusterConfig& cluster) {
+  TunerTrial trial;
+  config.max_comm_steps = steps;
+  trial.config = config;
+  const TrainResult result = MakeTrainer(kind, config)->Train(data, cluster);
+  trial.diverged = result.diverged;
+  trial.objective = result.diverged
+                        ? std::numeric_limits<double>::infinity()
+                        : result.curve.BestObjective();
+  return trial;
+}
+
+}  // namespace
+
+TunerResult RandomSearch(SystemKind kind, const TrainerConfig& base,
+                         const TunerSpace& space, size_t num_trials,
+                         int trial_steps, const Dataset& data,
+                         const ClusterConfig& cluster, uint64_t seed) {
+  Rng rng(seed);
+  TunerResult result;
+  result.best_config = base;
+  result.best_objective = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < num_trials; ++i) {
+    TunerTrial trial = Evaluate(
+        kind, SampleConfig(base, space, kind, &rng), trial_steps, data,
+        cluster);
+    if (trial.objective < result.best_objective) {
+      result.best_objective = trial.objective;
+      result.best_config = trial.config;
+      result.best_config.max_comm_steps = base.max_comm_steps;
+    }
+    result.trials.push_back(std::move(trial));
+  }
+  return result;
+}
+
+TunerResult SuccessiveHalving(SystemKind kind, const TrainerConfig& base,
+                              const TunerSpace& space,
+                              size_t initial_trials, int initial_steps,
+                              const Dataset& data,
+                              const ClusterConfig& cluster, uint64_t seed) {
+  Rng rng(seed);
+  TunerResult result;
+  result.best_config = base;
+  result.best_objective = std::numeric_limits<double>::infinity();
+
+  std::vector<TrainerConfig> survivors;
+  survivors.reserve(initial_trials);
+  for (size_t i = 0; i < initial_trials; ++i) {
+    survivors.push_back(SampleConfig(base, space, kind, &rng));
+  }
+
+  int steps = initial_steps;
+  while (!survivors.empty()) {
+    std::vector<TunerTrial> round;
+    round.reserve(survivors.size());
+    for (const TrainerConfig& config : survivors) {
+      round.push_back(Evaluate(kind, config, steps, data, cluster));
+    }
+    std::sort(round.begin(), round.end(),
+              [](const TunerTrial& a, const TunerTrial& b) {
+                return a.objective < b.objective;
+              });
+    if (round.front().objective < result.best_objective) {
+      result.best_objective = round.front().objective;
+      result.best_config = round.front().config;
+      result.best_config.max_comm_steps = base.max_comm_steps;
+    }
+    for (TunerTrial& trial : round) result.trials.push_back(trial);
+    if (survivors.size() == 1) break;
+    const size_t keep = std::max<size_t>(1, survivors.size() / 2);
+    survivors.clear();
+    for (size_t i = 0; i < keep; ++i) {
+      if (!round[i].diverged) survivors.push_back(round[i].config);
+    }
+    steps *= 2;
+  }
+  return result;
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,59 @@
+#ifndef MLLIBSTAR_TRAIN_TUNER_H_
+#define MLLIBSTAR_TRAIN_TUNER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "train/trainer.h"
+
+namespace mllibstar {
+
+/// Search space for the randomized tuners: log-uniform learning rate,
+/// log-uniform batch fraction, uniform integer staleness (PS only).
+struct TunerSpace {
+  double lr_min = 0.01;
+  double lr_max = 2.0;
+  double batch_fraction_min = 0.005;
+  double batch_fraction_max = 0.2;
+  int staleness_max = 0;  ///< 0 disables the staleness dimension
+};
+
+/// One evaluated configuration.
+struct TunerTrial {
+  TrainerConfig config;
+  double objective = 0.0;  ///< best objective within the trial budget
+  bool diverged = false;
+};
+
+/// Result of a tuning run: best configuration (with the caller's
+/// original step budget restored) and the full trial history.
+struct TunerResult {
+  TrainerConfig best_config;
+  double best_objective = 0.0;
+  std::vector<TunerTrial> trials;
+};
+
+/// Random search: samples `num_trials` configurations from `space`,
+/// trains each for `trial_steps` communication steps, and keeps the
+/// best. Often beats a same-budget grid on continuous hyperparameters
+/// (Bergstra & Bengio) and is the workhorse behind "tuned by grid
+/// search" protocols at scale.
+TunerResult RandomSearch(SystemKind kind, const TrainerConfig& base,
+                         const TunerSpace& space, size_t num_trials,
+                         int trial_steps, const Dataset& data,
+                         const ClusterConfig& cluster, uint64_t seed = 17);
+
+/// Successive halving: starts `initial_trials` random configurations
+/// on a small step budget, keeps the best half, doubles the budget,
+/// and repeats until one survives — spending most of the budget on
+/// promising configurations.
+TunerResult SuccessiveHalving(SystemKind kind, const TrainerConfig& base,
+                              const TunerSpace& space,
+                              size_t initial_trials, int initial_steps,
+                              const Dataset& data,
+                              const ClusterConfig& cluster,
+                              uint64_t seed = 17);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_TRAIN_TUNER_H_

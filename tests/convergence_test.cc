@@ -1,0 +1,69 @@
+#include "core/convergence.h"
+
+#include <gtest/gtest.h>
+
+namespace mllibstar {
+namespace {
+
+ConvergenceCurve MakeCurve(std::string label,
+                           std::vector<std::tuple<int, double, double>> pts) {
+  ConvergenceCurve curve(std::move(label));
+  for (const auto& [step, time, obj] : pts) curve.Add(step, time, obj);
+  return curve;
+}
+
+TEST(ConvergenceCurveTest, EmptyCurve) {
+  ConvergenceCurve curve("x");
+  EXPECT_TRUE(curve.empty());
+  EXPECT_EQ(curve.FinalObjective(), 0.0);
+  EXPECT_FALSE(curve.TimeToReach(0.5).has_value());
+  EXPECT_FALSE(curve.StepsToReach(0.5).has_value());
+}
+
+TEST(ConvergenceCurveTest, RecordsAndFinal) {
+  const auto curve = MakeCurve("a", {{0, 0.0, 1.0}, {1, 2.0, 0.5},
+                                     {2, 4.0, 0.25}});
+  EXPECT_EQ(curve.points().size(), 3u);
+  EXPECT_DOUBLE_EQ(curve.FinalObjective(), 0.25);
+  EXPECT_DOUBLE_EQ(curve.BestObjective(), 0.25);
+  EXPECT_EQ(curve.label(), "a");
+}
+
+TEST(ConvergenceCurveTest, BestObjectiveNotNecessarilyFinal) {
+  const auto curve = MakeCurve("a", {{0, 0.0, 1.0}, {1, 1.0, 0.2},
+                                     {2, 2.0, 0.4}});
+  EXPECT_DOUBLE_EQ(curve.BestObjective(), 0.2);
+  EXPECT_DOUBLE_EQ(curve.FinalObjective(), 0.4);
+}
+
+TEST(ConvergenceCurveTest, TimeAndStepsToReach) {
+  const auto curve = MakeCurve("a", {{0, 0.0, 1.0}, {5, 2.5, 0.6},
+                                     {10, 5.0, 0.3}});
+  EXPECT_DOUBLE_EQ(curve.TimeToReach(0.6).value(), 2.5);
+  EXPECT_EQ(curve.StepsToReach(0.6).value(), 5);
+  EXPECT_DOUBLE_EQ(curve.TimeToReach(0.31).value(), 5.0);
+  EXPECT_FALSE(curve.TimeToReach(0.1).has_value());
+}
+
+TEST(SpeedupTest, RatioOfTimes) {
+  const auto slow = MakeCurve("slow", {{0, 0.0, 1.0}, {100, 100.0, 0.1}});
+  const auto fast = MakeCurve("fast", {{0, 0.0, 1.0}, {4, 2.0, 0.1}});
+  EXPECT_DOUBLE_EQ(SpeedupAtTarget(slow, fast, 0.1).value(), 50.0);
+  EXPECT_DOUBLE_EQ(StepSpeedupAtTarget(slow, fast, 0.1).value(), 25.0);
+}
+
+TEST(SpeedupTest, UnreachedTargetYieldsNullopt) {
+  const auto slow = MakeCurve("slow", {{0, 0.0, 1.0}, {10, 10.0, 0.5}});
+  const auto fast = MakeCurve("fast", {{0, 0.0, 1.0}, {4, 2.0, 0.1}});
+  EXPECT_FALSE(SpeedupAtTarget(slow, fast, 0.1).has_value());
+  EXPECT_FALSE(SpeedupAtTarget(fast, slow, 0.1).has_value());
+}
+
+TEST(SpeedupTest, ZeroTimeImprovedYieldsNullopt) {
+  const auto base = MakeCurve("b", {{1, 1.0, 0.1}});
+  const auto instant = MakeCurve("i", {{0, 0.0, 0.1}});
+  EXPECT_FALSE(SpeedupAtTarget(base, instant, 0.1).has_value());
+}
+
+}  // namespace
+}  // namespace mllibstar

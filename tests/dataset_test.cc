@@ -1,0 +1,93 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace mllibstar {
+namespace {
+
+DataPoint MakePoint(double label, std::vector<FeatureIndex> indices) {
+  DataPoint p;
+  p.label = label;
+  for (FeatureIndex i : indices) p.features.Push(i, 1.0);
+  return p;
+}
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset ds(10, "toy");
+  ds.Add(MakePoint(1.0, {0, 3}));
+  ds.Add(MakePoint(-1.0, {9}));
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.num_features(), 10u);
+  EXPECT_EQ(ds.name(), "toy");
+  EXPECT_DOUBLE_EQ(ds.point(0).label, 1.0);
+  EXPECT_EQ(ds.point(1).features.indices[0], 9u);
+}
+
+TEST(DatasetTest, TotalNnz) {
+  Dataset ds(10);
+  ds.Add(MakePoint(1.0, {0, 1, 2}));
+  ds.Add(MakePoint(-1.0, {5}));
+  EXPECT_EQ(ds.TotalNnz(), 4u);
+}
+
+TEST(DatasetTest, SliceCopiesRange) {
+  Dataset ds(10, "toy");
+  for (int i = 0; i < 5; ++i) {
+    ds.Add(MakePoint(i % 2 == 0 ? 1.0 : -1.0,
+                     {static_cast<FeatureIndex>(i)}));
+  }
+  const Dataset slice = ds.Slice(1, 3);
+  EXPECT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice.num_features(), 10u);
+  EXPECT_EQ(slice.point(0).features.indices[0], 1u);
+  EXPECT_EQ(slice.point(1).features.indices[0], 2u);
+}
+
+TEST(DatasetTest, ShufflePreservesMultiset) {
+  Dataset ds(100);
+  for (int i = 0; i < 50; ++i) {
+    ds.Add(MakePoint(1.0, {static_cast<FeatureIndex>(i)}));
+  }
+  Rng rng(3);
+  ds.Shuffle(&rng);
+  EXPECT_EQ(ds.size(), 50u);
+  std::vector<bool> seen(50, false);
+  for (const DataPoint& p : ds.points()) {
+    seen[p.features.indices[0]] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(DatasetTest, StatsUnderdeterminedFlag) {
+  Dataset wide(1000, "wide");
+  wide.Add(MakePoint(1.0, {0}));
+  EXPECT_TRUE(wide.Stats().underdetermined);
+
+  Dataset tall(2, "tall");
+  tall.Add(MakePoint(1.0, {0}));
+  tall.Add(MakePoint(-1.0, {1}));
+  tall.Add(MakePoint(1.0, {0}));
+  EXPECT_FALSE(tall.Stats().underdetermined);
+}
+
+TEST(DatasetTest, StatsCountsMatch) {
+  Dataset ds(10, "s");
+  ds.Add(MakePoint(1.0, {0, 1}));
+  ds.Add(MakePoint(-1.0, {2, 3, 4}));
+  const DatasetStats stats = ds.Stats();
+  EXPECT_EQ(stats.num_instances, 2u);
+  EXPECT_EQ(stats.num_features, 10u);
+  EXPECT_EQ(stats.total_nnz, 5u);
+  EXPECT_DOUBLE_EQ(stats.avg_nnz_per_row, 2.5);
+  EXPECT_GT(stats.approx_bytes, 0u);
+}
+
+TEST(DatasetTest, EmptyStats) {
+  Dataset ds(5, "empty");
+  const DatasetStats stats = ds.Stats();
+  EXPECT_EQ(stats.num_instances, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_nnz_per_row, 0.0);
+}
+
+}  // namespace
+}  // namespace mllibstar

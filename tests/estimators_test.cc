@@ -1,0 +1,161 @@
+#include "train/estimators.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace mllibstar {
+namespace {
+
+Dataset ClassificationData() {
+  SyntheticSpec spec;
+  spec.name = "est";
+  spec.num_instances = 600;
+  spec.num_features = 60;
+  spec.avg_nnz = 6;
+  spec.seed = 55;
+  return GenerateSynthetic(spec);
+}
+
+EstimatorOptions FastOptions() {
+  EstimatorOptions options;
+  options.cluster = ClusterConfig::Cluster1(4);
+  options.cluster.straggler_sigma = 0.0;
+  options.trainer.base_lr = 0.5;
+  options.trainer.lr_schedule = LrScheduleKind::kConstant;
+  options.trainer.max_comm_steps = 10;
+  return options;
+}
+
+TEST(SvmClassifierTest, FitPredictEvaluate) {
+  const Dataset data = ClassificationData();
+  SvmClassifier svm(FastOptions());
+  EXPECT_FALSE(svm.fitted());
+  ASSERT_TRUE(svm.Fit(data).ok());
+  EXPECT_TRUE(svm.fitted());
+
+  const ClassificationMetrics metrics = svm.Evaluate(data);
+  EXPECT_GT(metrics.accuracy, 0.8);
+  EXPECT_GT(metrics.auc, 0.85);
+
+  const double label = svm.Predict(data.point(0));
+  EXPECT_TRUE(label == 1.0 || label == -1.0);
+}
+
+TEST(SvmClassifierTest, FitOnEmptyDataFails) {
+  Dataset empty(10);
+  SvmClassifier svm(FastOptions());
+  EXPECT_EQ(svm.Fit(empty).code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(svm.fitted());
+}
+
+TEST(SvmClassifierTest, SaveBeforeFitFails) {
+  SvmClassifier svm(FastOptions());
+  EXPECT_EQ(svm.Save(testing::TempDir() + "/x.model").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SvmClassifierTest, SaveLoadRoundTrip) {
+  const Dataset data = ClassificationData();
+  SvmClassifier svm(FastOptions());
+  ASSERT_TRUE(svm.Fit(data).ok());
+  const std::string path = testing::TempDir() + "/svm.model";
+  ASSERT_TRUE(svm.Save(path).ok());
+
+  SvmClassifier restored(FastOptions());
+  ASSERT_TRUE(restored.Load(path).ok());
+  EXPECT_TRUE(restored.fitted());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(restored.Predict(data.point(i)), svm.Predict(data.point(i)));
+  }
+}
+
+TEST(SvmClassifierTest, TrainResultExposed) {
+  const Dataset data = ClassificationData();
+  SvmClassifier svm(FastOptions());
+  ASSERT_TRUE(svm.Fit(data).ok());
+  EXPECT_EQ(svm.train_result().system, "mllib*");
+  EXPECT_FALSE(svm.train_result().curve.empty());
+  EXPECT_GT(svm.train_result().sim_seconds, 0.0);
+}
+
+TEST(SvmClassifierTest, DivergenceSurfacesAsError) {
+  const Dataset data = ClassificationData();
+  EstimatorOptions options = FastOptions();
+  options.system = SystemKind::kPetuum;  // raw summation
+  options.trainer.base_lr = 50.0;        // guaranteed blow-up
+  options.trainer.batch_fraction = 0.5;
+  options.trainer.max_comm_steps = 40;
+  SvmClassifier svm(options);
+  const Status status = svm.Fit(data);
+  if (!status.ok()) {
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+    EXPECT_FALSE(svm.fitted());
+  }
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesAreCalibratedSigmoids) {
+  const Dataset data = ClassificationData();
+  LogisticRegressionClassifier lr(FastOptions());
+  ASSERT_TRUE(lr.Fit(data).ok());
+  for (size_t i = 0; i < 50; ++i) {
+    const double p = lr.PredictProbability(data.point(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    // Probability and label prediction agree across the 0.5 boundary.
+    EXPECT_EQ(lr.Predict(data.point(i)) > 0, p >= 0.5);
+  }
+}
+
+TEST(LogisticRegressionTest, UsesLogisticLoss) {
+  LogisticRegressionClassifier lr(FastOptions());
+  const Dataset data = ClassificationData();
+  ASSERT_TRUE(lr.Fit(data).ok());
+  EXPECT_GT(lr.Evaluate(data).accuracy, 0.8);
+}
+
+TEST(LinearRegressionTest, FitsALinearTarget) {
+  // y = 2*x0 - x1 with sparse one-hot rows.
+  Dataset data(2, "reg");
+  for (int i = 0; i < 200; ++i) {
+    DataPoint p;
+    if (i % 2 == 0) {
+      p.features.Push(0, 1.0);
+      p.label = 2.0;
+    } else {
+      p.features.Push(1, 1.0);
+      p.label = -1.0;
+    }
+    data.Add(p);
+  }
+  EstimatorOptions options = FastOptions();
+  options.trainer.base_lr = 0.2;
+  options.trainer.max_comm_steps = 20;
+  LinearRegression reg(options);
+  ASSERT_TRUE(reg.Fit(data).ok());
+  EXPECT_LT(reg.Evaluate(data), 0.05);
+  DataPoint probe;
+  probe.features.Push(0, 1.0);
+  EXPECT_NEAR(reg.Predict(probe), 2.0, 0.2);
+}
+
+TEST(EstimatorTest, DifferentSystemsAllWork) {
+  const Dataset data = ClassificationData();
+  for (SystemKind kind : {SystemKind::kMllibMa, SystemKind::kPetuumStar,
+                          SystemKind::kAngel}) {
+    EstimatorOptions options = FastOptions();
+    options.system = kind;
+    if (kind == SystemKind::kPetuumStar) {
+      // Per-batch communication: each step touches only 1% of the
+      // partition, so a fair budget gives it more (cheap) steps.
+      options.trainer.max_comm_steps = 100;
+      options.trainer.batch_fraction = 0.1;
+    }
+    SvmClassifier svm(options);
+    ASSERT_TRUE(svm.Fit(data).ok()) << SystemName(kind);
+    EXPECT_GT(svm.Evaluate(data).accuracy, 0.7) << SystemName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace mllibstar

@@ -1,0 +1,107 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace mllibstar {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser parser("test tool");
+  parser.AddString("name", "default", "a string");
+  parser.AddInt64("count", 7, "an int");
+  parser.AddDouble("rate", 0.5, "a double");
+  parser.AddBool("verbose", false, "a bool");
+  return parser;
+}
+
+Status ParseArgs(FlagParser* parser, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return parser->Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, DefaultsWhenUnset) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {}).ok());
+  EXPECT_EQ(parser.GetString("name"), "default");
+  EXPECT_EQ(parser.GetInt64("count"), 7);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("rate"), 0.5);
+  EXPECT_FALSE(parser.GetBool("verbose"));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"--name=abc", "--count=42",
+                                  "--rate=1.25", "--verbose=true"})
+                  .ok());
+  EXPECT_EQ(parser.GetString("name"), "abc");
+  EXPECT_EQ(parser.GetInt64("count"), 42);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("rate"), 1.25);
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"--name", "xyz", "--count", "-3"}).ok());
+  EXPECT_EQ(parser.GetString("name"), "xyz");
+  EXPECT_EQ(parser.GetInt64("count"), -3);
+}
+
+TEST(FlagsTest, BareBoolSetsTrue) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"--verbose"}).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(FlagsTest, PositionalArgsCollected) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"input.txt", "--count=1", "out.txt"}).ok());
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.txt");
+  EXPECT_EQ(parser.positional()[1], "out.txt");
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagParser parser = MakeParser();
+  const Status status = ParseArgs(&parser, {"--bogus=1"});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, BadIntRejected) {
+  FlagParser parser = MakeParser();
+  EXPECT_FALSE(ParseArgs(&parser, {"--count=abc"}).ok());
+}
+
+TEST(FlagsTest, BadBoolRejected) {
+  FlagParser parser = MakeParser();
+  EXPECT_FALSE(ParseArgs(&parser, {"--verbose=maybe"}).ok());
+}
+
+TEST(FlagsTest, MissingValueRejected) {
+  FlagParser parser = MakeParser();
+  EXPECT_FALSE(ParseArgs(&parser, {"--name"}).ok());
+}
+
+TEST(FlagsTest, HelpShortCircuits) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"--help", "--bogus=1"}).ok());
+  EXPECT_TRUE(parser.help_requested());
+}
+
+TEST(FlagsTest, UsageListsFlagsAndDefaults) {
+  FlagParser parser = MakeParser();
+  const std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("default: 7"), std::string::npos);
+  EXPECT_NE(usage.find("a double"), std::string::npos);
+}
+
+TEST(FlagsTest, DoubleDefaultsRoundTripPrecisely) {
+  FlagParser parser("p");
+  parser.AddDouble("x", 1.0 / 3.0, "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.Parse(1, argv).ok());
+  EXPECT_DOUBLE_EQ(parser.GetDouble("x"), 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace mllibstar

@@ -1,0 +1,210 @@
+#include "core/gd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/model.h"
+
+namespace mllibstar {
+namespace {
+
+DataPoint MakePoint(double label, std::vector<FeatureIndex> indices,
+                    std::vector<double> values) {
+  DataPoint p;
+  p.label = label;
+  p.features.indices = std::move(indices);
+  p.features.values = std::move(values);
+  return p;
+}
+
+// A tiny linearly separable problem in 2D: label = sign(x0 - x1).
+std::vector<DataPoint> SeparableProblem() {
+  return {
+      MakePoint(1.0, {0}, {1.0}),          MakePoint(1.0, {0, 1}, {2.0, 0.5}),
+      MakePoint(-1.0, {1}, {1.0}),         MakePoint(-1.0, {0, 1}, {0.5, 2.0}),
+      MakePoint(1.0, {0, 1}, {1.5, 0.2}),  MakePoint(-1.0, {0, 1}, {0.2, 1.5}),
+  };
+}
+
+TEST(SampleBatchTest, FullBatchWhenOversized) {
+  Rng rng(1);
+  const auto batch = SampleBatch(5, 10, &rng);
+  ASSERT_EQ(batch.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NE(std::find(batch.begin(), batch.end(), i), batch.end());
+  }
+}
+
+TEST(SampleBatchTest, NoDuplicatesSmallBatch) {
+  Rng rng(2);
+  const auto batch = SampleBatch(1000, 10, &rng);
+  ASSERT_EQ(batch.size(), 10u);
+  std::set<size_t> unique(batch.begin(), batch.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (size_t idx : batch) EXPECT_LT(idx, 1000u);
+}
+
+TEST(SampleBatchTest, NoDuplicatesLargeBatch) {
+  Rng rng(3);
+  const auto batch = SampleBatch(20, 15, &rng);  // triggers pool path
+  ASSERT_EQ(batch.size(), 15u);
+  std::set<size_t> unique(batch.begin(), batch.end());
+  EXPECT_EQ(unique.size(), 15u);
+}
+
+TEST(BatchGradientTest, MatchesHandComputedLogistic) {
+  auto loss = MakeLoss(LossKind::kLogistic);
+  const auto points = SeparableProblem();
+  DenseVector w(2);
+  DenseVector grad(2);
+  std::vector<size_t> batch = {0, 2};
+  const ComputeStats stats =
+      AccumulateBatchGradient(points, batch, *loss, w, &grad);
+  // At w=0, derivative = -y * 0.5; gradient = sum of d * x.
+  EXPECT_NEAR(grad[0], -0.5 * 1.0, 1e-12);
+  EXPECT_NEAR(grad[1], 0.5 * 1.0, 1e-12);
+  EXPECT_GT(stats.nnz_processed, 0u);
+}
+
+TEST(BatchGradientTest, HingeSkipsCorrectWideMargins) {
+  auto loss = MakeLoss(LossKind::kHinge);
+  const auto points = SeparableProblem();
+  DenseVector w(std::vector<double>{10.0, -10.0});  // classifies everything
+  DenseVector grad(2);
+  std::vector<size_t> batch = {0, 1, 2, 3, 4, 5};
+  AccumulateBatchGradient(points, batch, *loss, w, &grad);
+  EXPECT_DOUBLE_EQ(grad[0], 0.0);
+  EXPECT_DOUBLE_EQ(grad[1], 0.0);
+}
+
+TEST(ScaledVectorTest, ShrinkIsMultiplicative) {
+  ScaledVector v(DenseVector(std::vector<double>{2.0, 4.0}));
+  v.Shrink(0.5);
+  const DenseVector dense = v.ToDense();
+  EXPECT_DOUBLE_EQ(dense[0], 1.0);
+  EXPECT_DOUBLE_EQ(dense[1], 2.0);
+}
+
+TEST(ScaledVectorTest, AddAfterShrinkIsExact) {
+  ScaledVector v(DenseVector(std::vector<double>{1.0, 1.0}));
+  v.Shrink(0.25);
+  SparseVector x;
+  x.Push(0, 2.0);
+  v.AddScaled(x, 1.0);
+  const DenseVector dense = v.ToDense();
+  EXPECT_DOUBLE_EQ(dense[0], 0.25 + 2.0);
+  EXPECT_DOUBLE_EQ(dense[1], 0.25);
+}
+
+TEST(ScaledVectorTest, SurvivesScaleUnderflowByMaterializing) {
+  ScaledVector v(DenseVector(std::vector<double>{1.0}));
+  for (int i = 0; i < 5000; ++i) v.Shrink(0.99);
+  SparseVector x;
+  x.Push(0, 1.0);
+  v.AddScaled(x, 1.0);
+  const DenseVector dense = v.ToDense();
+  EXPECT_TRUE(std::isfinite(dense[0]));
+  EXPECT_NEAR(dense[0], 1.0, 1e-6);  // the shrunk part is ~1e-22
+}
+
+TEST(ScaledVectorTest, DotMatchesDense) {
+  ScaledVector v(DenseVector(std::vector<double>{3.0, -2.0}));
+  v.Shrink(0.5);
+  SparseVector x;
+  x.Push(0, 1.0);
+  x.Push(1, 1.0);
+  EXPECT_DOUBLE_EQ(v.Dot(x), 0.5);
+}
+
+TEST(LocalSgdEpochTest, ReducesLossOnSeparableData) {
+  auto loss = MakeLoss(LossKind::kLogistic);
+  auto reg = MakeRegularizer(RegularizerKind::kNone, 0.0);
+  const auto points = SeparableProblem();
+  DenseVector w(2);
+  Rng rng(5);
+  const double before = MeanLoss(points, *loss, w);
+  ComputeStats stats;
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    stats += LocalSgdEpoch(points, *loss, *reg, 0.5, true, &rng, &w);
+  }
+  const double after = MeanLoss(points, *loss, w);
+  EXPECT_LT(after, before * 0.5);
+  EXPECT_EQ(stats.model_updates, 20u * points.size());
+  EXPECT_GT(Accuracy(points, w), 0.99);
+}
+
+TEST(LocalSgdEpochTest, LazyAndEagerL2AgreeNumerically) {
+  auto loss = MakeLoss(LossKind::kLogistic);
+  auto reg = MakeRegularizer(RegularizerKind::kL2, 0.1);
+  const auto points = SeparableProblem();
+
+  DenseVector w_lazy(2);
+  DenseVector w_eager(2);
+  Rng rng_lazy(7);
+  Rng rng_eager(7);  // same shuffle order
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    LocalSgdEpoch(points, *loss, *reg, 0.1, true, &rng_lazy, &w_lazy);
+    LocalSgdEpoch(points, *loss, *reg, 0.1, false, &rng_eager, &w_eager);
+  }
+  EXPECT_NEAR(w_lazy[0], w_eager[0], 1e-9);
+  EXPECT_NEAR(w_lazy[1], w_eager[1], 1e-9);
+}
+
+TEST(LocalSgdEpochTest, LazyL2ChargesLessWorkThanEager) {
+  auto loss = MakeLoss(LossKind::kLogistic);
+  auto reg = MakeRegularizer(RegularizerKind::kL2, 0.1);
+  // High-dimensional sparse points: eager pays O(d) per update.
+  std::vector<DataPoint> points;
+  for (int i = 0; i < 10; ++i) {
+    points.push_back(MakePoint(i % 2 == 0 ? 1.0 : -1.0,
+                               {static_cast<FeatureIndex>(i)}, {1.0}));
+  }
+  const size_t dim = 10000;
+  DenseVector w1(dim);
+  DenseVector w2(dim);
+  Rng r1(9);
+  Rng r2(9);
+  const ComputeStats lazy = LocalSgdEpoch(points, *loss, *reg, 0.1, true,
+                                          &r1, &w1);
+  const ComputeStats eager = LocalSgdEpoch(points, *loss, *reg, 0.1, false,
+                                           &r2, &w2);
+  EXPECT_LT(lazy.nnz_processed * 100, eager.nnz_processed);
+}
+
+TEST(LocalSgdEpochTest, EmptyDataIsNoOp) {
+  auto loss = MakeLoss(LossKind::kHinge);
+  auto reg = MakeRegularizer(RegularizerKind::kNone, 0.0);
+  std::vector<DataPoint> points;
+  DenseVector w(3);
+  Rng rng(1);
+  const ComputeStats stats =
+      LocalSgdEpoch(points, *loss, *reg, 0.1, true, &rng, &w);
+  EXPECT_EQ(stats.model_updates, 0u);
+  EXPECT_EQ(stats.nnz_processed, 0u);
+}
+
+TEST(LocalMiniBatchGdTest, OneBatchOneUpdate) {
+  auto loss = MakeLoss(LossKind::kLogistic);
+  auto reg = MakeRegularizer(RegularizerKind::kNone, 0.0);
+  const auto points = SeparableProblem();
+  DenseVector w(2);
+  Rng rng(11);
+  const ComputeStats stats = LocalMiniBatchGd(points, *loss, *reg, 0.1,
+                                              points.size(), 1, &rng, &w);
+  EXPECT_EQ(stats.model_updates, 1u);
+}
+
+TEST(LocalMiniBatchGdTest, ConvergesOnSeparableData) {
+  auto loss = MakeLoss(LossKind::kHinge);
+  auto reg = MakeRegularizer(RegularizerKind::kL2, 0.01);
+  const auto points = SeparableProblem();
+  DenseVector w(2);
+  Rng rng(13);
+  LocalMiniBatchGd(points, *loss, *reg, 0.2, 3, 200, &rng, &w);
+  EXPECT_GT(Accuracy(points, w), 0.99);
+}
+
+}  // namespace
+}  // namespace mllibstar

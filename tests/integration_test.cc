@@ -1,0 +1,175 @@
+// End-to-end checks that the simulated systems reproduce the paper's
+// qualitative findings on a scaled-down kdd12-shaped workload (large
+// enough in feature count that communication costs actually matter —
+// the driver bottleneck vanishes on toy model sizes).
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "train/report.h"
+#include "train/trainer.h"
+
+namespace mllibstar {
+namespace {
+
+class IntegrationTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec = Kdd12Spec(3e-4);  // ~45k x 16k
+    data_ = new Dataset(GenerateSynthetic(spec));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static TrainerConfig Config(RegularizerKind reg, double lambda) {
+    TrainerConfig config;
+    config.loss = LossKind::kHinge;  // the paper trains SVMs
+    config.regularizer = reg;
+    config.lambda = lambda;
+    config.base_lr = 0.2;
+    config.lr_schedule = LrScheduleKind::kConstant;
+    config.batch_fraction = 0.05;
+    config.max_comm_steps = 30;
+    config.seed = 9;
+    return config;
+  }
+
+  static Dataset* data_;
+};
+
+Dataset* IntegrationTest::data_ = nullptr;
+
+TEST_F(IntegrationTest, AllSystemsConvergeWithoutRegularization) {
+  const ClusterConfig cluster = ClusterConfig::Cluster1(4);
+  for (SystemKind kind :
+       {SystemKind::kMllibMa, SystemKind::kMllibStar, SystemKind::kPetuumStar,
+        SystemKind::kAngel}) {
+    const TrainResult result =
+        MakeTrainer(kind, Config(RegularizerKind::kNone, 0.0))
+            ->Train(*data_, cluster);
+    EXPECT_FALSE(result.diverged) << SystemName(kind);
+    EXPECT_LT(result.curve.BestObjective(),
+              result.curve.points().front().objective * 0.6)
+        << SystemName(kind);
+  }
+}
+
+TEST_F(IntegrationTest, AllSystemsConvergeWithL2) {
+  const ClusterConfig cluster = ClusterConfig::Cluster1(4);
+  for (SystemKind kind :
+       {SystemKind::kMllibMa, SystemKind::kMllibStar, SystemKind::kPetuumStar,
+        SystemKind::kAngel}) {
+    const TrainResult result =
+        MakeTrainer(kind, Config(RegularizerKind::kL2, 0.01))
+            ->Train(*data_, cluster);
+    EXPECT_FALSE(result.diverged) << SystemName(kind);
+    EXPECT_LT(result.curve.BestObjective(),
+              result.curve.points().front().objective)
+        << SystemName(kind);
+  }
+}
+
+TEST_F(IntegrationTest, MllibStarIsFastestSparkVariantToTarget) {
+  // Figure 4's headline: MLlib* beats MLlib in time-to-target, and
+  // the AllReduce step makes it beat MLlib+MA too.
+  const ClusterConfig cluster = ClusterConfig::Cluster1(8);
+  TrainerConfig config = Config(RegularizerKind::kNone, 0.0);
+  config.max_comm_steps = 60;
+
+  const TrainResult mllib =
+      MakeTrainer(SystemKind::kMllib, config)->Train(*data_, cluster);
+  const TrainResult ma =
+      MakeTrainer(SystemKind::kMllibMa, config)->Train(*data_, cluster);
+  const TrainResult star =
+      MakeTrainer(SystemKind::kMllibStar, config)->Train(*data_, cluster);
+
+  const double target =
+      TargetObjective({mllib.curve, ma.curve, star.curve}, 0.02);
+  const auto star_time = star.curve.TimeToReach(target);
+  ASSERT_TRUE(star_time.has_value());
+  const auto ma_time = ma.curve.TimeToReach(target);
+  ASSERT_TRUE(ma_time.has_value());
+  EXPECT_LT(*star_time, *ma_time);
+  const auto mllib_time = mllib.curve.TimeToReach(target);
+  if (mllib_time.has_value()) {
+    EXPECT_LT(*star_time, *mllib_time);
+  }
+}
+
+TEST_F(IntegrationTest, MllibStarCompetitiveWithParameterServers) {
+  // Figure 5's headline: MLlib* is comparable to (or better than) the
+  // PS systems.
+  const ClusterConfig cluster = ClusterConfig::Cluster1(4);
+  TrainerConfig config = Config(RegularizerKind::kNone, 0.0);
+  config.max_comm_steps = 40;
+
+  const TrainResult star =
+      MakeTrainer(SystemKind::kMllibStar, config)->Train(*data_, cluster);
+  const TrainResult petuum_star =
+      MakeTrainer(SystemKind::kPetuumStar, config)->Train(*data_, cluster);
+  const TrainResult angel =
+      MakeTrainer(SystemKind::kAngel, config)->Train(*data_, cluster);
+
+  const double target = TargetObjective(
+      {star.curve, petuum_star.curve, angel.curve}, 0.05);
+  const auto star_time = star.curve.TimeToReach(target);
+  ASSERT_TRUE(star_time.has_value());
+  for (const TrainResult* other : {&petuum_star, &angel}) {
+    const auto other_time = other->curve.TimeToReach(target);
+    if (other_time.has_value()) {
+      // "Comparable or better": allow a 3x band rather than strict win
+      // (the paper's Figure 5 shows wins and near-ties).
+      EXPECT_LT(*star_time, *other_time * 3.0) << other->system;
+    }
+  }
+}
+
+TEST_F(IntegrationTest, GanttShapesMatchFigureThree) {
+  const ClusterConfig cluster = ClusterConfig::Cluster1(8);
+  TrainerConfig config = Config(RegularizerKind::kNone, 0.0);
+  config.max_comm_steps = 3;
+
+  // MLlib: driver busy while executors wait (B1/B2).
+  const TrainResult mllib =
+      MakeTrainer(SystemKind::kMllib, config)->Train(*data_, cluster);
+  double driver_busy = 0.0;
+  double worker_wait = 0.0;
+  for (const TraceEvent& e : mllib.trace.events()) {
+    if (e.node == "driver" && e.kind != ActivityKind::kWait) {
+      driver_busy += e.end - e.start;
+    }
+    if (e.node != "driver" && e.kind == ActivityKind::kWait) {
+      worker_wait += e.end - e.start;
+    }
+  }
+  EXPECT_GT(driver_busy, 0.0);
+  EXPECT_GT(worker_wait, 0.0);
+
+  // MLlib*: executors busy nearly all the time (Figure 3c).
+  const TrainResult star =
+      MakeTrainer(SystemKind::kMllibStar, config)->Train(*data_, cluster);
+  double star_busy = 0.0;
+  double star_wait = 0.0;
+  for (const TraceEvent& e : star.trace.events()) {
+    if (e.kind == ActivityKind::kWait) {
+      star_wait += e.end - e.start;
+    } else {
+      star_busy += e.end - e.start;
+    }
+  }
+  EXPECT_LT(star_wait, star_busy * 0.5);
+}
+
+TEST_F(IntegrationTest, CurvesSerializeForPlotting) {
+  const ClusterConfig cluster = ClusterConfig::Cluster1(4);
+  TrainerConfig config = Config(RegularizerKind::kNone, 0.0);
+  config.max_comm_steps = 5;
+  const TrainResult star =
+      MakeTrainer(SystemKind::kMllibStar, config)->Train(*data_, cluster);
+  const std::string path = testing::TempDir() + "/integration_curves.csv";
+  ASSERT_TRUE(WriteCurvesCsv(path, {star.curve}).ok());
+}
+
+}  // namespace
+}  // namespace mllibstar

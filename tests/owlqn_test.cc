@@ -1,0 +1,136 @@
+#include "core/owlqn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.h"
+#include "data/synthetic.h"
+#include "train/trainer.h"
+
+namespace mllibstar {
+namespace {
+
+// Smooth quadratic f(w) = 0.5 * sum (w_j - b_j)^2.
+LbfgsSolver::Oracle QuadraticOracle(std::vector<double> b) {
+  return [b](const DenseVector& w, DenseVector* g) {
+    double f = 0.0;
+    for (size_t j = 0; j < w.dim(); ++j) {
+      const double d = w[j] - b[j];
+      f += 0.5 * d * d;
+      (*g)[j] = d;
+    }
+    return f;
+  };
+}
+
+TEST(OwlqnTest, SolvesSoftThresholdingExactly) {
+  // min 0.5*(w-b)^2 + lambda*|w| has the closed form
+  // w* = sign(b) * max(0, |b| - lambda).
+  const std::vector<double> b = {3.0, -2.0, 0.5, -0.2, 0.0};
+  const double lambda = 1.0;
+  OwlqnSolver solver(LbfgsOptions{}, lambda);
+  const LbfgsResult result =
+      solver.Minimize(QuadraticOracle(b), DenseVector(5));
+  const std::vector<double> expected = {2.0, -1.0, 0.0, 0.0, 0.0};
+  for (size_t j = 0; j < 5; ++j) {
+    EXPECT_NEAR(result.minimizer[j], expected[j], 1e-6) << "j=" << j;
+  }
+}
+
+TEST(OwlqnTest, ZeroPenaltyMatchesLbfgs) {
+  const std::vector<double> b = {1.0, -3.0, 0.7};
+  OwlqnSolver owlqn(LbfgsOptions{}, 0.0);
+  LbfgsSolver lbfgs(LbfgsOptions{});
+  const LbfgsResult a = owlqn.Minimize(QuadraticOracle(b), DenseVector(3));
+  const LbfgsResult c = lbfgs.Minimize(QuadraticOracle(b), DenseVector(3));
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(a.minimizer[j], c.minimizer[j], 1e-6);
+  }
+}
+
+TEST(OwlqnTest, ProducesExactZeros) {
+  // Unlike subgradient methods, OWL-QN lands weights exactly on zero.
+  const std::vector<double> b = {0.5, -0.3, 2.0, 0.1};
+  OwlqnSolver solver(LbfgsOptions{}, 1.0);
+  const LbfgsResult result =
+      solver.Minimize(QuadraticOracle(b), DenseVector(4));
+  EXPECT_EQ(result.minimizer[0], 0.0);
+  EXPECT_EQ(result.minimizer[1], 0.0);
+  EXPECT_EQ(result.minimizer[3], 0.0);
+  EXPECT_NEAR(result.minimizer[2], 1.0, 1e-6);
+}
+
+TEST(OwlqnTest, StrongerPenaltyMoreSparsity) {
+  SyntheticSpec spec;
+  spec.name = "owlqn";
+  spec.num_instances = 400;
+  spec.num_features = 100;
+  spec.avg_nnz = 8;
+  spec.seed = 91;
+  const Dataset data = GenerateSynthetic(spec);
+  auto loss = MakeLoss(LossKind::kLogistic);
+  const double n = static_cast<double>(data.size());
+  auto oracle = [&](const DenseVector& w, DenseVector* g) {
+    g->SetZero();
+    double f = 0.0;
+    for (const DataPoint& p : data.points()) {
+      const double margin = w.Dot(p.features);
+      f += loss->Value(margin, p.label);
+      const double dl = loss->Derivative(margin, p.label);
+      if (dl != 0.0) g->AddScaled(p.features, dl);
+    }
+    g->Scale(1.0 / n);
+    return f / n;
+  };
+
+  size_t previous_nonzeros = data.num_features() + 1;
+  for (double lambda : {0.001, 0.01, 0.05}) {
+    OwlqnSolver solver(LbfgsOptions{}, lambda);
+    const LbfgsResult result =
+        solver.Minimize(oracle, DenseVector(data.num_features()));
+    const size_t nonzeros = result.minimizer.CountNonZeros();
+    EXPECT_LT(nonzeros, previous_nonzeros) << "lambda=" << lambda;
+    previous_nonzeros = nonzeros;
+  }
+  EXPECT_LT(previous_nonzeros, data.num_features() / 2);
+}
+
+TEST(OwlqnTest, ObjectiveMonotoneNonIncreasing) {
+  const std::vector<double> b = {2.0, -1.5, 0.8, -0.4};
+  OwlqnSolver solver(LbfgsOptions{}, 0.3);
+  const LbfgsResult result =
+      solver.Minimize(QuadraticOracle(b), DenseVector(4));
+  for (size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_LE(result.trace[i].objective,
+              result.trace[i - 1].objective + 1e-12);
+  }
+}
+
+TEST(OwlqnTrainerTest, LbfgsTrainerSelectsOwlqnForL1) {
+  SyntheticSpec spec;
+  spec.name = "owlqn-trainer";
+  spec.num_instances = 500;
+  spec.num_features = 150;
+  spec.avg_nnz = 8;
+  spec.seed = 93;
+  const Dataset data = GenerateSynthetic(spec);
+  ClusterConfig cluster = ClusterConfig::Cluster1(4);
+  cluster.straggler_sigma = 0.0;
+
+  TrainerConfig config;
+  config.loss = LossKind::kLogistic;
+  config.regularizer = RegularizerKind::kL1;
+  config.lambda = 0.01;
+  config.max_comm_steps = 40;
+  const TrainResult result =
+      MakeTrainer(SystemKind::kMllibLbfgs, config)->Train(data, cluster);
+  EXPECT_FALSE(result.diverged);
+  // L1 via OWL-QN yields exact zeros.
+  EXPECT_LT(result.final_weights.CountNonZeros(),
+            data.num_features());
+  EXPECT_GT(Accuracy(data.points(), result.final_weights), 0.8);
+}
+
+}  // namespace
+}  // namespace mllibstar

@@ -1,0 +1,116 @@
+#include "train/plan_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace mllibstar {
+namespace {
+
+DatasetStats Kdd12Stats() {
+  return GenerateSynthetic(Kdd12Spec(3e-4)).Stats();
+}
+
+ClusterConfig NoJitter(size_t workers = 8) {
+  ClusterConfig config = ClusterConfig::Cluster1(workers);
+  config.straggler_sigma = 0.0;
+  return config;
+}
+
+TEST(EstimateStepCostTest, MllibStarHasNoDriverTime) {
+  const PlanCost cost = EstimateStepCost(SystemKind::kMllibStar,
+                                         Kdd12Stats(), NoJitter(),
+                                         TrainerConfig{});
+  EXPECT_DOUBLE_EQ(cost.driver_seconds, 0.0);
+  EXPECT_GT(cost.compute_seconds, 0.0);
+  EXPECT_GT(cost.network_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(cost.step_seconds,
+                   cost.compute_seconds + cost.network_seconds);
+}
+
+TEST(EstimateStepCostTest, MllibIsDriverBoundOnHighDimensionalData) {
+  const PlanCost cost = EstimateStepCost(SystemKind::kMllib, Kdd12Stats(),
+                                         NoJitter(), TrainerConfig{});
+  // kdd12-shaped: 16k features, 1% batches — traffic dwarfs compute.
+  EXPECT_GT(cost.driver_seconds, cost.compute_seconds);
+  EXPECT_DOUBLE_EQ(cost.updates_per_step, 1.0);
+}
+
+TEST(EstimateStepCostTest, SendModelBuysManyUpdates) {
+  const DatasetStats stats = Kdd12Stats();
+  const PlanCost star = EstimateStepCost(SystemKind::kMllibStar, stats,
+                                         NoJitter(), TrainerConfig{});
+  // One local pass = one update per local row.
+  EXPECT_NEAR(star.updates_per_step,
+              static_cast<double>(stats.num_instances) / 8.0, 1.0);
+}
+
+TEST(EstimateStepCostTest, RegularizationCollapsesPetuumUpdates) {
+  const DatasetStats stats = Kdd12Stats();
+  TrainerConfig plain;
+  TrainerConfig l2;
+  l2.regularizer = RegularizerKind::kL2;
+  l2.lambda = 0.1;
+  const PlanCost without = EstimateStepCost(SystemKind::kPetuumStar, stats,
+                                            NoJitter(), plain);
+  const PlanCost with = EstimateStepCost(SystemKind::kPetuumStar, stats,
+                                         NoJitter(), l2);
+  EXPECT_GT(without.updates_per_step, 10.0);
+  EXPECT_DOUBLE_EQ(with.updates_per_step, 1.0);  // paper §III-B1
+}
+
+TEST(EstimateStepCostTest, MoreShardsCutPsNetworkTime) {
+  const DatasetStats stats = Kdd12Stats();
+  TrainerConfig two;
+  two.ps.num_shards = 2;
+  TrainerConfig eight;
+  eight.ps.num_shards = 8;
+  const PlanCost few = EstimateStepCost(SystemKind::kAngel, stats,
+                                        NoJitter(), two);
+  const PlanCost many = EstimateStepCost(SystemKind::kAngel, stats,
+                                         NoJitter(), eight);
+  EXPECT_LE(many.network_seconds, few.network_seconds);
+}
+
+TEST(RecommendPlanTest, PrefersMllibStarOnPaperWorkloads) {
+  const PlanRecommendation rec =
+      RecommendPlan(Kdd12Stats(), NoJitter(), TrainerConfig{});
+  ASSERT_FALSE(rec.ranked.empty());
+  EXPECT_EQ(rec.ranked.front().system, SystemKind::kMllibStar);
+  // MLlib (SendGradient) ranks last, as in every paper figure.
+  EXPECT_EQ(rec.ranked.back().system, SystemKind::kMllib);
+  EXPECT_NE(rec.rationale.find("mllib*"), std::string::npos);
+}
+
+TEST(RecommendPlanTest, RationaleMentionsDriverBottleneck) {
+  const PlanRecommendation rec =
+      RecommendPlan(Kdd12Stats(), NoJitter(), TrainerConfig{});
+  EXPECT_NE(rec.rationale.find("driver-bound"), std::string::npos);
+}
+
+TEST(RecommendPlanTest, PredictionsTrackSimulatedStepTimes) {
+  // The analytic model should be within ~2x of the simulator for
+  // per-step time on the SendModel systems (same cost model, minus
+  // jitter and queueing detail).
+  const Dataset data = GenerateSynthetic(Kdd12Spec(3e-4));
+  const ClusterConfig cluster = NoJitter();
+  TrainerConfig config;
+  config.base_lr = 0.2;
+  config.lr_schedule = LrScheduleKind::kConstant;
+  config.max_comm_steps = 4;
+
+  for (SystemKind system : {SystemKind::kMllibStar, SystemKind::kMllibMa}) {
+    const PlanCost predicted =
+        EstimateStepCost(system, data.Stats(), cluster, config);
+    const TrainResult measured =
+        MakeTrainer(system, config)->Train(data, cluster);
+    const double measured_step = measured.sim_seconds / measured.comm_steps;
+    EXPECT_GT(predicted.step_seconds, measured_step * 0.5)
+        << SystemName(system);
+    EXPECT_LT(predicted.step_seconds, measured_step * 2.0)
+        << SystemName(system);
+  }
+}
+
+}  // namespace
+}  // namespace mllibstar

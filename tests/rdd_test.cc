@@ -1,0 +1,153 @@
+#include "engine/rdd.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace mllibstar {
+namespace {
+
+ClusterConfig TestConfig(size_t workers = 4) {
+  ClusterConfig config = ClusterConfig::Cluster1(workers);
+  config.straggler_sigma = 0.0;
+  return config;
+}
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(RddTest, ParallelizeDistributesRoundRobin) {
+  SparkCluster cluster(TestConfig(3));
+  auto rdd = Rdd<int>::Parallelize(&cluster, Iota(10));
+  EXPECT_EQ(rdd.num_partitions(), 3u);
+  EXPECT_EQ(rdd.Count(), 10u);
+}
+
+TEST(RddTest, CountOnEmpty) {
+  SparkCluster cluster(TestConfig());
+  auto rdd = Rdd<int>::Parallelize(&cluster, {});
+  EXPECT_EQ(rdd.Count(), 0u);
+}
+
+TEST(RddTest, MapTransformsEveryElement) {
+  SparkCluster cluster(TestConfig());
+  auto rdd = Rdd<int>::Parallelize(&cluster, Iota(8));
+  auto doubled = rdd.Map<int>([](const int& x) { return 2 * x; });
+  const std::vector<int> all = doubled.Collect(4);
+  int sum = 0;
+  for (int x : all) sum += x;
+  EXPECT_EQ(sum, 2 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+TEST(RddTest, MapChangesType) {
+  SparkCluster cluster(TestConfig());
+  auto rdd = Rdd<int>::Parallelize(&cluster, Iota(4));
+  auto strings =
+      rdd.Map<std::string>([](const int& x) { return std::to_string(x); });
+  const auto all = strings.Collect(8);
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(RddTest, FilterKeepsMatching) {
+  SparkCluster cluster(TestConfig());
+  auto rdd = Rdd<int>::Parallelize(&cluster, Iota(20));
+  auto evens = rdd.Filter([](const int& x) { return x % 2 == 0; });
+  EXPECT_EQ(evens.Count(), 10u);
+}
+
+TEST(RddTest, ChainedLazyTransformsComposeOnce) {
+  SparkCluster cluster(TestConfig());
+  auto rdd = Rdd<int>::Parallelize(&cluster, Iota(100));
+  auto result = rdd.Map<int>([](const int& x) { return x + 1; })
+                    .Filter([](const int& x) { return x % 3 == 0; })
+                    .Map<int>([](const int& x) { return x * x; });
+  // Elements x+1 in [1,100] divisible by 3: 3,6,...,99 -> 33 items.
+  EXPECT_EQ(result.Count(), 33u);
+}
+
+TEST(RddTest, TreeAggregateSums) {
+  SparkCluster cluster(TestConfig());
+  auto rdd = Rdd<int>::Parallelize(&cluster, Iota(50));
+  const int sum = rdd.TreeAggregate(
+      0, [](int acc, const int& x) { return acc + x; }, /*bytes=*/8);
+  EXPECT_EQ(sum, 49 * 50 / 2);
+}
+
+TEST(RddTest, MapPartitionsSeesWholePartition) {
+  SparkCluster cluster(TestConfig(2));
+  auto rdd = Rdd<int>::Parallelize(&cluster, Iota(10));
+  auto sizes = rdd.MapPartitions<size_t>(
+      [](const std::vector<int>& items)
+          -> std::pair<std::vector<size_t>, uint64_t> {
+        return {{items.size()}, items.size()};
+      });
+  const auto all = sizes.Collect(8);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0] + all[1], 10u);
+}
+
+TEST(RddTest, ActionsChargeSimulatedTime) {
+  SparkCluster cluster(TestConfig());
+  auto rdd = Rdd<int>::Parallelize(&cluster, Iota(1000));
+  const SimTime before = cluster.Now();
+  rdd.Map<int>([](const int& x) { return x; }, /*work_per_item=*/1000)
+      .Count();
+  EXPECT_GT(cluster.Now(), before);
+}
+
+TEST(RddTest, CacheAvoidsRecomputeWork) {
+  // Without cache, two actions charge the expensive map twice; with
+  // cache, the second action is nearly free.
+  const uint64_t heavy = 100000;
+
+  SparkCluster uncached_cluster(TestConfig());
+  auto uncached = Rdd<int>::Parallelize(&uncached_cluster, Iota(100))
+                      .Map<int>([](const int& x) { return x; }, heavy);
+  uncached.Count();
+  uncached.Count();
+  const SimTime uncached_time = uncached_cluster.Now();
+
+  SparkCluster cached_cluster(TestConfig());
+  auto cached = Rdd<int>::Parallelize(&cached_cluster, Iota(100))
+                    .Map<int>([](const int& x) { return x; }, heavy);
+  cached.Cache();
+  cached.Count();
+  cached.Count();
+  const SimTime cached_time = cached_cluster.Now();
+
+  EXPECT_LT(cached_time, uncached_time * 0.75);
+}
+
+TEST(RddTest, CachePreservesContents) {
+  SparkCluster cluster(TestConfig());
+  auto rdd = Rdd<int>::Parallelize(&cluster, Iota(30))
+                 .Map<int>([](const int& x) { return x * 3; });
+  rdd.Cache();
+  const int sum = rdd.TreeAggregate(
+      0, [](int acc, const int& x) { return acc + x; }, 8);
+  EXPECT_EQ(sum, 3 * 29 * 30 / 2);
+}
+
+TEST(RddTest, CollectReturnsAllElements) {
+  SparkCluster cluster(TestConfig(3));
+  auto rdd = Rdd<int>::Parallelize(&cluster, Iota(11));
+  const std::vector<int> all = rdd.Collect(4);
+  EXPECT_EQ(all.size(), 11u);
+  int sum = 0;
+  for (int x : all) sum += x;
+  EXPECT_EQ(sum, 55);
+}
+
+TEST(RddTest, StagesAppearInTrace) {
+  SparkCluster cluster(TestConfig());
+  auto rdd = Rdd<int>::Parallelize(&cluster, Iota(10));
+  rdd.Count();
+  rdd.Count();
+  EXPECT_GE(cluster.trace().stages().size(), 2u);
+}
+
+}  // namespace
+}  // namespace mllibstar

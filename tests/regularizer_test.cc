@@ -1,0 +1,70 @@
+#include "core/regularizer.h"
+
+#include <gtest/gtest.h>
+
+namespace mllibstar {
+namespace {
+
+DenseVector Vec(std::vector<double> values) {
+  return DenseVector(std::move(values));
+}
+
+TEST(NoRegularizerTest, ZeroValueAndNoOpStep) {
+  auto reg = MakeRegularizer(RegularizerKind::kNone, 0.5);
+  DenseVector w = Vec({1.0, -2.0});
+  EXPECT_DOUBLE_EQ(reg->Value(w), 0.0);
+  reg->ApplyGradientStep(&w, 0.1);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], -2.0);
+  EXPECT_DOUBLE_EQ(reg->lambda(), 0.0);
+}
+
+TEST(L2RegularizerTest, Value) {
+  auto reg = MakeRegularizer(RegularizerKind::kL2, 0.1);
+  EXPECT_DOUBLE_EQ(reg->Value(Vec({3.0, 4.0})), 0.5 * 0.1 * 25.0);
+  EXPECT_DOUBLE_EQ(reg->lambda(), 0.1);
+}
+
+TEST(L2RegularizerTest, GradientStepIsShrinkage) {
+  auto reg = MakeRegularizer(RegularizerKind::kL2, 0.5);
+  DenseVector w = Vec({2.0, -4.0});
+  reg->ApplyGradientStep(&w, 0.1);  // w *= (1 - 0.1*0.5) = 0.95
+  EXPECT_DOUBLE_EQ(w[0], 1.9);
+  EXPECT_DOUBLE_EQ(w[1], -3.8);
+}
+
+TEST(L1RegularizerTest, Value) {
+  auto reg = MakeRegularizer(RegularizerKind::kL1, 0.2);
+  EXPECT_DOUBLE_EQ(reg->Value(Vec({3.0, -4.0})), 0.2 * 7.0);
+}
+
+TEST(L1RegularizerTest, SoftThresholdStep) {
+  auto reg = MakeRegularizer(RegularizerKind::kL1, 1.0);
+  DenseVector w = Vec({0.5, -0.5, 0.05, -0.05});
+  reg->ApplyGradientStep(&w, 0.1);  // shift = 0.1
+  EXPECT_DOUBLE_EQ(w[0], 0.4);
+  EXPECT_DOUBLE_EQ(w[1], -0.4);
+  // Small weights clip to exactly zero instead of crossing.
+  EXPECT_DOUBLE_EQ(w[2], 0.0);
+  EXPECT_DOUBLE_EQ(w[3], 0.0);
+}
+
+TEST(RegularizerFactoryTest, Names) {
+  EXPECT_EQ(MakeRegularizer(RegularizerKind::kNone, 0)->name(), "none");
+  EXPECT_EQ(MakeRegularizer(RegularizerKind::kL2, 0.1)->name(), "l2");
+  EXPECT_EQ(MakeRegularizer(RegularizerKind::kL1, 0.1)->name(), "l1");
+}
+
+// Property: the L2 gradient step always decreases the penalty.
+TEST(RegularizerProperty, StepsDecreasePenalty) {
+  for (RegularizerKind kind : {RegularizerKind::kL2, RegularizerKind::kL1}) {
+    auto reg = MakeRegularizer(kind, 0.3);
+    DenseVector w = Vec({1.0, -2.0, 0.7, 0.01});
+    const double before = reg->Value(w);
+    reg->ApplyGradientStep(&w, 0.05);
+    EXPECT_LT(reg->Value(w), before);
+  }
+}
+
+}  // namespace
+}  // namespace mllibstar

@@ -1,0 +1,138 @@
+// Regression guards for the paper's headline claims, at reduced scale
+// so they run in test time. EXPERIMENTS.md records the full-scale
+// numbers; these tests pin the *shapes* so refactors cannot silently
+// lose them.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "train/report.h"
+#include "train/trainer.h"
+
+namespace mllibstar {
+namespace {
+
+TrainerConfig SvmConfig(double lambda = 0.0) {
+  TrainerConfig config;
+  config.loss = LossKind::kHinge;
+  if (lambda > 0) {
+    config.regularizer = RegularizerKind::kL2;
+    config.lambda = lambda;
+  }
+  config.lr_schedule = LrScheduleKind::kConstant;
+  config.seed = 7;
+  return config;
+}
+
+// Figure 4's most surprising finding: on high-dimensional data the
+// *time* speedup of MLlib* over MLlib exceeds its *step* speedup,
+// because AllReduce removes the driver from the data path on top of
+// model averaging's fewer steps.
+TEST(ReproTest, TimeSpeedupExceedsStepSpeedupOnHighDimensionalData) {
+  const Dataset data = GenerateSynthetic(KddbSpec(2e-4));  // d >> typical
+  const ClusterConfig cluster = ClusterConfig::Cluster1(8);
+
+  TrainerConfig star = SvmConfig();
+  star.base_lr = 0.3;
+  star.max_comm_steps = 20;
+  const TrainResult s =
+      MakeTrainer(SystemKind::kMllibStar, star)->Train(data, cluster);
+
+  TrainerConfig mllib = SvmConfig();
+  mllib.base_lr = 64.0;
+  mllib.lr_schedule = LrScheduleKind::kInverseSqrt;
+  mllib.batch_fraction = 0.1;
+  mllib.max_comm_steps = 3000;
+  mllib.eval_every = 25;
+  mllib.target_objective = s.curve.BestObjective() + 0.005;
+  const TrainResult m =
+      MakeTrainer(SystemKind::kMllib, mllib)->Train(data, cluster);
+
+  const double target = TargetObjective({s.curve, m.curve}, 0.01);
+  const auto step_speedup = StepSpeedupAtTarget(m.curve, s.curve, target);
+  const auto time_speedup = SpeedupAtTarget(m.curve, s.curve, target);
+  if (step_speedup.has_value() && time_speedup.has_value()) {
+    EXPECT_GT(*time_speedup, *step_speedup);
+    EXPECT_GT(*step_speedup, 1.0);
+  } else {
+    // MLlib failed to reach the target at all within 3000 steps —
+    // an even stronger version of the claim on underdetermined data.
+    ASSERT_TRUE(s.curve.TimeToReach(target).has_value());
+  }
+}
+
+// Figure 5 with L2: Angel's per-epoch communication beats Petuum*'s
+// per-batch communication, because with a dense regularizer every
+// Petuum step buys exactly one update but pays a full pull+push.
+TEST(ReproTest, AngelBeatsPetuumStarUnderL2) {
+  const Dataset data = GenerateSynthetic(UrlSpec(3e-4));
+  const ClusterConfig cluster = ClusterConfig::Cluster1(8);
+
+  TrainerConfig petuum = SvmConfig(0.1);
+  petuum.base_lr = 0.3;
+  petuum.batch_fraction = 0.05;
+  petuum.max_comm_steps = 60;
+  petuum.eval_every = 5;
+  const TrainResult p =
+      MakeTrainer(SystemKind::kPetuumStar, petuum)->Train(data, cluster);
+
+  TrainerConfig angel = SvmConfig(0.1);
+  angel.base_lr = 0.3;
+  angel.batch_fraction = 0.05;
+  angel.max_comm_steps = 6;
+  const TrainResult a =
+      MakeTrainer(SystemKind::kAngel, angel)->Train(data, cluster);
+
+  const double target = TargetObjective({p.curve, a.curve}, 0.01);
+  const auto angel_time = a.curve.TimeToReach(target);
+  const auto petuum_time = p.curve.TimeToReach(target);
+  ASSERT_TRUE(angel_time.has_value());
+  if (petuum_time.has_value()) {
+    EXPECT_LT(*angel_time, *petuum_time);
+  }
+}
+
+// Figure 6's scalability finding: MLlib's per-step time *grows* with
+// the worker count (driver traffic scales with k) while MLlib*'s
+// shrinks (compute shrinks, shuffle stays ~constant per link).
+TEST(ReproTest, MllibSlowsWithMoreMachinesWhileMllibStarSpeedsUp) {
+  const Dataset data = GenerateSynthetic(WxSpec(2e-4));
+  auto per_step = [&](SystemKind kind, size_t machines) {
+    const ClusterConfig cluster = ClusterConfig::Cluster2(machines);
+    TrainerConfig config = SvmConfig();
+    config.base_lr = 0.3;
+    config.batch_fraction = 0.01 * machines / 8.0;  // fixed batch count
+    config.max_comm_steps = kind == SystemKind::kMllib ? 20 : 3;
+    config.eval_every = config.max_comm_steps;
+    const TrainResult result =
+        MakeTrainer(kind, config)->Train(data, cluster);
+    return result.sim_seconds / result.comm_steps;
+  };
+  EXPECT_GT(per_step(SystemKind::kMllib, 32),
+            per_step(SystemKind::kMllib, 8));
+  EXPECT_LT(per_step(SystemKind::kMllibStar, 32),
+            per_step(SystemKind::kMllibStar, 8));
+}
+
+// The paper's 1000x extreme case is step-count driven: SendModel packs
+// |partition| updates into a communication step, SendGradient packs 1.
+TEST(ReproTest, UpdatesPerStepRatioIsPartitionSized) {
+  const Dataset data = GenerateSynthetic(AvazuSpec(2e-4));
+  const ClusterConfig cluster = ClusterConfig::Cluster1(8);
+  TrainerConfig config = SvmConfig();
+  config.base_lr = 0.2;
+  config.max_comm_steps = 4;
+  const TrainResult star =
+      MakeTrainer(SystemKind::kMllibStar, config)->Train(data, cluster);
+  const TrainResult mllib =
+      MakeTrainer(SystemKind::kMllib, config)->Train(data, cluster);
+  const double star_updates_per_step =
+      static_cast<double>(star.total_model_updates) / star.comm_steps;
+  const double mllib_updates_per_step =
+      static_cast<double>(mllib.total_model_updates) / mllib.comm_steps;
+  EXPECT_DOUBLE_EQ(mllib_updates_per_step, 1.0);
+  EXPECT_NEAR(star_updates_per_step, static_cast<double>(data.size()),
+              data.size() * 0.01);
+}
+
+}  // namespace
+}  // namespace mllibstar

@@ -1,0 +1,198 @@
+#include "sim/sim_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "sim/network.h"
+
+namespace mllibstar {
+namespace {
+
+ClusterConfig NoJitterConfig(size_t workers) {
+  ClusterConfig config = ClusterConfig::Cluster1(workers);
+  config.straggler_sigma = 0.0;
+  return config;
+}
+
+TEST(NetworkModelTest, TransferTime) {
+  NetworkModel net(0.001, 1000.0);
+  EXPECT_DOUBLE_EQ(net.TransferTime(500), 0.001 + 0.5);
+  EXPECT_DOUBLE_EQ(net.SerializedTransferTime(500, 4), 0.001 + 2.0);
+  EXPECT_DOUBLE_EQ(net.SerializedTransferTime(500, 0), 0.0);
+}
+
+TEST(NetworkModelTest, DenseBytes) {
+  EXPECT_EQ(NetworkModel::DenseBytes(1000), 8000u);
+}
+
+TEST(SimClusterTest, NodeNamesAndCounts) {
+  ClusterConfig config = NoJitterConfig(3);
+  config.num_servers = 2;
+  SimCluster sim(config);
+  EXPECT_EQ(sim.num_workers(), 3u);
+  EXPECT_EQ(sim.num_servers(), 2u);
+  EXPECT_EQ(sim.driver().name, "driver");
+  EXPECT_EQ(sim.worker(0).name, "executor1");
+  EXPECT_EQ(sim.server(1).name, "server2");
+}
+
+TEST(SimClusterTest, ComputeAdvancesClockProportionally) {
+  SimCluster sim(NoJitterConfig(2));
+  const double speed = sim.config().compute_speed;
+  sim.Compute(&sim.worker(0), static_cast<uint64_t>(speed), "work");
+  EXPECT_NEAR(sim.worker(0).clock, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sim.worker(1).clock, 0.0);
+}
+
+TEST(SimClusterTest, BarrierAlignsEveryone) {
+  SimCluster sim(NoJitterConfig(3));
+  sim.Compute(&sim.worker(0), 100, "a");
+  sim.Compute(&sim.worker(1), 500, "b");
+  const SimTime t = sim.Barrier();
+  EXPECT_DOUBLE_EQ(sim.worker(0).clock, t);
+  EXPECT_DOUBLE_EQ(sim.worker(1).clock, t);
+  EXPECT_DOUBLE_EQ(sim.worker(2).clock, t);
+  EXPECT_DOUBLE_EQ(sim.driver().clock, t);
+  EXPECT_DOUBLE_EQ(t, sim.Now());
+}
+
+TEST(SimClusterTest, BarrierRecordsWaitEvents) {
+  SimCluster sim(NoJitterConfig(2));
+  sim.Compute(&sim.worker(0), 1000, "long");
+  sim.Barrier();
+  bool saw_wait = false;
+  for (const TraceEvent& e : sim.trace().events()) {
+    if (e.kind == ActivityKind::kWait && e.node == "executor2") {
+      saw_wait = true;
+    }
+  }
+  EXPECT_TRUE(saw_wait);
+}
+
+TEST(SimClusterTest, JitterIsDeterministic) {
+  ClusterConfig config = ClusterConfig::Cluster2(4);
+  SimCluster a(config);
+  SimCluster b(config);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.NextJitter(), b.NextJitter());
+  }
+}
+
+TEST(SimClusterTest, ZeroSigmaMeansNoJitter) {
+  SimCluster sim(NoJitterConfig(1));
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(sim.NextJitter(), 1.0);
+}
+
+TEST(SimClusterTest, Cluster2HasHighVariance) {
+  SimCluster sim(ClusterConfig::Cluster2(4));
+  double min_j = 1e9;
+  double max_j = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double j = sim.NextJitter();
+    min_j = std::min(min_j, j);
+    max_j = std::max(max_j, j);
+  }
+  EXPECT_GT(max_j / min_j, 2.0);  // heterogeneous machines
+}
+
+TEST(TraceLogTest, RecordsAndDropsEmptyIntervals) {
+  TraceLog log;
+  log.Record("n", 0.0, 1.0, ActivityKind::kCompute, "x");
+  log.Record("n", 1.0, 1.0, ActivityKind::kCompute, "empty");
+  log.Record("n", 2.0, 1.0, ActivityKind::kCompute, "negative");
+  EXPECT_EQ(log.events().size(), 1u);
+  EXPECT_DOUBLE_EQ(log.EndTime(), 1.0);
+}
+
+TEST(TraceLogTest, ActivityCodes) {
+  EXPECT_EQ(ActivityCode(ActivityKind::kCompute), 'C');
+  EXPECT_EQ(ActivityCode(ActivityKind::kCommunicate), 'M');
+  EXPECT_EQ(ActivityCode(ActivityKind::kAggregate), 'A');
+  EXPECT_EQ(ActivityCode(ActivityKind::kUpdate), 'U');
+  EXPECT_EQ(ActivityCode(ActivityKind::kWait), '.');
+}
+
+TEST(TraceLogTest, AsciiGanttContainsNodesAndLegend) {
+  TraceLog log;
+  log.Record("executor1", 0.0, 5.0, ActivityKind::kCompute, "c");
+  log.Record("driver", 5.0, 10.0, ActivityKind::kUpdate, "u");
+  const std::string gantt = log.RenderAscii(40);
+  EXPECT_NE(gantt.find("executor1"), std::string::npos);
+  EXPECT_NE(gantt.find("driver"), std::string::npos);
+  EXPECT_NE(gantt.find("legend"), std::string::npos);
+  EXPECT_NE(gantt.find('C'), std::string::npos);
+  EXPECT_NE(gantt.find('U'), std::string::npos);
+}
+
+TEST(TraceLogTest, EmptyGanttIsEmpty) {
+  TraceLog log;
+  EXPECT_EQ(log.RenderAscii(40), "");
+}
+
+TEST(TraceLogTest, CsvRoundTrip) {
+  TraceLog log;
+  log.Record("n1", 0.5, 1.5, ActivityKind::kCommunicate, "send");
+  const std::string path = testing::TempDir() + "/trace.csv";
+  ASSERT_TRUE(log.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string header;
+  std::string row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "node,start,end,kind,detail");
+  EXPECT_EQ(row, "n1,0.5,1.5,M,send");
+}
+
+TEST(TraceLogTest, StageMarks) {
+  TraceLog log;
+  log.MarkStage(1.0, "s1");
+  log.MarkStage(2.0, "s2");
+  ASSERT_EQ(log.stages().size(), 2u);
+  EXPECT_EQ(log.stages()[0].second, "s1");
+  EXPECT_DOUBLE_EQ(log.stages()[1].first, 2.0);
+}
+
+TEST(SimClusterTest, NodeSpeedFactorsCycle) {
+  ClusterConfig config = NoJitterConfig(4);
+  config.node_speed_factors = {1.0, 0.5};
+  SimCluster sim(config);
+  EXPECT_DOUBLE_EQ(sim.worker(0).compute_speed, config.compute_speed);
+  EXPECT_DOUBLE_EQ(sim.worker(1).compute_speed, config.compute_speed * 0.5);
+  EXPECT_DOUBLE_EQ(sim.worker(2).compute_speed, config.compute_speed);
+  EXPECT_DOUBLE_EQ(sim.worker(3).compute_speed, config.compute_speed * 0.5);
+  // The slow node takes twice as long for the same work.
+  sim.Compute(&sim.worker(0), 1000, "a");
+  sim.Compute(&sim.worker(1), 1000, "b");
+  EXPECT_NEAR(sim.worker(1).clock, 2.0 * sim.worker(0).clock, 1e-12);
+}
+
+TEST(SimClusterTest, NoFailuresWhenProbabilityZero) {
+  SimCluster sim(NoJitterConfig(1));
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(sim.NextTaskFailure());
+}
+
+TEST(SimClusterTest, FailureRateRoughlyMatchesProbability) {
+  ClusterConfig config = NoJitterConfig(1);
+  config.task_failure_prob = 0.2;
+  SimCluster sim(config);
+  int failures = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (sim.NextTaskFailure()) ++failures;
+  }
+  EXPECT_NEAR(failures / 5000.0, 0.2, 0.03);
+}
+
+TEST(ClusterConfigTest, PresetsAreSane) {
+  const ClusterConfig c1 = ClusterConfig::Cluster1();
+  EXPECT_EQ(c1.num_workers, 8u);
+  EXPECT_GT(c1.bandwidth_bytes_per_sec, 0.0);
+  const ClusterConfig c2 = ClusterConfig::Cluster2(64);
+  EXPECT_EQ(c2.num_workers, 64u);
+  // Cluster 2 is 10x faster network but much more heterogeneous.
+  EXPECT_GT(c2.bandwidth_bytes_per_sec, c1.bandwidth_bytes_per_sec);
+  EXPECT_GT(c2.straggler_sigma, c1.straggler_sigma);
+}
+
+}  // namespace
+}  // namespace mllibstar

@@ -1,0 +1,118 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/gd.h"
+#include "core/model.h"
+
+namespace mllibstar {
+namespace {
+
+TEST(SyntheticTest, GeneratesRequestedShape) {
+  SyntheticSpec spec;
+  spec.name = "tiny";
+  spec.num_instances = 200;
+  spec.num_features = 50;
+  spec.avg_nnz = 5;
+  spec.seed = 1;
+  const Dataset ds = GenerateSynthetic(spec);
+  EXPECT_EQ(ds.size(), 200u);
+  EXPECT_EQ(ds.num_features(), 50u);
+  EXPECT_EQ(ds.name(), "tiny");
+  const double avg = ds.Stats().avg_nnz_per_row;
+  EXPECT_GT(avg, 2.0);
+  EXPECT_LT(avg, 10.0);
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  SyntheticSpec spec;
+  spec.name = "det";
+  spec.num_instances = 50;
+  spec.num_features = 30;
+  spec.seed = 42;
+  const Dataset a = GenerateSynthetic(spec);
+  const Dataset b = GenerateSynthetic(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.point(i).label, b.point(i).label);
+    ASSERT_EQ(a.point(i).features.indices, b.point(i).features.indices);
+  }
+}
+
+TEST(SyntheticTest, RowsAreSortedAndInRange) {
+  SyntheticSpec spec;
+  spec.num_instances = 300;
+  spec.num_features = 40;
+  spec.avg_nnz = 8;
+  spec.seed = 5;
+  const Dataset ds = GenerateSynthetic(spec);
+  for (const DataPoint& p : ds.points()) {
+    EXPECT_TRUE(p.features.IsSorted());
+    EXPECT_GE(p.nnz(), 1u);
+    EXPECT_LT(p.features.indices.back(), 40u);
+    EXPECT_TRUE(p.label == 1.0 || p.label == -1.0);
+  }
+}
+
+TEST(SyntheticTest, BothClassesPresent) {
+  const Dataset ds = GenerateSynthetic(AvazuSpec(1e-4));
+  size_t pos = 0;
+  for (const DataPoint& p : ds.points()) {
+    if (p.label > 0) ++pos;
+  }
+  EXPECT_GT(pos, ds.size() / 10);
+  EXPECT_LT(pos, ds.size() * 9 / 10);
+}
+
+TEST(SyntheticTest, IsLearnable) {
+  // A linear model trained by SGD should beat chance comfortably —
+  // the data comes from a (noisy) linear teacher.
+  SyntheticSpec spec = AvazuSpec(1e-4);
+  const Dataset ds = GenerateSynthetic(spec);
+  auto loss = MakeLoss(LossKind::kLogistic);
+  auto reg = MakeRegularizer(RegularizerKind::kNone, 0.0);
+  DenseVector w(ds.num_features());
+  Rng rng(3);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    LocalSgdEpoch(ds.points(), *loss, *reg, 0.5, true, &rng, &w);
+  }
+  EXPECT_GT(Accuracy(ds.points(), w), 0.8);
+}
+
+TEST(SyntheticPresetTest, TableOneRatiosPreserved) {
+  // Determined datasets: more instances than features.
+  EXPECT_FALSE(GenerateSynthetic(AvazuSpec(1e-3)).Stats().underdetermined);
+  EXPECT_FALSE(GenerateSynthetic(Kdd12Spec(1e-3)).Stats().underdetermined);
+  // Underdetermined datasets: more features than instances.
+  EXPECT_TRUE(GenerateSynthetic(UrlSpec(1e-3)).Stats().underdetermined);
+  EXPECT_TRUE(GenerateSynthetic(KddbSpec(1e-3)).Stats().underdetermined);
+}
+
+TEST(SyntheticPresetTest, SpecByNameRoundTrip) {
+  EXPECT_EQ(SpecByName("avazu").name, "avazu");
+  EXPECT_EQ(SpecByName("url").name, "url");
+  EXPECT_EQ(SpecByName("kddb").name, "kddb");
+  EXPECT_EQ(SpecByName("kdd12").name, "kdd12");
+  EXPECT_EQ(SpecByName("wx").name, "wx");
+  EXPECT_EQ(SpecByName("unknown").name, "avazu");
+}
+
+TEST(SyntheticPresetTest, ScaleControlsSize) {
+  const SyntheticSpec small = AvazuSpec(1e-4);
+  const SyntheticSpec large = AvazuSpec(1e-3);
+  EXPECT_LT(small.num_instances, large.num_instances);
+  EXPECT_LE(small.num_features, large.num_features);
+}
+
+TEST(SyntheticPresetTest, WxIsTheLargest) {
+  const auto wx = WxSpec(1e-3);
+  for (const auto& other : {AvazuSpec(1e-3), UrlSpec(1e-3), KddbSpec(1e-3),
+                            Kdd12Spec(1e-3)}) {
+    EXPECT_GE(wx.num_instances * wx.avg_nnz,
+              other.num_instances * other.avg_nnz / 2)
+        << other.name;
+  }
+}
+
+}  // namespace
+}  // namespace mllibstar

@@ -1,0 +1,84 @@
+#include "sim/trace_summary.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "train/trainer.h"
+
+namespace mllibstar {
+namespace {
+
+TEST(TraceSummaryTest, AccumulatesByKind) {
+  TraceLog trace;
+  trace.Record("n1", 0.0, 2.0, ActivityKind::kCompute, "c");
+  trace.Record("n1", 2.0, 3.0, ActivityKind::kCommunicate, "m");
+  trace.Record("n1", 3.0, 3.5, ActivityKind::kWait, "w");
+  trace.Record("n2", 0.0, 1.0, ActivityKind::kUpdate, "u");
+  const TraceSummary summary = Summarize(trace);
+
+  const NodeSummary n1 = summary.Node("n1");
+  EXPECT_DOUBLE_EQ(n1.compute, 2.0);
+  EXPECT_DOUBLE_EQ(n1.communicate, 1.0);
+  EXPECT_DOUBLE_EQ(n1.wait, 0.5);
+  EXPECT_DOUBLE_EQ(n1.busy(), 3.0);
+  EXPECT_DOUBLE_EQ(n1.total(), 3.5);
+  EXPECT_NEAR(n1.utilization(), 3.0 / 3.5, 1e-12);
+
+  EXPECT_DOUBLE_EQ(summary.Node("n2").update, 1.0);
+  EXPECT_DOUBLE_EQ(summary.cluster.busy(), 4.0);
+  EXPECT_DOUBLE_EQ(summary.makespan, 3.5);
+  EXPECT_TRUE(summary.HasNode("n1"));
+  EXPECT_FALSE(summary.HasNode("n3"));
+}
+
+TEST(TraceSummaryTest, MissingNodeIsZeros) {
+  const TraceSummary summary = Summarize(TraceLog{});
+  const NodeSummary none = summary.Node("ghost");
+  EXPECT_DOUBLE_EQ(none.total(), 0.0);
+  EXPECT_DOUBLE_EQ(none.utilization(), 0.0);
+}
+
+TEST(TraceSummaryTest, TableListsNodes) {
+  TraceLog trace;
+  trace.Record("executor1", 0.0, 1.0, ActivityKind::kCompute, "c");
+  const std::string table = SummaryTable(Summarize(trace));
+  EXPECT_NE(table.find("executor1"), std::string::npos);
+  EXPECT_NE(table.find("makespan"), std::string::npos);
+}
+
+TEST(TraceSummaryTest, QuantifiesFigureThreeContrast) {
+  // The Figure 3 claim in numbers: MLlib's executors have much lower
+  // utilization than MLlib*'s.
+  SyntheticSpec spec = Kdd12Spec(1e-4);
+  const Dataset data = GenerateSynthetic(spec);
+  const ClusterConfig cluster = ClusterConfig::Cluster1(8);
+  TrainerConfig config;
+  config.loss = LossKind::kHinge;
+  config.base_lr = 0.2;
+  config.lr_schedule = LrScheduleKind::kConstant;
+  config.max_comm_steps = 3;
+
+  const TrainResult mllib =
+      MakeTrainer(SystemKind::kMllib, config)->Train(data, cluster);
+  const TrainResult star =
+      MakeTrainer(SystemKind::kMllibStar, config)->Train(data, cluster);
+
+  const TraceSummary mllib_summary = Summarize(mllib.trace);
+  const TraceSummary star_summary = Summarize(star.trace);
+  // Average executor utilization excluding the driver.
+  auto executor_utilization = [](const TraceSummary& summary) {
+    double total = 0.0;
+    int count = 0;
+    for (const auto& [name, node] : summary.per_node) {
+      if (name == "driver") continue;
+      total += node.utilization();
+      ++count;
+    }
+    return total / count;
+  };
+  EXPECT_GT(executor_utilization(star_summary),
+            executor_utilization(mllib_summary));
+}
+
+}  // namespace
+}  // namespace mllibstar

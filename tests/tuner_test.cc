@@ -1,0 +1,132 @@
+#include "train/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace mllibstar {
+namespace {
+
+Dataset TunerData() {
+  SyntheticSpec spec;
+  spec.name = "tuner";
+  spec.num_instances = 400;
+  spec.num_features = 60;
+  spec.avg_nnz = 6;
+  spec.seed = 21;
+  return GenerateSynthetic(spec);
+}
+
+ClusterConfig FastCluster() {
+  ClusterConfig config = ClusterConfig::Cluster1(4);
+  config.straggler_sigma = 0.0;
+  return config;
+}
+
+TrainerConfig BaseConfig() {
+  TrainerConfig config;
+  config.loss = LossKind::kLogistic;
+  config.lr_schedule = LrScheduleKind::kConstant;
+  config.max_comm_steps = 50;  // caller's real budget
+  return config;
+}
+
+TEST(RandomSearchTest, RunsRequestedTrials) {
+  const Dataset data = TunerData();
+  const TunerResult result =
+      RandomSearch(SystemKind::kMllibStar, BaseConfig(), TunerSpace{},
+                   /*num_trials=*/5, /*trial_steps=*/4, data, FastCluster());
+  EXPECT_EQ(result.trials.size(), 5u);
+  EXPECT_LT(result.best_objective, 1.0);
+  // The returned best restores the caller's budget.
+  EXPECT_EQ(result.best_config.max_comm_steps, 50);
+}
+
+TEST(RandomSearchTest, SamplesWithinSpace) {
+  const Dataset data = TunerData();
+  TunerSpace space;
+  space.lr_min = 0.1;
+  space.lr_max = 0.5;
+  space.batch_fraction_min = 0.01;
+  space.batch_fraction_max = 0.02;
+  const TunerResult result =
+      RandomSearch(SystemKind::kMllibStar, BaseConfig(), space, 6, 3, data,
+                   FastCluster());
+  for (const TunerTrial& trial : result.trials) {
+    EXPECT_GE(trial.config.base_lr, 0.1);
+    EXPECT_LE(trial.config.base_lr, 0.5);
+    EXPECT_GE(trial.config.batch_fraction, 0.01);
+    EXPECT_LE(trial.config.batch_fraction, 0.02);
+  }
+}
+
+TEST(RandomSearchTest, DeterministicGivenSeed) {
+  const Dataset data = TunerData();
+  const TunerResult a =
+      RandomSearch(SystemKind::kMllibStar, BaseConfig(), TunerSpace{}, 4, 3,
+                   data, FastCluster(), /*seed=*/5);
+  const TunerResult b =
+      RandomSearch(SystemKind::kMllibStar, BaseConfig(), TunerSpace{}, 4, 3,
+                   data, FastCluster(), /*seed=*/5);
+  EXPECT_DOUBLE_EQ(a.best_objective, b.best_objective);
+  EXPECT_DOUBLE_EQ(a.best_config.base_lr, b.best_config.base_lr);
+}
+
+TEST(RandomSearchTest, StalenessOnlySampledForPsSystems) {
+  const Dataset data = TunerData();
+  TunerSpace space;
+  space.staleness_max = 3;
+  const TunerResult spark_result =
+      RandomSearch(SystemKind::kMllibStar, BaseConfig(), space, 5, 2, data,
+                   FastCluster());
+  for (const TunerTrial& trial : spark_result.trials) {
+    EXPECT_EQ(trial.config.ps.staleness, 0);
+  }
+  const TunerResult ps_result =
+      RandomSearch(SystemKind::kPetuumStar, BaseConfig(), space, 8, 2, data,
+                   FastCluster(), /*seed=*/3);
+  bool saw_ssp = false;
+  for (const TunerTrial& trial : ps_result.trials) {
+    if (trial.config.ps.staleness > 0) saw_ssp = true;
+  }
+  EXPECT_TRUE(saw_ssp);
+}
+
+TEST(SuccessiveHalvingTest, HalvesDownToOneSurvivor) {
+  const Dataset data = TunerData();
+  const TunerResult result = SuccessiveHalving(
+      SystemKind::kMllibStar, BaseConfig(), TunerSpace{},
+      /*initial_trials=*/8, /*initial_steps=*/2, data, FastCluster());
+  // Rounds of 8, 4, 2, 1 trials = 15 evaluations.
+  EXPECT_EQ(result.trials.size(), 15u);
+  EXPECT_LT(result.best_objective, 1.0);
+  EXPECT_EQ(result.best_config.max_comm_steps, 50);
+}
+
+TEST(SuccessiveHalvingTest, BestAtLeastAsGoodAsFirstRoundWinner) {
+  const Dataset data = TunerData();
+  const TunerResult result = SuccessiveHalving(
+      SystemKind::kMllibStar, BaseConfig(), TunerSpace{}, 4, 2, data,
+      FastCluster());
+  double first_round_best = 1e300;
+  for (size_t i = 0; i < 4; ++i) {
+    first_round_best = std::min(first_round_best,
+                                result.trials[i].objective);
+  }
+  EXPECT_LE(result.best_objective, first_round_best);
+}
+
+TEST(TunerComparisonTest, TunedBeatsPathologicalDefault) {
+  const Dataset data = TunerData();
+  TrainerConfig bad = BaseConfig();
+  bad.base_lr = 1e-7;  // hopeless default
+  const TrainResult untrained =
+      MakeTrainer(SystemKind::kMllibStar, bad)->Train(data, FastCluster());
+  const TunerResult tuned = RandomSearch(
+      SystemKind::kMllibStar, bad, TunerSpace{}, 6, 5, data, FastCluster());
+  EXPECT_LT(tuned.best_objective,
+            untrained.curve.BestObjective() * 0.9);
+}
+
+}  // namespace
+}  // namespace mllibstar

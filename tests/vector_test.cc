@@ -1,0 +1,143 @@
+#include "core/vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace mllibstar {
+namespace {
+
+SparseVector MakeSparse(std::vector<FeatureIndex> indices,
+                        std::vector<double> values) {
+  SparseVector v;
+  v.indices = std::move(indices);
+  v.values = std::move(values);
+  return v;
+}
+
+TEST(SparseVectorTest, PushAndNnz) {
+  SparseVector v;
+  EXPECT_EQ(v.nnz(), 0u);
+  v.Push(1, 0.5);
+  v.Push(4, -2.0);
+  EXPECT_EQ(v.nnz(), 2u);
+  EXPECT_TRUE(v.IsSorted());
+}
+
+TEST(SparseVectorTest, IsSortedDetectsViolations) {
+  EXPECT_TRUE(MakeSparse({}, {}).IsSorted());
+  EXPECT_TRUE(MakeSparse({3}, {1.0}).IsSorted());
+  EXPECT_FALSE(MakeSparse({3, 3}, {1.0, 1.0}).IsSorted());
+  EXPECT_FALSE(MakeSparse({5, 2}, {1.0, 1.0}).IsSorted());
+}
+
+TEST(SparseVectorTest, SquaredNorm) {
+  const SparseVector v = MakeSparse({0, 2}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(v.SquaredNorm(), 25.0);
+}
+
+TEST(DenseVectorTest, ConstructZeroed) {
+  DenseVector v(5);
+  EXPECT_EQ(v.dim(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(DenseVectorTest, SparseAxpy) {
+  DenseVector v(4);
+  v.AddScaled(MakeSparse({1, 3}, {2.0, -1.0}), 3.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 6.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.0);
+  EXPECT_DOUBLE_EQ(v[3], -3.0);
+}
+
+TEST(DenseVectorTest, DenseAxpy) {
+  DenseVector v(std::vector<double>{1.0, 2.0});
+  DenseVector x(std::vector<double>{10.0, 20.0});
+  v.AddScaled(x, 0.5);
+  EXPECT_DOUBLE_EQ(v[0], 6.0);
+  EXPECT_DOUBLE_EQ(v[1], 12.0);
+}
+
+TEST(DenseVectorTest, DotWithSparse) {
+  DenseVector v(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(v.Dot(MakeSparse({0, 3}, {2.0, -1.0})), -2.0);
+  EXPECT_DOUBLE_EQ(v.Dot(MakeSparse({}, {})), 0.0);
+}
+
+TEST(DenseVectorTest, DotWithDense) {
+  DenseVector a(std::vector<double>{1.0, -1.0, 2.0});
+  DenseVector b(std::vector<double>{3.0, 3.0, 0.5});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 1.0);
+}
+
+TEST(DenseVectorTest, Norms) {
+  DenseVector v(std::vector<double>{3.0, -4.0});
+  EXPECT_DOUBLE_EQ(v.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(v.Norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(v.Norm1(), 7.0);
+}
+
+TEST(DenseVectorTest, ScaleAndZero) {
+  DenseVector v(std::vector<double>{1.0, 2.0});
+  v.Scale(-2.0);
+  EXPECT_DOUBLE_EQ(v[0], -2.0);
+  EXPECT_DOUBLE_EQ(v[1], -4.0);
+  v.SetZero();
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST(DenseVectorTest, CountNonZeros) {
+  DenseVector v(std::vector<double>{0.0, 1e-12, 0.5, -0.5});
+  EXPECT_EQ(v.CountNonZeros(), 3u);
+  EXPECT_EQ(v.CountNonZeros(1e-6), 2u);
+}
+
+TEST(DenseVectorTest, AverageOfVectors) {
+  std::vector<DenseVector> vs;
+  vs.emplace_back(std::vector<double>{1.0, 0.0});
+  vs.emplace_back(std::vector<double>{3.0, 2.0});
+  const DenseVector avg = Average(vs);
+  EXPECT_DOUBLE_EQ(avg[0], 2.0);
+  EXPECT_DOUBLE_EQ(avg[1], 1.0);
+}
+
+TEST(DenseVectorTest, AverageOfOneIsIdentity) {
+  std::vector<DenseVector> vs;
+  vs.emplace_back(std::vector<double>{7.0, -3.0});
+  const DenseVector avg = Average(vs);
+  EXPECT_DOUBLE_EQ(avg[0], 7.0);
+  EXPECT_DOUBLE_EQ(avg[1], -3.0);
+}
+
+// Property: dot is linear — (a + c·x)·s == a·s + c·(x·s) for sparse s.
+TEST(DenseVectorProperty, DotLinearInAxpy) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t dim = 32;
+    DenseVector a(dim);
+    DenseVector x(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      a[i] = rng.NextGaussian();
+      x[i] = rng.NextGaussian();
+    }
+    SparseVector s;
+    for (size_t i = 0; i < dim; i += 1 + rng.NextUint64(4)) {
+      s.Push(static_cast<FeatureIndex>(i), rng.NextGaussian());
+    }
+    const double c = rng.NextDouble(-2.0, 2.0);
+    const double lhs_before = a.Dot(s);
+    DenseVector sum = a;
+    // Convert sparse s to dense to exercise dense axpy too.
+    DenseVector s_dense(dim);
+    s_dense.AddScaled(s, 1.0);
+    sum.AddScaled(s_dense, c);
+    EXPECT_NEAR(sum.Dot(s), lhs_before + c * s_dense.Dot(s), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mllibstar
