@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_comm_freq.dir/ablation_comm_freq.cc.o"
+  "CMakeFiles/ablation_comm_freq.dir/ablation_comm_freq.cc.o.d"
+  "ablation_comm_freq"
+  "ablation_comm_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_comm_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fault.dir/ablation_fault.cc.o"
+  "CMakeFiles/ablation_fault.dir/ablation_fault.cc.o.d"
+  "ablation_fault"
+  "ablation_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_local_optimizer.dir/ablation_local_optimizer.cc.o"
+  "CMakeFiles/ablation_local_optimizer.dir/ablation_local_optimizer.cc.o.d"
+  "ablation_local_optimizer"
+  "ablation_local_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_local_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_treeagg.dir/ablation_treeagg.cc.o"
+  "CMakeFiles/ablation_treeagg.dir/ablation_treeagg.cc.o.d"
+  "ablation_treeagg"
+  "ablation_treeagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_treeagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

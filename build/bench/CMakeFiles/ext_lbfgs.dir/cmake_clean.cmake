@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lbfgs.dir/ext_lbfgs.cc.o"
+  "CMakeFiles/ext_lbfgs.dir/ext_lbfgs.cc.o.d"
+  "ext_lbfgs"
+  "ext_lbfgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lbfgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_gantt.cc" "bench/CMakeFiles/fig3_gantt.dir/fig3_gantt.cc.o" "gcc" "bench/CMakeFiles/fig3_gantt.dir/fig3_gantt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/mllibstar_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mllibstar_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mllibstar_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/mllibstar_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mllibstar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mllibstar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mllibstar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_gantt.dir/fig3_gantt.cc.o"
+  "CMakeFiles/fig3_gantt.dir/fig3_gantt.cc.o.d"
+  "fig3_gantt"
+  "fig3_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_mllib_vs_star.dir/fig4_mllib_vs_star.cc.o"
+  "CMakeFiles/fig4_mllib_vs_star.dir/fig4_mllib_vs_star.cc.o.d"
+  "fig4_mllib_vs_star"
+  "fig4_mllib_vs_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mllib_vs_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

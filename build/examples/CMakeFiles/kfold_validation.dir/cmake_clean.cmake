@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfold_validation.dir/kfold_validation.cpp.o"
+  "CMakeFiles/kfold_validation.dir/kfold_validation.cpp.o.d"
+  "kfold_validation"
+  "kfold_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfold_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlstar_train.dir/mlstar_train.cpp.o"
+  "CMakeFiles/mlstar_train.dir/mlstar_train.cpp.o.d"
+  "mlstar_train"
+  "mlstar_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlstar_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

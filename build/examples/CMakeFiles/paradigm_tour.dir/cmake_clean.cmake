@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_tour.dir/paradigm_tour.cpp.o"
+  "CMakeFiles/paradigm_tour.dir/paradigm_tour.cpp.o.d"
+  "paradigm_tour"
+  "paradigm_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

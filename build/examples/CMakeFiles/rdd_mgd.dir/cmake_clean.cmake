@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdd_mgd.dir/rdd_mgd.cpp.o"
+  "CMakeFiles/rdd_mgd.dir/rdd_mgd.cpp.o.d"
+  "rdd_mgd"
+  "rdd_mgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdd_mgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/url_reputation.dir/url_reputation.cpp.o"
+  "CMakeFiles/url_reputation.dir/url_reputation.cpp.o.d"
+  "url_reputation"
+  "url_reputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/url_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mllibstar_common.dir/csv.cc.o"
+  "CMakeFiles/mllibstar_common.dir/csv.cc.o.d"
+  "CMakeFiles/mllibstar_common.dir/flags.cc.o"
+  "CMakeFiles/mllibstar_common.dir/flags.cc.o.d"
+  "CMakeFiles/mllibstar_common.dir/logging.cc.o"
+  "CMakeFiles/mllibstar_common.dir/logging.cc.o.d"
+  "CMakeFiles/mllibstar_common.dir/random.cc.o"
+  "CMakeFiles/mllibstar_common.dir/random.cc.o.d"
+  "CMakeFiles/mllibstar_common.dir/status.cc.o"
+  "CMakeFiles/mllibstar_common.dir/status.cc.o.d"
+  "CMakeFiles/mllibstar_common.dir/strings.cc.o"
+  "CMakeFiles/mllibstar_common.dir/strings.cc.o.d"
+  "CMakeFiles/mllibstar_common.dir/thread_pool.cc.o"
+  "CMakeFiles/mllibstar_common.dir/thread_pool.cc.o.d"
+  "libmllibstar_common.a"
+  "libmllibstar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mllibstar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/convergence.cc" "src/core/CMakeFiles/mllibstar_core.dir/convergence.cc.o" "gcc" "src/core/CMakeFiles/mllibstar_core.dir/convergence.cc.o.d"
+  "/root/repo/src/core/gd.cc" "src/core/CMakeFiles/mllibstar_core.dir/gd.cc.o" "gcc" "src/core/CMakeFiles/mllibstar_core.dir/gd.cc.o.d"
+  "/root/repo/src/core/lbfgs.cc" "src/core/CMakeFiles/mllibstar_core.dir/lbfgs.cc.o" "gcc" "src/core/CMakeFiles/mllibstar_core.dir/lbfgs.cc.o.d"
+  "/root/repo/src/core/local_optimizer.cc" "src/core/CMakeFiles/mllibstar_core.dir/local_optimizer.cc.o" "gcc" "src/core/CMakeFiles/mllibstar_core.dir/local_optimizer.cc.o.d"
+  "/root/repo/src/core/loss.cc" "src/core/CMakeFiles/mllibstar_core.dir/loss.cc.o" "gcc" "src/core/CMakeFiles/mllibstar_core.dir/loss.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/mllibstar_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/mllibstar_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/mllibstar_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/mllibstar_core.dir/model.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/mllibstar_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/mllibstar_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/owlqn.cc" "src/core/CMakeFiles/mllibstar_core.dir/owlqn.cc.o" "gcc" "src/core/CMakeFiles/mllibstar_core.dir/owlqn.cc.o.d"
+  "/root/repo/src/core/regularizer.cc" "src/core/CMakeFiles/mllibstar_core.dir/regularizer.cc.o" "gcc" "src/core/CMakeFiles/mllibstar_core.dir/regularizer.cc.o.d"
+  "/root/repo/src/core/vector.cc" "src/core/CMakeFiles/mllibstar_core.dir/vector.cc.o" "gcc" "src/core/CMakeFiles/mllibstar_core.dir/vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mllibstar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mllibstar_core.dir/convergence.cc.o"
+  "CMakeFiles/mllibstar_core.dir/convergence.cc.o.d"
+  "CMakeFiles/mllibstar_core.dir/gd.cc.o"
+  "CMakeFiles/mllibstar_core.dir/gd.cc.o.d"
+  "CMakeFiles/mllibstar_core.dir/lbfgs.cc.o"
+  "CMakeFiles/mllibstar_core.dir/lbfgs.cc.o.d"
+  "CMakeFiles/mllibstar_core.dir/local_optimizer.cc.o"
+  "CMakeFiles/mllibstar_core.dir/local_optimizer.cc.o.d"
+  "CMakeFiles/mllibstar_core.dir/loss.cc.o"
+  "CMakeFiles/mllibstar_core.dir/loss.cc.o.d"
+  "CMakeFiles/mllibstar_core.dir/metrics.cc.o"
+  "CMakeFiles/mllibstar_core.dir/metrics.cc.o.d"
+  "CMakeFiles/mllibstar_core.dir/model.cc.o"
+  "CMakeFiles/mllibstar_core.dir/model.cc.o.d"
+  "CMakeFiles/mllibstar_core.dir/model_io.cc.o"
+  "CMakeFiles/mllibstar_core.dir/model_io.cc.o.d"
+  "CMakeFiles/mllibstar_core.dir/owlqn.cc.o"
+  "CMakeFiles/mllibstar_core.dir/owlqn.cc.o.d"
+  "CMakeFiles/mllibstar_core.dir/regularizer.cc.o"
+  "CMakeFiles/mllibstar_core.dir/regularizer.cc.o.d"
+  "CMakeFiles/mllibstar_core.dir/vector.cc.o"
+  "CMakeFiles/mllibstar_core.dir/vector.cc.o.d"
+  "libmllibstar_core.a"
+  "libmllibstar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mllibstar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/mllibstar_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/mllibstar_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/libsvm.cc" "src/data/CMakeFiles/mllibstar_data.dir/libsvm.cc.o" "gcc" "src/data/CMakeFiles/mllibstar_data.dir/libsvm.cc.o.d"
+  "/root/repo/src/data/partition.cc" "src/data/CMakeFiles/mllibstar_data.dir/partition.cc.o" "gcc" "src/data/CMakeFiles/mllibstar_data.dir/partition.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/data/CMakeFiles/mllibstar_data.dir/split.cc.o" "gcc" "src/data/CMakeFiles/mllibstar_data.dir/split.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/mllibstar_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/mllibstar_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mllibstar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mllibstar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

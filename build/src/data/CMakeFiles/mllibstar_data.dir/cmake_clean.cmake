@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mllibstar_data.dir/dataset.cc.o"
+  "CMakeFiles/mllibstar_data.dir/dataset.cc.o.d"
+  "CMakeFiles/mllibstar_data.dir/libsvm.cc.o"
+  "CMakeFiles/mllibstar_data.dir/libsvm.cc.o.d"
+  "CMakeFiles/mllibstar_data.dir/partition.cc.o"
+  "CMakeFiles/mllibstar_data.dir/partition.cc.o.d"
+  "CMakeFiles/mllibstar_data.dir/split.cc.o"
+  "CMakeFiles/mllibstar_data.dir/split.cc.o.d"
+  "CMakeFiles/mllibstar_data.dir/synthetic.cc.o"
+  "CMakeFiles/mllibstar_data.dir/synthetic.cc.o.d"
+  "libmllibstar_data.a"
+  "libmllibstar_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mllibstar_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

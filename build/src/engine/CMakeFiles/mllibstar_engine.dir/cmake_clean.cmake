@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mllibstar_engine.dir/spark_cluster.cc.o"
+  "CMakeFiles/mllibstar_engine.dir/spark_cluster.cc.o.d"
+  "libmllibstar_engine.a"
+  "libmllibstar_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mllibstar_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

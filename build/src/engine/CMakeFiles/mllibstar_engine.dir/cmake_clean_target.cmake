@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmllibstar_engine.a"
+)

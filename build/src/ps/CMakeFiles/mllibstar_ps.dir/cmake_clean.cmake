@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mllibstar_ps.dir/parameter_server.cc.o"
+  "CMakeFiles/mllibstar_ps.dir/parameter_server.cc.o.d"
+  "libmllibstar_ps.a"
+  "libmllibstar_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mllibstar_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

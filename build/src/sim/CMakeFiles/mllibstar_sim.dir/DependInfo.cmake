@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster_config.cc" "src/sim/CMakeFiles/mllibstar_sim.dir/cluster_config.cc.o" "gcc" "src/sim/CMakeFiles/mllibstar_sim.dir/cluster_config.cc.o.d"
+  "/root/repo/src/sim/gantt_svg.cc" "src/sim/CMakeFiles/mllibstar_sim.dir/gantt_svg.cc.o" "gcc" "src/sim/CMakeFiles/mllibstar_sim.dir/gantt_svg.cc.o.d"
+  "/root/repo/src/sim/sim_cluster.cc" "src/sim/CMakeFiles/mllibstar_sim.dir/sim_cluster.cc.o" "gcc" "src/sim/CMakeFiles/mllibstar_sim.dir/sim_cluster.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/mllibstar_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/mllibstar_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/trace_summary.cc" "src/sim/CMakeFiles/mllibstar_sim.dir/trace_summary.cc.o" "gcc" "src/sim/CMakeFiles/mllibstar_sim.dir/trace_summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mllibstar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mllibstar_sim.dir/cluster_config.cc.o"
+  "CMakeFiles/mllibstar_sim.dir/cluster_config.cc.o.d"
+  "CMakeFiles/mllibstar_sim.dir/gantt_svg.cc.o"
+  "CMakeFiles/mllibstar_sim.dir/gantt_svg.cc.o.d"
+  "CMakeFiles/mllibstar_sim.dir/sim_cluster.cc.o"
+  "CMakeFiles/mllibstar_sim.dir/sim_cluster.cc.o.d"
+  "CMakeFiles/mllibstar_sim.dir/trace.cc.o"
+  "CMakeFiles/mllibstar_sim.dir/trace.cc.o.d"
+  "CMakeFiles/mllibstar_sim.dir/trace_summary.cc.o"
+  "CMakeFiles/mllibstar_sim.dir/trace_summary.cc.o.d"
+  "libmllibstar_sim.a"
+  "libmllibstar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mllibstar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

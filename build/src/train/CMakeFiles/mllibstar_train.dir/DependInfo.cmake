@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/estimators.cc" "src/train/CMakeFiles/mllibstar_train.dir/estimators.cc.o" "gcc" "src/train/CMakeFiles/mllibstar_train.dir/estimators.cc.o.d"
+  "/root/repo/src/train/grid_search.cc" "src/train/CMakeFiles/mllibstar_train.dir/grid_search.cc.o" "gcc" "src/train/CMakeFiles/mllibstar_train.dir/grid_search.cc.o.d"
+  "/root/repo/src/train/lbfgs_trainer.cc" "src/train/CMakeFiles/mllibstar_train.dir/lbfgs_trainer.cc.o" "gcc" "src/train/CMakeFiles/mllibstar_train.dir/lbfgs_trainer.cc.o.d"
+  "/root/repo/src/train/mllib_trainer.cc" "src/train/CMakeFiles/mllibstar_train.dir/mllib_trainer.cc.o" "gcc" "src/train/CMakeFiles/mllibstar_train.dir/mllib_trainer.cc.o.d"
+  "/root/repo/src/train/plan_optimizer.cc" "src/train/CMakeFiles/mllibstar_train.dir/plan_optimizer.cc.o" "gcc" "src/train/CMakeFiles/mllibstar_train.dir/plan_optimizer.cc.o.d"
+  "/root/repo/src/train/ps_trainer.cc" "src/train/CMakeFiles/mllibstar_train.dir/ps_trainer.cc.o" "gcc" "src/train/CMakeFiles/mllibstar_train.dir/ps_trainer.cc.o.d"
+  "/root/repo/src/train/report.cc" "src/train/CMakeFiles/mllibstar_train.dir/report.cc.o" "gcc" "src/train/CMakeFiles/mllibstar_train.dir/report.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/train/CMakeFiles/mllibstar_train.dir/trainer.cc.o" "gcc" "src/train/CMakeFiles/mllibstar_train.dir/trainer.cc.o.d"
+  "/root/repo/src/train/tuner.cc" "src/train/CMakeFiles/mllibstar_train.dir/tuner.cc.o" "gcc" "src/train/CMakeFiles/mllibstar_train.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mllibstar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mllibstar_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mllibstar_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/mllibstar_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mllibstar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mllibstar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mllibstar_train.dir/estimators.cc.o"
+  "CMakeFiles/mllibstar_train.dir/estimators.cc.o.d"
+  "CMakeFiles/mllibstar_train.dir/grid_search.cc.o"
+  "CMakeFiles/mllibstar_train.dir/grid_search.cc.o.d"
+  "CMakeFiles/mllibstar_train.dir/lbfgs_trainer.cc.o"
+  "CMakeFiles/mllibstar_train.dir/lbfgs_trainer.cc.o.d"
+  "CMakeFiles/mllibstar_train.dir/mllib_trainer.cc.o"
+  "CMakeFiles/mllibstar_train.dir/mllib_trainer.cc.o.d"
+  "CMakeFiles/mllibstar_train.dir/plan_optimizer.cc.o"
+  "CMakeFiles/mllibstar_train.dir/plan_optimizer.cc.o.d"
+  "CMakeFiles/mllibstar_train.dir/ps_trainer.cc.o"
+  "CMakeFiles/mllibstar_train.dir/ps_trainer.cc.o.d"
+  "CMakeFiles/mllibstar_train.dir/report.cc.o"
+  "CMakeFiles/mllibstar_train.dir/report.cc.o.d"
+  "CMakeFiles/mllibstar_train.dir/trainer.cc.o"
+  "CMakeFiles/mllibstar_train.dir/trainer.cc.o.d"
+  "CMakeFiles/mllibstar_train.dir/tuner.cc.o"
+  "CMakeFiles/mllibstar_train.dir/tuner.cc.o.d"
+  "libmllibstar_train.a"
+  "libmllibstar_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mllibstar_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gantt_svg_test.dir/gantt_svg_test.cc.o"
+  "CMakeFiles/gantt_svg_test.dir/gantt_svg_test.cc.o.d"
+  "gantt_svg_test"
+  "gantt_svg_test.pdb"
+  "gantt_svg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gantt_svg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

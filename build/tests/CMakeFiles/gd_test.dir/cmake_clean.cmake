@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_test.dir/gd_test.cc.o"
+  "CMakeFiles/gd_test.dir/gd_test.cc.o.d"
+  "gd_test"
+  "gd_test.pdb"
+  "gd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owlqn_test.dir/owlqn_test.cc.o"
+  "CMakeFiles/owlqn_test.dir/owlqn_test.cc.o.d"
+  "owlqn_test"
+  "owlqn_test.pdb"
+  "owlqn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owlqn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

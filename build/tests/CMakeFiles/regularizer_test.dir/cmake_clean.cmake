@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regularizer_test.dir/regularizer_test.cc.o"
+  "CMakeFiles/regularizer_test.dir/regularizer_test.cc.o.d"
+  "regularizer_test"
+  "regularizer_test.pdb"
+  "regularizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regularizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

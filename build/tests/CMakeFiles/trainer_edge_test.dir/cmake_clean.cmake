@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainer_edge_test.dir/trainer_edge_test.cc.o"
+  "CMakeFiles/trainer_edge_test.dir/trainer_edge_test.cc.o.d"
+  "trainer_edge_test"
+  "trainer_edge_test.pdb"
+  "trainer_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainer_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
