@@ -1,0 +1,139 @@
+// Serving throughput: batched multi-threaded scoring vs one-at-a-time
+// requests, swept over batch size × thread count.
+//
+// Prints a throughput table (requests/sec) and writes the series to
+// results/serve_bench.csv. The single-request row (batch=1, threads=1)
+// is the baseline every batched configuration is compared against.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/model.h"
+#include "serve/batch_scorer.h"
+#include "serve/model_registry.h"
+
+namespace mllibstar {
+namespace {
+
+constexpr size_t kDim = 1 << 20;        // 1M features (avazu-scale)
+constexpr size_t kNnzPerRequest = 200;  // wide crossed-feature rows
+constexpr size_t kNumRequests = 100000;
+
+std::vector<SparseVector> MakeRequests() {
+  Rng rng(/*seed=*/20260805);
+  std::vector<SparseVector> requests(kNumRequests);
+  for (auto& r : requests) {
+    FeatureIndex index = 0;
+    for (size_t k = 0; k < kNnzPerRequest; ++k) {
+      index += static_cast<FeatureIndex>(
+          rng.NextUint64(kDim / kNnzPerRequest - 1) + 1);
+      if (index >= kDim) break;
+      r.Push(index, 1.0);
+    }
+  }
+  return requests;
+}
+
+GlmModel MakeModel() {
+  Rng rng(/*seed=*/7);
+  GlmModel model(kDim);
+  for (size_t i = 0; i < kDim; ++i) {
+    (*model.mutable_weights())[i] = rng.NextGaussian();
+  }
+  return model;
+}
+
+/// Scores all requests in batches of `batch_size` on `threads` workers
+/// and returns throughput in requests/sec.
+double RunConfig(const ModelRegistry& registry,
+                 const std::vector<SparseVector>& requests, size_t batch_size,
+                 size_t threads) {
+  BatchScorerConfig config;
+  config.max_batch_size = batch_size;
+  config.max_wait_ms = 0.0;  // deterministic: size-triggered flush only
+  config.num_threads = threads;
+  config.chunk_size = 64;
+  BatchScorer scorer(&registry, config);
+
+  Stopwatch watch;
+  if (batch_size == 1) {
+    for (const SparseVector& r : requests) {
+      if (!scorer.Score(r).ok()) return 0.0;
+    }
+  } else {
+    for (size_t i = 0; i < requests.size(); i += batch_size) {
+      const size_t n = std::min(batch_size, requests.size() - i);
+      if (!scorer.ScoreBatch(requests.data() + i, n).ok()) return 0.0;
+    }
+  }
+  return static_cast<double>(requests.size()) / watch.ElapsedSeconds();
+}
+
+}  // namespace
+}  // namespace mllibstar
+
+int main() {
+  using namespace mllibstar;
+
+  std::printf(
+      "serve_bench: %zu requests, dim=%zu, ~%zu nnz/request, "
+      "%u hardware threads\n\n",
+      kNumRequests, kDim, kNnzPerRequest,
+      std::thread::hardware_concurrency());
+
+  ModelRegistry registry;
+  registry.Deploy(MakeModel(), "bench");
+  const std::vector<SparseVector> requests = MakeRequests();
+
+  const std::vector<size_t> batch_sizes = {1, 8, 64, 256, 1024};
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+
+  auto csv = CsvWriter::Open(bench::ResultsDir() + "/serve_bench.csv",
+                             {"batch_size", "threads", "requests_per_sec"});
+
+  std::printf("%-12s", "batch\\thr");
+  for (size_t t : thread_counts) std::printf("%12zu", t);
+  std::printf("\n");
+
+  double baseline = 0.0;
+  double best = 0.0;
+  size_t best_batch = 0, best_threads = 0;
+  for (size_t b : batch_sizes) {
+    std::printf("%-12zu", b);
+    for (size_t t : thread_counts) {
+      const double rps = RunConfig(registry, requests, b, t);
+      if (b == 1 && t == 1) baseline = rps;
+      if (rps > best) {
+        best = rps;
+        best_batch = b;
+        best_threads = t;
+      }
+      std::printf("%12.0f", rps);
+      if (csv.ok()) {
+        csv->WriteRow({std::to_string(b), std::to_string(t),
+                       std::to_string(rps)});
+      }
+    }
+    std::printf("\n");
+  }
+  if (csv.ok()) {
+    csv->Flush();
+    std::printf("\n  [series written to %s/serve_bench.csv]\n",
+                bench::ResultsDir().c_str());
+  }
+
+  std::printf(
+      "\nbaseline (batch=1, threads=1): %.0f req/s\n"
+      "best (batch=%zu, threads=%zu):  %.0f req/s  (%.1fx)\n",
+      baseline, best_batch, best_threads, best,
+      baseline > 0.0 ? best / baseline : 0.0);
+  if (best <= baseline) {
+    std::printf("WARNING: batching did not beat single-request scoring\n");
+    return 1;
+  }
+  return 0;
+}

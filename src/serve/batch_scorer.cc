@@ -1,0 +1,215 @@
+#include "serve/batch_scorer.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "core/model.h"
+
+namespace mllibstar {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+Status NoActiveModel() {
+  return Status::FailedPrecondition("no active model deployed");
+}
+
+}  // namespace
+
+BatchScorer::BatchScorer(const ModelRegistry* registry,
+                         BatchScorerConfig config, ServeMetrics* metrics)
+    : registry_(registry),
+      config_(config),
+      metrics_(metrics),
+      pool_(std::max<size_t>(1, config.num_threads)) {
+  config_.max_batch_size = std::max<size_t>(1, config_.max_batch_size);
+  config_.chunk_size = std::max<size_t>(1, config_.chunk_size);
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+BatchScorer::~BatchScorer() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  pending_cv_.notify_all();
+  flusher_.join();
+  Flush();  // drain: every submitted request gets its callback
+}
+
+Result<ScoreResult> BatchScorer::Score(const SparseVector& features) {
+  const Clock::time_point start = Clock::now();
+  const auto snapshot = registry_->Active();
+  if (!snapshot) return NoActiveModel();
+  const double margin = snapshot->model.Margin(features);
+  const ScoreResult result{margin, Sigmoid(margin),
+                           margin >= 0.0 ? 1.0 : -1.0, snapshot->version};
+  if (metrics_ != nullptr) {
+    metrics_->RecordRequest(snapshot->version,
+                            MicrosSince(start, Clock::now()));
+  }
+  return result;
+}
+
+Result<std::vector<ScoreResult>> BatchScorer::ScoreBatch(
+    const std::vector<SparseVector>& features) {
+  return ScoreBatch(features.data(), features.size());
+}
+
+Result<std::vector<ScoreResult>> BatchScorer::ScoreBatch(
+    const SparseVector* features, size_t n) {
+  const Clock::time_point start = Clock::now();
+  const auto snapshot = registry_->Active();
+  if (!snapshot) return NoActiveModel();
+  std::vector<ScoreResult> results(n);
+  ScoreSnapshot(
+      *snapshot,
+      [features](size_t i) -> const SparseVector& { return features[i]; }, n,
+      &results);
+  if (metrics_ != nullptr && n > 0) {
+    const double elapsed_us = MicrosSince(start, Clock::now());
+    for (size_t i = 0; i < n; ++i) {
+      metrics_->RecordRequest(snapshot->version, elapsed_us);
+    }
+    metrics_->RecordBatch(n);
+  }
+  return results;
+}
+
+void BatchScorer::SubmitAsync(SparseVector features, ScoreCallback callback) {
+  bool full = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(
+        Pending{std::move(features), std::move(callback), Clock::now()});
+    full = pending_.size() >= config_.max_batch_size;
+  }
+  // Wake the flusher on the first request (it may be idle-waiting) and
+  // whenever the size trigger fires.
+  if (full) {
+    pending_cv_.notify_all();
+  } else {
+    pending_cv_.notify_one();
+  }
+}
+
+void BatchScorer::Flush() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      batch = TakeLocked(config_.max_batch_size);
+    }
+    if (batch.empty()) return;
+    Dispatch(std::move(batch));
+  }
+}
+
+void BatchScorer::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (stopping_) return;  // destructor drains what remains
+    if (pending_.empty()) {
+      pending_cv_.wait(lock,
+                       [this] { return stopping_ || !pending_.empty(); });
+      continue;
+    }
+    if (pending_.size() < config_.max_batch_size) {
+      if (config_.max_wait_ms <= 0.0) {
+        // Virtual-time mode: only the size trigger (or Flush/shutdown)
+        // dispatches; wait for one of those.
+        pending_cv_.wait(lock, [this] {
+          return stopping_ || pending_.empty() ||
+                 pending_.size() >= config_.max_batch_size;
+        });
+        continue;
+      }
+      const auto deadline =
+          pending_.front().enqueued +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double, std::milli>(config_.max_wait_ms));
+      if (Clock::now() < deadline) {
+        pending_cv_.wait_until(lock, deadline, [this] {
+          return stopping_ || pending_.empty() ||
+                 pending_.size() >= config_.max_batch_size;
+        });
+        continue;  // re-evaluate: size trigger, deadline, or shutdown
+      }
+    }
+    std::vector<Pending> batch = TakeLocked(config_.max_batch_size);
+    lock.unlock();
+    Dispatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+std::vector<BatchScorer::Pending> BatchScorer::TakeLocked(size_t limit) {
+  const size_t n = std::min(limit, pending_.size());
+  std::vector<Pending> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  return batch;
+}
+
+void BatchScorer::Dispatch(std::vector<Pending> batch) {
+  if (batch.empty()) return;
+  const auto snapshot = registry_->Active();
+  if (!snapshot) {
+    const Result<ScoreResult> error = NoActiveModel();
+    for (const Pending& p : batch) {
+      if (p.callback) p.callback(error);
+    }
+    return;
+  }
+  std::vector<ScoreResult> results(batch.size());
+  ScoreSnapshot(
+      *snapshot,
+      [&batch](size_t i) -> const SparseVector& { return batch[i].features; },
+      batch.size(), &results);
+  const Clock::time_point done = Clock::now();
+  if (metrics_ != nullptr) metrics_->RecordBatch(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (metrics_ != nullptr) {
+      metrics_->RecordRequest(snapshot->version,
+                              MicrosSince(batch[i].enqueued, done));
+    }
+    if (batch[i].callback) {
+      batch[i].callback(Result<ScoreResult>(results[i]));
+    }
+  }
+}
+
+void BatchScorer::ScoreSnapshot(
+    const ServedModel& served,
+    const std::function<const SparseVector&(size_t)>& at, size_t n,
+    std::vector<ScoreResult>* results) {
+  auto score_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      // Same kernel as offline evaluation (DenseVector::Dot over the
+      // sparse coordinates), so batched results are bit-identical to
+      // sequential GlmModel::Margin calls.
+      const double margin = served.model.Margin(at(i));
+      (*results)[i] = ScoreResult{margin, Sigmoid(margin),
+                                  margin >= 0.0 ? 1.0 : -1.0, served.version};
+    }
+  };
+  const size_t chunk = config_.chunk_size;
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  if (num_chunks <= 1 || pool_.num_threads() == 1) {
+    score_range(0, n);
+    return;
+  }
+  pool_.ParallelFor(num_chunks, [&](size_t c) {
+    score_range(c * chunk, std::min(n, (c + 1) * chunk));
+  });
+}
+
+}  // namespace mllibstar

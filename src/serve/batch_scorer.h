@@ -1,0 +1,139 @@
+#ifndef MLLIBSTAR_SERVE_BATCH_SCORER_H_
+#define MLLIBSTAR_SERVE_BATCH_SCORER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/vector.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+
+namespace mllibstar {
+
+/// Output of scoring one request against one model version.
+struct ScoreResult {
+  double margin = 0.0;       ///< w·x, bit-identical to GlmModel::Margin
+  double probability = 0.5;  ///< sigmoid(margin), see PredictProbability
+  double label = 1.0;        ///< sign of the margin (0 maps to +1)
+  uint64_t model_version = 0;
+};
+
+/// Knobs for BatchScorer. Defaults suit the serve_bench workload.
+struct BatchScorerConfig {
+  /// Micro-batch flush threshold: a pending queue of this many
+  /// requests is dispatched immediately.
+  size_t max_batch_size = 64;
+  /// Oldest-request deadline: a partial batch is flushed once its
+  /// first request has waited this long. <= 0 disables the timer —
+  /// "virtual time" mode where only max_batch_size and Flush()
+  /// trigger dispatch, making tests and benchmarks deterministic.
+  double max_wait_ms = 1.0;
+  /// Worker threads scoring batch chunks.
+  size_t num_threads = 4;
+  /// Requests per worker task; batches smaller than this are scored
+  /// inline on the dispatching thread.
+  size_t chunk_size = 64;
+};
+
+/// Scores requests against the registry's active model, micro-batching
+/// asynchronous requests and fanning batch chunks across a ThreadPool.
+///
+/// Every batch snapshots the active model exactly once (shared_ptr
+/// hot-swap, see ModelRegistry), so a batch never mixes model
+/// versions even while a Deploy/Rollback races with it. Scoring calls
+/// the same GlmModel::Margin kernel as offline evaluation, chunked
+/// across workers, so outputs are bit-identical to sequential calls.
+///
+/// Thread-safe: Score/ScoreBatch/SubmitAsync/Flush may be called
+/// concurrently from any number of producer threads.
+class BatchScorer {
+ public:
+  /// Result (or "no active model" error) delivered to SubmitAsync
+  /// callers. Callbacks run on the dispatching thread and must be
+  /// fast and non-blocking.
+  using ScoreCallback = std::function<void(const Result<ScoreResult>&)>;
+
+  /// `registry` must outlive the scorer; `metrics` may be null to
+  /// disable recording.
+  BatchScorer(const ModelRegistry* registry, BatchScorerConfig config,
+              ServeMetrics* metrics = nullptr);
+
+  /// Flushes all pending requests, then joins all threads.
+  ~BatchScorer();
+
+  BatchScorer(const BatchScorer&) = delete;
+  BatchScorer& operator=(const BatchScorer&) = delete;
+
+  /// Synchronous single-request path (no batching, no queueing):
+  /// snapshot, score, record latency.
+  Result<ScoreResult> Score(const SparseVector& features);
+
+  /// Scores a caller-assembled batch against one model snapshot.
+  /// Results are index-aligned with `features`. Fails if no model has
+  /// been deployed.
+  Result<std::vector<ScoreResult>> ScoreBatch(
+      const std::vector<SparseVector>& features);
+
+  /// Copy-free variant over a contiguous slice of requests.
+  Result<std::vector<ScoreResult>> ScoreBatch(const SparseVector* features,
+                                              size_t n);
+
+  /// Queues one request for micro-batched scoring. The callback fires
+  /// when the batch containing the request is dispatched — because
+  /// the queue reached max_batch_size, the max_wait_ms deadline
+  /// passed, Flush() was called, or the scorer is destroyed.
+  void SubmitAsync(SparseVector features, ScoreCallback callback);
+
+  /// Dispatches every currently-pending request now (on the calling
+  /// thread), regardless of batch size or deadline.
+  void Flush();
+
+  const BatchScorerConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    SparseVector features;
+    ScoreCallback callback;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void FlusherLoop();
+
+  /// Removes and returns up to `limit` pending requests. Caller holds
+  /// mutex_.
+  std::vector<Pending> TakeLocked(size_t limit);
+
+  /// Scores `batch` against the current active snapshot and delivers
+  /// callbacks. Runs on the caller's thread; chunks fan out over
+  /// pool_.
+  void Dispatch(std::vector<Pending> batch);
+
+  /// Chunked margin kernel: fills results[i] from at(i) for i in
+  /// [0, n) against one snapshot.
+  void ScoreSnapshot(const ServedModel& served,
+                     const std::function<const SparseVector&(size_t)>& at,
+                     size_t n, std::vector<ScoreResult>* results);
+
+  const ModelRegistry* registry_;
+  BatchScorerConfig config_;
+  ServeMetrics* metrics_;
+  ThreadPool pool_;
+
+  std::mutex mutex_;
+  std::condition_variable pending_cv_;
+  std::deque<Pending> pending_;
+  bool stopping_ = false;
+  std::thread flusher_;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_SERVE_BATCH_SCORER_H_

@@ -1,0 +1,130 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/csv.h"
+
+namespace mllibstar {
+
+void LatencyHistogram::Record(double latency_us) {
+  const auto it =
+      std::lower_bound(kBoundsUs.begin(), kBoundsUs.end(), latency_us);
+  const size_t bucket = static_cast<size_t>(it - kBoundsUs.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  const auto counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(
+                                std::ceil(q * static_cast<double>(total))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      return i < kBoundsUs.size() ? kBoundsUs[i]
+                                  : std::numeric_limits<double>::infinity();
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+std::array<uint64_t, LatencyHistogram::kNumBuckets>
+LatencyHistogram::BucketCounts() const {
+  std::array<uint64_t, kNumBuckets> counts{};
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+void ServeMetrics::RecordRequest(uint64_t model_version, double latency_us) {
+  histogram_.Record(latency_us);
+  total_requests_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++requests_by_version_[model_version];
+}
+
+void ServeMetrics::RecordBatch(size_t batch_size) {
+  (void)batch_size;
+  total_batches_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ServeMetricsSnapshot ServeMetrics::Snapshot() const {
+  ServeMetricsSnapshot snap;
+  snap.total_requests = total_requests_.load(std::memory_order_relaxed);
+  snap.total_batches = total_batches_.load(std::memory_order_relaxed);
+  snap.elapsed_seconds = stopwatch_.ElapsedSeconds();
+  snap.throughput_rps =
+      snap.elapsed_seconds > 0.0
+          ? static_cast<double>(snap.total_requests) / snap.elapsed_seconds
+          : 0.0;
+  snap.p50_us = histogram_.Quantile(0.50);
+  snap.p95_us = histogram_.Quantile(0.95);
+  snap.p99_us = histogram_.Quantile(0.99);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.requests_by_version.assign(requests_by_version_.begin(),
+                                    requests_by_version_.end());
+  }
+  return snap;
+}
+
+Status ServeMetrics::WriteCsv(const std::string& path) const {
+  const ServeMetricsSnapshot snap = Snapshot();
+  auto writer = CsvWriter::Open(path, {"metric", "key", "value"});
+  MLLIBSTAR_RETURN_NOT_OK(writer.status());
+  auto row = [&writer](const std::string& metric, const std::string& key,
+                       double value) {
+    writer->WriteRow({metric, key, std::to_string(value)});
+  };
+  row("requests", "total", static_cast<double>(snap.total_requests));
+  row("batches", "total", static_cast<double>(snap.total_batches));
+  row("elapsed", "seconds", snap.elapsed_seconds);
+  row("throughput", "requests_per_sec", snap.throughput_rps);
+  row("latency_us", "p50", snap.p50_us);
+  row("latency_us", "p95", snap.p95_us);
+  row("latency_us", "p99", snap.p99_us);
+  for (const auto& [version, count] : snap.requests_by_version) {
+    row("version_requests", std::to_string(version),
+        static_cast<double>(count));
+  }
+  const auto counts = histogram_.BucketCounts();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const std::string bound =
+        i < LatencyHistogram::kBoundsUs.size()
+            ? std::to_string(LatencyHistogram::kBoundsUs[i])
+            : "inf";
+    row("latency_bucket_le_us", bound, static_cast<double>(counts[i]));
+  }
+  writer->Flush();
+  return Status::Ok();
+}
+
+void ServeMetrics::Reset() {
+  histogram_.Reset();
+  total_requests_.store(0, std::memory_order_relaxed);
+  total_batches_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    requests_by_version_.clear();
+  }
+  stopwatch_.Reset();
+}
+
+}  // namespace mllibstar

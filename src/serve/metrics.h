@@ -1,0 +1,113 @@
+#ifndef MLLIBSTAR_SERVE_METRICS_H_
+#define MLLIBSTAR_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace mllibstar {
+
+/// Latency histogram with fixed bucket boundaries (a 1-2-5 ladder
+/// from 1 µs to 10 s, plus an overflow bucket). Record() is
+/// wait-free (one atomic increment); quantiles read a snapshot of
+/// the counters.
+class LatencyHistogram {
+ public:
+  /// Inclusive upper bounds of each bucket, in microseconds. A value
+  /// v lands in the first bucket with v <= bound; anything above the
+  /// last bound lands in the overflow bucket.
+  static constexpr std::array<double, 22> kBoundsUs = {
+      1,     2,     5,     10,    20,    50,    100,   200,
+      500,   1000,  2000,  5000,  10000, 20000, 50000, 100000,
+      200000, 500000, 1000000, 2000000, 5000000, 10000000};
+  static constexpr size_t kNumBuckets = kBoundsUs.size() + 1;  // + overflow
+
+  void Record(double latency_us);
+
+  uint64_t count() const;
+
+  /// Quantile q in (0, 1]: the inclusive upper bound of the bucket
+  /// containing the ceil(q·count)-th smallest recorded value
+  /// (infinity for the overflow bucket; 0 when empty). Resolution is
+  /// the bucket width.
+  double Quantile(double q) const;
+
+  /// Per-bucket counts, index-aligned with kBoundsUs plus one final
+  /// overflow entry.
+  std::array<uint64_t, kNumBuckets> BucketCounts() const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// Point-in-time summary of a ServeMetrics (see Snapshot()).
+struct ServeMetricsSnapshot {
+  uint64_t total_requests = 0;
+  uint64_t total_batches = 0;
+  double elapsed_seconds = 0.0;
+  double throughput_rps = 0.0;  ///< requests / elapsed wall seconds
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  /// (model version, requests scored against it), ascending version.
+  std::vector<std::pair<uint64_t, uint64_t>> requests_by_version;
+};
+
+/// Serving-side metrics: per-request latency histogram with
+/// p50/p95/p99, throughput since construction (or Reset), batch
+/// count, and per-model-version request counters. RecordRequest is
+/// cheap (atomic histogram bump + short-critical-section counter);
+/// safe to call from any scorer thread.
+class ServeMetrics {
+ public:
+  ServeMetrics() = default;
+  ServeMetrics(const ServeMetrics&) = delete;
+  ServeMetrics& operator=(const ServeMetrics&) = delete;
+
+  /// Records one scored request: which model version served it and
+  /// its end-to-end latency (enqueue → result) in microseconds.
+  void RecordRequest(uint64_t model_version, double latency_us);
+
+  /// Records that one micro-batch of `batch_size` requests was
+  /// flushed. (Request latencies are recorded individually.)
+  void RecordBatch(size_t batch_size);
+
+  ServeMetricsSnapshot Snapshot() const;
+
+  /// Writes the snapshot plus the full histogram as long-format CSV
+  /// ("metric,key,value"), the same results/-friendly shape as
+  /// train/report curves:
+  ///   requests,total,<n>
+  ///   batches,total,<n>
+  ///   elapsed,seconds,<s>
+  ///   throughput,requests_per_sec,<rps>
+  ///   latency_us,p50,<us>      (and p95, p99)
+  ///   version_requests,<version>,<n>
+  ///   latency_bucket_le_us,<bound|inf>,<count>
+  Status WriteCsv(const std::string& path) const;
+
+  /// Clears all counters and restarts the throughput clock.
+  void Reset();
+
+ private:
+  LatencyHistogram histogram_;
+  std::atomic<uint64_t> total_requests_{0};
+  std::atomic<uint64_t> total_batches_{0};
+  Stopwatch stopwatch_;
+  mutable std::mutex mutex_;  // guards requests_by_version_
+  std::map<uint64_t, uint64_t> requests_by_version_;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_SERVE_METRICS_H_

@@ -1,0 +1,70 @@
+#include "serve/model_registry.h"
+
+#include "core/model_io.h"
+
+namespace mllibstar {
+
+uint64_t ModelRegistry::Deploy(GlmModel model, std::string label,
+                               std::string source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t version = versions_.size() + 1;
+  auto served = std::make_shared<const ServedModel>(ServedModel{
+      version, std::move(label), std::move(source), std::move(model)});
+  versions_.push_back(served);
+  ActivateLocked(std::move(served));
+  return version;
+}
+
+Result<uint64_t> ModelRegistry::DeployFromFile(const std::string& path,
+                                               std::string label) {
+  auto loaded = LoadModel(path);
+  if (!loaded.ok()) return loaded.status();
+  return Deploy(std::move(loaded).value(), std::move(label), path);
+}
+
+Status ModelRegistry::Activate(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (version == 0 || version > versions_.size()) {
+    return Status::NotFound("no model version " + std::to_string(version));
+  }
+  ActivateLocked(versions_[version - 1]);
+  return Status::Ok();
+}
+
+Status ModelRegistry::Rollback() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (activation_history_.empty()) {
+    return Status::FailedPrecondition("no previous version to roll back to");
+  }
+  const uint64_t previous = activation_history_.back();
+  activation_history_.pop_back();
+  // Swap without re-recording history, so repeated rollbacks keep
+  // walking backwards instead of ping-ponging between two versions.
+  active_.store(versions_[previous - 1], std::memory_order_release);
+  return Status::Ok();
+}
+
+size_t ModelRegistry::num_versions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return versions_.size();
+}
+
+std::vector<ModelVersionInfo> ModelRegistry::ListVersions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto active = active_.load(std::memory_order_acquire);
+  std::vector<ModelVersionInfo> infos;
+  infos.reserve(versions_.size());
+  for (const auto& v : versions_) {
+    infos.push_back({v->version, v->label, v->source, v->model.dim(),
+                     active && active->version == v->version});
+  }
+  return infos;
+}
+
+void ModelRegistry::ActivateLocked(std::shared_ptr<const ServedModel> next) {
+  const auto previous = active_.load(std::memory_order_acquire);
+  if (previous) activation_history_.push_back(previous->version);
+  active_.store(std::move(next), std::memory_order_release);
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,96 @@
+#ifndef MLLIBSTAR_SERVE_MODEL_REGISTRY_H_
+#define MLLIBSTAR_SERVE_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/model.h"
+
+namespace mllibstar {
+
+/// One immutable deployed model version. Snapshots handed out by the
+/// registry point at this struct; it never changes after Deploy, so
+/// readers need no synchronization beyond holding the shared_ptr.
+struct ServedModel {
+  uint64_t version = 0;   ///< 1-based, monotonically increasing
+  std::string label;      ///< human-readable tag, e.g. "nightly-2026-08-05"
+  std::string source;     ///< file path it was loaded from, or "<memory>"
+  GlmModel model;
+};
+
+/// Summary row for ListVersions().
+struct ModelVersionInfo {
+  uint64_t version = 0;
+  std::string label;
+  std::string source;
+  size_t dim = 0;
+  bool active = false;
+};
+
+/// Versioned store of servable GLM models with atomic hot-swap.
+///
+/// Deploy/Activate/Rollback change which version is *active* by
+/// atomically swapping a `std::shared_ptr<const ServedModel>`:
+/// in-flight requests that already snapshotted the old version keep
+/// scoring against it (the shared_ptr keeps it alive), while every
+/// snapshot taken after the swap sees the new version. A batch that
+/// snapshots once therefore never mixes versions mid-batch.
+///
+/// Writers (Deploy/Activate/Rollback) serialize on a mutex; readers
+/// (Active) only touch the atomic pointer.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Registers an in-memory model and atomically makes it the active
+  /// version. Returns the new version number.
+  uint64_t Deploy(GlmModel model, std::string label,
+                  std::string source = "<memory>");
+
+  /// Loads `path` via LoadModel (rejecting wrong magic / corrupt
+  /// files) and deploys it. On error the registry is unchanged.
+  Result<uint64_t> DeployFromFile(const std::string& path,
+                                  std::string label);
+
+  /// Snapshot of the active version, or nullptr before the first
+  /// Deploy. Score whole batches against one snapshot; do not re-read
+  /// per request.
+  std::shared_ptr<const ServedModel> Active() const {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  /// Makes a previously deployed version active again.
+  Status Activate(uint64_t version);
+
+  /// Re-activates the version that was active before the most recent
+  /// Deploy/Activate. Repeated rollbacks walk further back through
+  /// the activation history. Fails if there is nothing to roll back
+  /// to.
+  Status Rollback();
+
+  size_t num_versions() const;
+
+  /// All deployed versions in deployment order.
+  std::vector<ModelVersionInfo> ListVersions() const;
+
+ private:
+  /// Swaps `next` in as active and records the outgoing version for
+  /// Rollback. Caller holds mutex_.
+  void ActivateLocked(std::shared_ptr<const ServedModel> next);
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<const ServedModel>> versions_;
+  std::vector<uint64_t> activation_history_;
+  std::atomic<std::shared_ptr<const ServedModel>> active_;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_SERVE_MODEL_REGISTRY_H_

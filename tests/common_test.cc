@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/csv.h"
 #include "common/random.h"
@@ -286,6 +288,58 @@ TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
   pool.Submit([&counter] { counter.fetch_add(1); });
   pool.WaitAll();
   EXPECT_EQ(counter.load(), 1);
+}
+
+// Serving keeps one long-lived pool across many scoring waves, so the
+// pool must accept work after a WaitAll round-trip (regression test:
+// WaitAll is a fence, not a shutdown).
+TEST(ThreadPoolTest, SubmitAfterWaitAllStillExecutes) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitAll();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+// Stress: many tiny tasks submitted concurrently from several
+// producer threads (the serving pattern: request threads enqueueing
+// into one shared pool). Run under ASan/UBSan in CI.
+TEST(ThreadPoolTest, ManyProducersManySmallTasksStress) {
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 500;
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.WaitAll();
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+}
+
+// WaitAll from several threads at once must all unblock.
+TEST(ThreadPoolTest, ConcurrentWaitAllUnblocks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&pool] { pool.WaitAll(); });
+  }
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(counter.load(), 100);
 }
 
 }  // namespace

@@ -1,0 +1,113 @@
+#include "core/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mllibstar {
+namespace {
+
+DataPoint MakePoint(double label,
+                    std::initializer_list<std::pair<FeatureIndex, double>>
+                        entries) {
+  DataPoint p;
+  p.label = label;
+  for (const auto& [index, value] : entries) p.features.Push(index, value);
+  return p;
+}
+
+TEST(GlmModelTest, MarginIsDotProduct) {
+  GlmModel model(4);
+  (*model.mutable_weights())[1] = 2.0;
+  (*model.mutable_weights())[3] = -1.0;
+  const DataPoint p = MakePoint(1.0, {{1, 3.0}, {3, 4.0}});
+  EXPECT_DOUBLE_EQ(model.Margin(p), 2.0);
+  EXPECT_DOUBLE_EQ(model.Margin(p.features), 2.0);
+}
+
+TEST(GlmModelTest, PredictLabelTieMapsToPositive) {
+  // The documented tie rule: margin exactly 0 predicts +1. A zero
+  // model and a disjoint-support point both produce a 0 margin.
+  GlmModel zero_model(4);
+  const DataPoint p = MakePoint(-1.0, {{0, 1.0}, {2, -3.0}});
+  EXPECT_DOUBLE_EQ(zero_model.Margin(p), 0.0);
+  EXPECT_DOUBLE_EQ(zero_model.PredictLabel(p), 1.0);
+
+  GlmModel model(4);
+  (*model.mutable_weights())[3] = 5.0;
+  EXPECT_DOUBLE_EQ(model.PredictLabel(p), 1.0);  // no shared features
+}
+
+TEST(GlmModelTest, PredictLabelConsistentWithProbabilityThreshold) {
+  GlmModel model(2);
+  (*model.mutable_weights())[0] = 1.0;
+  for (double v : {-2.0, -0.5, 0.0, 0.5, 2.0}) {
+    const DataPoint p = MakePoint(1.0, {{0, v}});
+    const bool positive = model.PredictLabel(p) > 0.0;
+    EXPECT_EQ(positive, model.PredictProbability(p) >= 0.5) << "v=" << v;
+  }
+}
+
+TEST(GlmModelTest, PredictProbabilityIsHalfAtZeroMargin) {
+  GlmModel model(2);
+  const DataPoint p = MakePoint(1.0, {{0, 1.0}});
+  EXPECT_DOUBLE_EQ(model.PredictProbability(p), 0.5);
+}
+
+TEST(GlmModelTest, PredictProbabilityLargeMarginsSaturateWithoutOverflow) {
+  GlmModel model(1);
+  (*model.mutable_weights())[0] = 1.0;
+  for (double margin : {100.0, 1000.0, 1e6, 1e308}) {
+    const DataPoint pos = MakePoint(1.0, {{0, margin}});
+    const DataPoint neg = MakePoint(1.0, {{0, -margin}});
+    const double p_pos = model.PredictProbability(pos);
+    const double p_neg = model.PredictProbability(neg);
+    EXPECT_TRUE(std::isfinite(p_pos)) << margin;
+    EXPECT_TRUE(std::isfinite(p_neg)) << margin;
+    // Saturates toward the endpoints (within 1e-40 at margin 100,
+    // exactly at the endpoints once exp() underflows) but never
+    // overflows past [0, 1] or produces NaN.
+    EXPECT_NEAR(p_pos, 1.0, 1e-40) << margin;
+    EXPECT_NEAR(p_neg, 0.0, 1e-40) << margin;
+    EXPECT_LE(p_pos, 1.0) << margin;
+    EXPECT_GE(p_neg, 0.0) << margin;
+  }
+}
+
+TEST(GlmModelTest, PredictProbabilityIsMonotoneInMargin) {
+  GlmModel model(1);
+  (*model.mutable_weights())[0] = 1.0;
+  double previous = 0.0;
+  for (double m : {-10.0, -1.0, -0.1, 0.0, 0.1, 1.0, 10.0}) {
+    const double p = model.PredictProbability(MakePoint(1.0, {{0, m}}));
+    EXPECT_GT(p, previous) << "m=" << m;
+    previous = p;
+  }
+}
+
+// The logistic loss gradient factors as dl/dm(m, y)·x with
+// dl/dm(m, +1) = σ(m) − 1 and dl/dm(m, −1) = σ(m). PredictProbability
+// must agree with the trained loss, or served probabilities would be
+// calibrated against a different model than the one optimized.
+TEST(GlmModelTest, PredictProbabilityAgreesWithLogisticLossGradient) {
+  const auto loss = MakeLoss(LossKind::kLogistic);
+  GlmModel model(1);
+  (*model.mutable_weights())[0] = 1.0;
+  for (double m : {-50.0, -4.0, -1.0, -1e-9, 0.0, 1e-9, 1.0, 4.0, 50.0}) {
+    const double p = model.PredictProbability(MakePoint(1.0, {{0, m}}));
+    EXPECT_NEAR(loss->Derivative(m, 1.0), p - 1.0, 1e-12) << "m=" << m;
+    EXPECT_NEAR(loss->Derivative(m, -1.0), p, 1e-12) << "m=" << m;
+  }
+}
+
+TEST(SigmoidTest, SymmetryAndEndpoints) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  for (double x : {0.1, 1.0, 10.0, 100.0}) {
+    EXPECT_NEAR(Sigmoid(x) + Sigmoid(-x), 1.0, 1e-15) << x;
+  }
+  EXPECT_DOUBLE_EQ(Sigmoid(1e308), 1.0);
+  EXPECT_DOUBLE_EQ(Sigmoid(-1e308), 0.0);
+}
+
+}  // namespace
+}  // namespace mllibstar

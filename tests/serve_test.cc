@@ -1,0 +1,475 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/model_io.h"
+#include "serve/batch_scorer.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+
+namespace mllibstar {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+/// A model of dimension `dim` whose every weight equals `value`.
+GlmModel ConstantModel(size_t dim, double value) {
+  GlmModel model(dim);
+  for (size_t i = 0; i < dim; ++i) (*model.mutable_weights())[i] = value;
+  return model;
+}
+
+GlmModel RandomModel(size_t dim, uint64_t seed) {
+  GlmModel model(dim);
+  Rng rng(seed);
+  for (size_t i = 0; i < dim; ++i) {
+    (*model.mutable_weights())[i] = rng.NextGaussian();
+  }
+  return model;
+}
+
+std::vector<SparseVector> RandomRequests(size_t n, size_t dim, size_t nnz,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SparseVector> requests(n);
+  for (auto& r : requests) {
+    FeatureIndex index = 0;
+    for (size_t k = 0; k < nnz && index < dim; ++k) {
+      index += static_cast<FeatureIndex>(rng.NextUint64(dim / nnz) + 1);
+      if (index >= dim) break;
+      r.Push(index, rng.NextGaussian());
+    }
+  }
+  return requests;
+}
+
+/// Counts async callbacks and lets tests wait for a target count.
+class CallbackCollector {
+ public:
+  BatchScorer::ScoreCallback MakeCallback() {
+    return [this](const Result<ScoreResult>& result) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      results_.push_back(result);
+      cv_.notify_all();
+    };
+  }
+
+  bool WaitForCount(size_t n, std::chrono::milliseconds timeout =
+                                  std::chrono::milliseconds(5000)) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, timeout,
+                        [this, n] { return results_.size() >= n; });
+  }
+
+  std::vector<Result<ScoreResult>> results() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return results_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Result<ScoreResult>> results_;
+};
+
+// ------------------------------------------------------------- ModelRegistry
+
+TEST(ModelRegistryTest, ActiveIsNullBeforeFirstDeploy) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Active(), nullptr);
+  EXPECT_EQ(registry.num_versions(), 0u);
+}
+
+TEST(ModelRegistryTest, DeployActivatesLatestVersion) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Deploy(ConstantModel(3, 1.0), "first"), 1u);
+  EXPECT_EQ(registry.Deploy(ConstantModel(3, 2.0), "second"), 2u);
+  const auto active = registry.Active();
+  ASSERT_NE(active, nullptr);
+  EXPECT_EQ(active->version, 2u);
+  EXPECT_EQ(active->label, "second");
+  EXPECT_EQ(active->source, "<memory>");
+  EXPECT_EQ(registry.num_versions(), 2u);
+}
+
+TEST(ModelRegistryTest, SnapshotSurvivesHotSwap) {
+  ModelRegistry registry;
+  registry.Deploy(ConstantModel(2, 1.0), "v1");
+  const auto snapshot = registry.Active();
+  registry.Deploy(ConstantModel(2, 2.0), "v2");
+  // The old snapshot is still alive and unchanged (in-flight requests
+  // keep scoring against it)...
+  EXPECT_EQ(snapshot->version, 1u);
+  EXPECT_DOUBLE_EQ(snapshot->model.weights()[0], 1.0);
+  // ...while new snapshots see the new version.
+  EXPECT_EQ(registry.Active()->version, 2u);
+}
+
+TEST(ModelRegistryTest, ActivateAndRollbackWalkHistory) {
+  ModelRegistry registry;
+  registry.Deploy(ConstantModel(1, 1.0), "v1");
+  registry.Deploy(ConstantModel(1, 2.0), "v2");
+  registry.Deploy(ConstantModel(1, 3.0), "v3");
+  ASSERT_TRUE(registry.Activate(1).ok());
+  EXPECT_EQ(registry.Active()->version, 1u);
+
+  // Rollback restores whatever was active before each change, walking
+  // backwards through the activation history.
+  ASSERT_TRUE(registry.Rollback().ok());
+  EXPECT_EQ(registry.Active()->version, 3u);
+  ASSERT_TRUE(registry.Rollback().ok());
+  EXPECT_EQ(registry.Active()->version, 2u);
+  ASSERT_TRUE(registry.Rollback().ok());
+  EXPECT_EQ(registry.Active()->version, 1u);
+  EXPECT_EQ(registry.Rollback().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ModelRegistryTest, ActivateUnknownVersionIsNotFound) {
+  ModelRegistry registry;
+  registry.Deploy(ConstantModel(1, 1.0), "v1");
+  EXPECT_EQ(registry.Activate(0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Activate(7).code(), StatusCode::kNotFound);
+}
+
+TEST(ModelRegistryTest, ListVersionsMarksActive) {
+  ModelRegistry registry;
+  registry.Deploy(ConstantModel(4, 1.0), "v1");
+  registry.Deploy(ConstantModel(4, 2.0), "v2");
+  ASSERT_TRUE(registry.Activate(1).ok());
+  const auto infos = registry.ListVersions();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].version, 1u);
+  EXPECT_TRUE(infos[0].active);
+  EXPECT_FALSE(infos[1].active);
+  EXPECT_EQ(infos[0].dim, 4u);
+}
+
+// --------------------------------------------- ModelRegistry + core/model_io
+
+TEST(ModelRegistryTest, DeployFromFileMissingIsIoError) {
+  ModelRegistry registry;
+  const auto result = registry.DeployFromFile("/no/such/model.txt", "x");
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(registry.num_versions(), 0u);
+}
+
+TEST(ModelRegistryTest, DeployFromFileWrongMagicRejected) {
+  const std::string path = TempPath("serve_badmagic.txt");
+  std::ofstream(path) << "some-other-model v9\ndim 3\n";
+  ModelRegistry registry;
+  const auto result = registry.DeployFromFile(path, "x");
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Active(), nullptr);
+}
+
+TEST(ModelRegistryTest, DeployFromFileCorruptBodyRejected) {
+  const std::string path = TempPath("serve_corrupt.txt");
+  std::ofstream(path) << "mllibstar-model v1\ndim 3\n1 not-a-number\n";
+  ModelRegistry registry;
+  EXPECT_FALSE(registry.DeployFromFile(path, "x").ok());
+  EXPECT_EQ(registry.num_versions(), 0u);
+}
+
+TEST(ModelRegistryTest, SavedThenServedMarginsMatchInMemoryModel) {
+  const GlmModel model = RandomModel(64, /*seed=*/7);
+  const std::string path = TempPath("serve_roundtrip.txt");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+
+  ModelRegistry registry;
+  const auto version = registry.DeployFromFile(path, "from-disk");
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+
+  ServeMetrics metrics;
+  BatchScorerConfig config;
+  config.num_threads = 2;
+  config.chunk_size = 8;
+  BatchScorer scorer(&registry, config, &metrics);
+  const auto requests = RandomRequests(200, 64, 8, /*seed=*/11);
+  const auto scored = scorer.ScoreBatch(requests);
+  ASSERT_TRUE(scored.ok());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    // Save → load → serve must reproduce the in-memory margins
+    // bit-for-bit (model_io round trips are exact).
+    EXPECT_EQ((*scored)[i].margin, model.Margin(requests[i]));
+  }
+}
+
+// --------------------------------------------------------------- BatchScorer
+
+TEST(BatchScorerTest, ScoreWithoutModelFails) {
+  ModelRegistry registry;
+  BatchScorer scorer(&registry, BatchScorerConfig{});
+  SparseVector x;
+  x.Push(0, 1.0);
+  EXPECT_EQ(scorer.Score(x).status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(scorer.ScoreBatch({x}).ok());
+}
+
+TEST(BatchScorerTest, AsyncWithoutModelDeliversError) {
+  ModelRegistry registry;
+  BatchScorerConfig config;
+  config.max_wait_ms = 0.0;  // flush only via Flush()
+  BatchScorer scorer(&registry, config);
+  CallbackCollector collector;
+  SparseVector x;
+  x.Push(0, 1.0);
+  scorer.SubmitAsync(x, collector.MakeCallback());
+  scorer.Flush();
+  ASSERT_TRUE(collector.WaitForCount(1));
+  EXPECT_EQ(collector.results()[0].status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(BatchScorerTest, SingleScoreMatchesModel) {
+  ModelRegistry registry;
+  const GlmModel model = RandomModel(32, /*seed=*/3);
+  registry.Deploy(model, "v1");
+  BatchScorer scorer(&registry, BatchScorerConfig{});
+  SparseVector x;
+  x.Push(2, 1.5);
+  x.Push(17, -0.25);
+  const auto result = scorer.Score(x);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->margin, model.Margin(x));
+  EXPECT_EQ(result->probability, model.PredictProbability(x));
+  EXPECT_EQ(result->label, model.PredictLabel(x));
+  EXPECT_EQ(result->model_version, 1u);
+}
+
+TEST(BatchScorerTest, BatchedOutputsBitIdenticalToSequential) {
+  ModelRegistry registry;
+  const GlmModel model = RandomModel(128, /*seed=*/5);
+  registry.Deploy(model, "v1");
+  BatchScorerConfig config;
+  config.num_threads = 4;
+  config.chunk_size = 16;  // force multi-chunk fan-out
+  BatchScorer scorer(&registry, config);
+
+  const auto requests = RandomRequests(1000, 128, 12, /*seed=*/9);
+  const auto scored = scorer.ScoreBatch(requests);
+  ASSERT_TRUE(scored.ok());
+  ASSERT_EQ(scored->size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const double margin = model.Margin(requests[i]);
+    EXPECT_EQ((*scored)[i].margin, margin);
+    EXPECT_EQ((*scored)[i].probability, Sigmoid(margin));
+    EXPECT_EQ((*scored)[i].label, margin >= 0.0 ? 1.0 : -1.0);
+  }
+}
+
+TEST(BatchScorerTest, AsyncFlushesWhenBatchFills) {
+  ModelRegistry registry;
+  registry.Deploy(ConstantModel(4, 1.0), "v1");
+  BatchScorerConfig config;
+  config.max_batch_size = 4;
+  config.max_wait_ms = 0.0;  // no timer: only the size trigger
+  BatchScorer scorer(&registry, config);
+  CallbackCollector collector;
+  SparseVector x;
+  x.Push(1, 2.0);
+  for (int i = 0; i < 4; ++i) {
+    scorer.SubmitAsync(x, collector.MakeCallback());
+  }
+  ASSERT_TRUE(collector.WaitForCount(4));
+  for (const auto& r : collector.results()) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->margin, 2.0);
+    EXPECT_EQ(r->model_version, 1u);
+  }
+}
+
+TEST(BatchScorerTest, FlushDispatchesPartialBatch) {
+  ModelRegistry registry;
+  registry.Deploy(ConstantModel(4, 1.0), "v1");
+  BatchScorerConfig config;
+  config.max_batch_size = 100;
+  config.max_wait_ms = 0.0;
+  BatchScorer scorer(&registry, config);
+  CallbackCollector collector;
+  SparseVector x;
+  x.Push(0, 1.0);
+  for (int i = 0; i < 3; ++i) {
+    scorer.SubmitAsync(x, collector.MakeCallback());
+  }
+  scorer.Flush();
+  ASSERT_TRUE(collector.WaitForCount(3));
+  EXPECT_EQ(collector.results().size(), 3u);
+}
+
+TEST(BatchScorerTest, TimerFlushesPartialBatch) {
+  ModelRegistry registry;
+  registry.Deploy(ConstantModel(4, 1.0), "v1");
+  BatchScorerConfig config;
+  config.max_batch_size = 100;  // never reached
+  config.max_wait_ms = 5.0;
+  BatchScorer scorer(&registry, config);
+  CallbackCollector collector;
+  SparseVector x;
+  x.Push(0, 1.0);
+  scorer.SubmitAsync(x, collector.MakeCallback());
+  // No Flush() call: the max_wait deadline alone must dispatch it.
+  ASSERT_TRUE(collector.WaitForCount(1));
+  EXPECT_TRUE(collector.results()[0].ok());
+}
+
+TEST(BatchScorerTest, DestructorDrainsPendingRequests) {
+  ModelRegistry registry;
+  registry.Deploy(ConstantModel(4, 1.0), "v1");
+  CallbackCollector collector;
+  {
+    BatchScorerConfig config;
+    config.max_batch_size = 100;
+    config.max_wait_ms = 0.0;
+    BatchScorer scorer(&registry, config);
+    SparseVector x;
+    x.Push(0, 1.0);
+    for (int i = 0; i < 5; ++i) {
+      scorer.SubmitAsync(x, collector.MakeCallback());
+    }
+  }  // ~BatchScorer must deliver all 5 callbacks
+  EXPECT_EQ(collector.results().size(), 5u);
+}
+
+// A hot-swap torture test: a writer deploys new versions while reader
+// threads score batches. Each model has every weight equal to its
+// version number, so any mid-batch version mix is visible as a margin
+// that disagrees with the batch's reported version.
+TEST(BatchScorerTest, HotSwapNeverMixesVersionsMidBatch) {
+  constexpr size_t kDim = 8;
+  constexpr uint64_t kVersions = 40;
+  constexpr int kReaderBatches = 150;
+
+  ModelRegistry registry;
+  registry.Deploy(ConstantModel(kDim, 1.0), "v1");
+  BatchScorerConfig config;
+  config.num_threads = 2;
+  config.chunk_size = 4;  // many chunks per batch → real fan-out
+  BatchScorer scorer(&registry, config);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&registry, &stop] {
+    for (uint64_t v = 2; v <= kVersions && !stop.load(); ++v) {
+      registry.Deploy(ConstantModel(kDim, static_cast<double>(v)),
+                      "v" + std::to_string(v));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Each request has one feature of value 1.0 → margin == version.
+  std::vector<SparseVector> batch(64);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].Push(static_cast<FeatureIndex>(i % kDim), 1.0);
+  }
+  for (int iter = 0; iter < kReaderBatches; ++iter) {
+    const auto scored = scorer.ScoreBatch(batch);
+    ASSERT_TRUE(scored.ok());
+    const uint64_t version = (*scored)[0].model_version;
+    for (const ScoreResult& r : *scored) {
+      EXPECT_EQ(r.model_version, version)
+          << "batch mixed model versions mid-flight";
+      EXPECT_EQ(r.margin, static_cast<double>(version));
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// -------------------------------------------------------------- ServeMetrics
+
+TEST(LatencyHistogramTest, QuantilesOnKnownDistribution) {
+  LatencyHistogram hist;
+  // 600 requests at 10µs, 300 at 100µs, 90 at 1000µs, 10 at 9000µs.
+  for (int i = 0; i < 600; ++i) hist.Record(10.0);
+  for (int i = 0; i < 300; ++i) hist.Record(100.0);
+  for (int i = 0; i < 90; ++i) hist.Record(1000.0);
+  for (int i = 0; i < 10; ++i) hist.Record(9000.0);
+  ASSERT_EQ(hist.count(), 1000u);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.50), 10.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.90), 100.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.95), 1000.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.99), 1000.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 10000.0);
+}
+
+TEST(LatencyHistogramTest, EmptyAndOverflow) {
+  LatencyHistogram hist;
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 0.0);
+  hist.Record(1e9);  // past the last bound → overflow bucket
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.Quantile(0.5), std::numeric_limits<double>::infinity());
+}
+
+TEST(ServeMetricsTest, PerVersionCountersAndSnapshot) {
+  ServeMetrics metrics;
+  for (int i = 0; i < 3; ++i) metrics.RecordRequest(1, 50.0);
+  for (int i = 0; i < 5; ++i) metrics.RecordRequest(2, 150.0);
+  metrics.RecordBatch(8);
+  const ServeMetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.total_requests, 8u);
+  EXPECT_EQ(snap.total_batches, 1u);
+  ASSERT_EQ(snap.requests_by_version.size(), 2u);
+  EXPECT_EQ(snap.requests_by_version[0], (std::pair<uint64_t, uint64_t>{1, 3}));
+  EXPECT_EQ(snap.requests_by_version[1], (std::pair<uint64_t, uint64_t>{2, 5}));
+  EXPECT_GT(snap.throughput_rps, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p50_us, 200.0);  // 5 of 8 land in the (100,200] bucket
+}
+
+TEST(ServeMetricsTest, ResetClearsEverything) {
+  ServeMetrics metrics;
+  metrics.RecordRequest(1, 50.0);
+  metrics.RecordBatch(1);
+  metrics.Reset();
+  const ServeMetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.total_requests, 0u);
+  EXPECT_EQ(snap.total_batches, 0u);
+  EXPECT_TRUE(snap.requests_by_version.empty());
+  EXPECT_DOUBLE_EQ(snap.p50_us, 0.0);
+}
+
+TEST(ServeMetricsTest, WriteCsvEmitsSchema) {
+  ServeMetrics metrics;
+  metrics.RecordRequest(1, 42.0);
+  metrics.RecordRequest(3, 420.0);
+  const std::string path = TempPath("serve_metrics.csv");
+  ASSERT_TRUE(metrics.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content.rfind("metric,key,value\n", 0), 0u);
+  EXPECT_NE(content.find("latency_us,p50,"), std::string::npos);
+  EXPECT_NE(content.find("latency_us,p99,"), std::string::npos);
+  EXPECT_NE(content.find("throughput,requests_per_sec,"), std::string::npos);
+  EXPECT_NE(content.find("version_requests,1,"), std::string::npos);
+  EXPECT_NE(content.find("version_requests,3,"), std::string::npos);
+  EXPECT_NE(content.find("latency_bucket_le_us,inf,"), std::string::npos);
+}
+
+TEST(ServeMetricsTest, ScorerRecordsRequestsAndBatches) {
+  ModelRegistry registry;
+  registry.Deploy(ConstantModel(4, 1.0), "v1");
+  ServeMetrics metrics;
+  BatchScorer scorer(&registry, BatchScorerConfig{}, &metrics);
+  SparseVector x;
+  x.Push(0, 1.0);
+  ASSERT_TRUE(scorer.Score(x).ok());
+  ASSERT_TRUE(scorer.ScoreBatch({x, x, x}).ok());
+  const ServeMetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.total_requests, 4u);
+  EXPECT_EQ(snap.total_batches, 1u);
+  ASSERT_EQ(snap.requests_by_version.size(), 1u);
+  EXPECT_EQ(snap.requests_by_version[0].second, 4u);
+}
+
+}  // namespace
+}  // namespace mllibstar
