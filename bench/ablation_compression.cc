@@ -1,0 +1,79 @@
+// Ablation: communication codecs — how many bytes does a
+// communication step actually need? Every path a model or gradient
+// takes (broadcast, treeAggregate, Reduce-Scatter/AllGather, PS
+// push/pull) runs through a src/comm codec, so this sweep measures the
+// real tradeoff: bytes moved and simulated time versus the objective
+// the decoded-value math actually reaches. Error feedback (EF) carries
+// each worker's compression error into its next round's message, which
+// is what keeps the lossy codecs honest.
+#include <cmath>
+#include <cstdio>
+
+#include "comm/codec.h"
+#include "data/synthetic.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace mllibstar;
+
+  struct CodecRow {
+    const char* label;
+    CodecConfig codec;
+  };
+  const CodecRow codecs[] = {
+      {"dense-f64", {CodecKind::kDenseF64, 1024, 0.01, true}},
+      {"dense-f32", {CodecKind::kDenseF32, 1024, 0.01, true}},
+      {"int16+ef", {CodecKind::kInt16Linear, 1024, 0.01, true}},
+      {"int8+ef", {CodecKind::kInt8Linear, 1024, 0.01, true}},
+      {"int8", {CodecKind::kInt8Linear, 1024, 0.01, false}},
+      {"topk10%+ef", {CodecKind::kTopK, 1024, 0.10, true}},
+  };
+
+  const ClusterConfig cluster = ClusterConfig::Cluster1(8);
+
+  std::printf(
+      "Ablation — communication codecs (mllib*, hinge SVM, 30 steps, "
+      "8 executors)\n\n");
+
+  for (const char* dataset : {"avazu", "kdd12"}) {
+    const Dataset data = GenerateSynthetic(SpecByName(dataset, 3e-4));
+    std::printf("%s-shaped (%zu x %zu)\n", dataset, data.size(),
+                data.num_features());
+    std::printf("  %-12s %12s %8s %12s %12s %9s\n", "codec", "MB-moved",
+                "vs-dense", "sim-time(s)", "best-obj", "obj-gap%");
+
+    double dense_mb = 0.0;
+    double dense_obj = 0.0;
+    for (const CodecRow& row : codecs) {
+      TrainerConfig config;
+      config.loss = LossKind::kHinge;
+      config.base_lr = 0.3;
+      config.lr_schedule = LrScheduleKind::kConstant;
+      config.max_comm_steps = 30;
+      config.seed = 7;
+      config.codec = row.codec;
+
+      const TrainResult result =
+          MakeTrainer(SystemKind::kMllibStar, config)->Train(data, cluster);
+      const double mb = static_cast<double>(result.total_bytes) / 1e6;
+      const double obj = result.curve.BestObjective();
+      if (row.codec.kind == CodecKind::kDenseF64) {
+        dense_mb = mb;
+        dense_obj = obj;
+      }
+      std::printf("  %-12s %12.2f %7.1fx %12.2f %12.4f %8.2f%%\n", row.label,
+                  mb, dense_mb / mb, result.sim_seconds, obj,
+                  100.0 * (obj - dense_obj) / std::fabs(dense_obj));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected shape: int8+ef moves >4x fewer bytes than dense-f64 at "
+      "an objective within 1%%, and f32/int16 are free at half/quarter "
+      "cost. Sparsifying whole models (topk) loses real objective even "
+      "with error feedback — sparsification wants gradient-shaped "
+      "streams. Time gains trail byte gains because local compute is "
+      "untouched.\n");
+  return 0;
+}

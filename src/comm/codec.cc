@@ -1,0 +1,296 @@
+#include "comm/codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/logging.h"
+#include "sim/network.h"
+
+namespace mllibstar {
+namespace {
+
+// Serialization helpers: payloads use host byte order (the simulated
+// cluster is homogeneous; a real deployment would pin endianness).
+template <typename T>
+void Append(std::vector<uint8_t>* payload, T value) {
+  const size_t at = payload->size();
+  payload->resize(at + sizeof(T));
+  std::memcpy(payload->data() + at, &value, sizeof(T));
+}
+
+template <typename T>
+T ReadAt(const std::vector<uint8_t>& payload, size_t* at) {
+  T value;
+  MLLIBSTAR_CHECK_LE(*at + sizeof(T), payload.size());
+  std::memcpy(&value, payload.data() + *at, sizeof(T));
+  *at += sizeof(T);
+  return value;
+}
+
+EncodedChunk Finish(size_t dim, std::vector<uint8_t> payload) {
+  EncodedChunk chunk;
+  chunk.dim = dim;
+  chunk.bytes = payload.size();
+  chunk.payload = std::move(payload);
+  return chunk;
+}
+
+class DenseF64Codec : public GradientCodec {
+ public:
+  CodecKind kind() const override { return CodecKind::kDenseF64; }
+  std::string name() const override { return "dense-f64"; }
+  bool lossless() const override { return true; }
+
+  EncodedChunk Encode(const DenseVector& v) const override {
+    std::vector<uint8_t> payload(8 * v.dim());
+    std::memcpy(payload.data(), v.data(), payload.size());
+    return Finish(v.dim(), std::move(payload));
+  }
+
+  DenseVector Decode(const EncodedChunk& chunk) const override {
+    MLLIBSTAR_CHECK_EQ(chunk.payload.size(), 8 * chunk.dim);
+    DenseVector v(chunk.dim);
+    std::memcpy(v.data(), chunk.payload.data(), chunk.payload.size());
+    return v;
+  }
+
+  uint64_t EncodedBytes(size_t dim) const override {
+    return NetworkModel::DenseBytes(dim);
+  }
+
+ protected:
+  uint64_t value_bytes() const override { return 8; }
+};
+
+class DenseF32Codec : public GradientCodec {
+ public:
+  CodecKind kind() const override { return CodecKind::kDenseF32; }
+  std::string name() const override { return "dense-f32"; }
+  bool lossless() const override { return false; }
+
+  EncodedChunk Encode(const DenseVector& v) const override {
+    std::vector<uint8_t> payload;
+    payload.reserve(4 * v.dim());
+    for (size_t i = 0; i < v.dim(); ++i) {
+      Append(&payload, static_cast<float>(v[i]));
+    }
+    return Finish(v.dim(), std::move(payload));
+  }
+
+  DenseVector Decode(const EncodedChunk& chunk) const override {
+    MLLIBSTAR_CHECK_EQ(chunk.payload.size(), 4 * chunk.dim);
+    DenseVector v(chunk.dim);
+    size_t at = 0;
+    for (size_t i = 0; i < chunk.dim; ++i) {
+      v[i] = static_cast<double>(ReadAt<float>(chunk.payload, &at));
+    }
+    return v;
+  }
+
+  uint64_t EncodedBytes(size_t dim) const override { return 4ull * dim; }
+
+ protected:
+  uint64_t value_bytes() const override { return 4; }
+};
+
+/// Linear quantization with per-chunk [min, max] scaling: each group
+/// of `chunk_size` coordinates stores its range as two float32s plus
+/// one fixed-width integer level per coordinate. Decoding maps level q
+/// back to lo + q * (hi - lo) / levels, so the worst-case error per
+/// coordinate is half a step of its chunk's range.
+template <typename LevelT>
+class LinearQuantCodec : public GradientCodec {
+ public:
+  LinearQuantCodec(CodecKind kind, std::string name, size_t chunk_size)
+      : kind_(kind), name_(std::move(name)),
+        chunk_size_(std::max<size_t>(1, chunk_size)) {}
+
+  CodecKind kind() const override { return kind_; }
+  std::string name() const override { return name_; }
+  bool lossless() const override { return false; }
+
+  EncodedChunk Encode(const DenseVector& v) const override {
+    std::vector<uint8_t> payload;
+    payload.reserve(EncodedBytes(v.dim()));
+    for (size_t begin = 0; begin < v.dim(); begin += chunk_size_) {
+      const size_t end = std::min(v.dim(), begin + chunk_size_);
+      double lo = v[begin];
+      double hi = v[begin];
+      for (size_t i = begin; i < end; ++i) {
+        lo = std::min(lo, v[i]);
+        hi = std::max(hi, v[i]);
+      }
+      // The decoder sees the float32-rounded endpoints, so quantize
+      // against those same values (consistency beats precision here).
+      const float lo_f = static_cast<float>(lo);
+      const float hi_f = static_cast<float>(hi);
+      Append(&payload, lo_f);
+      Append(&payload, hi_f);
+      const double span = static_cast<double>(hi_f) - static_cast<double>(lo_f);
+      const double scale = span > 0.0 ? kLevels / span : 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        const double q =
+            std::round((v[i] - static_cast<double>(lo_f)) * scale);
+        Append(&payload, static_cast<LevelT>(std::clamp(q, 0.0, kLevels)));
+      }
+    }
+    return Finish(v.dim(), std::move(payload));
+  }
+
+  DenseVector Decode(const EncodedChunk& chunk) const override {
+    MLLIBSTAR_CHECK_EQ(chunk.payload.size(), EncodedBytes(chunk.dim));
+    DenseVector v(chunk.dim);
+    size_t at = 0;
+    for (size_t begin = 0; begin < chunk.dim; begin += chunk_size_) {
+      const size_t end = std::min(chunk.dim, begin + chunk_size_);
+      const double lo = static_cast<double>(ReadAt<float>(chunk.payload, &at));
+      const double hi = static_cast<double>(ReadAt<float>(chunk.payload, &at));
+      const double step = (hi - lo) / kLevels;
+      for (size_t i = begin; i < end; ++i) {
+        const double q =
+            static_cast<double>(ReadAt<LevelT>(chunk.payload, &at));
+        v[i] = lo + q * step;
+      }
+    }
+    return v;
+  }
+
+  uint64_t EncodedBytes(size_t dim) const override {
+    const uint64_t chunks = (dim + chunk_size_ - 1) / chunk_size_;
+    return 8ull * chunks + sizeof(LevelT) * static_cast<uint64_t>(dim);
+  }
+
+ protected:
+  uint64_t value_bytes() const override { return sizeof(LevelT); }
+
+ private:
+  static constexpr double kLevels =
+      static_cast<double>(std::numeric_limits<LevelT>::max());
+  CodecKind kind_;
+  std::string name_;
+  size_t chunk_size_;
+};
+
+/// Top-K sparsification: ship only the K largest-magnitude
+/// coordinates as (uint32 index, float64 value) pairs behind a uint32
+/// count. Kept coordinates survive bit-exactly; everything else
+/// decodes to zero — which is exactly why error feedback matters for
+/// this codec.
+class TopKCodec : public GradientCodec {
+ public:
+  explicit TopKCodec(double ratio)
+      : ratio_(std::clamp(ratio, 0.0, 1.0)) {}
+
+  CodecKind kind() const override { return CodecKind::kTopK; }
+  std::string name() const override { return "topk"; }
+  bool lossless() const override { return false; }
+
+  size_t Keep(size_t dim) const {
+    if (dim == 0) return 0;
+    return std::clamp<size_t>(
+        static_cast<size_t>(ratio_ * static_cast<double>(dim)), 1, dim);
+  }
+
+  EncodedChunk Encode(const DenseVector& v) const override {
+    const size_t keep = Keep(v.dim());
+    std::vector<FeatureIndex> order(v.dim());
+    for (size_t i = 0; i < v.dim(); ++i) {
+      order[i] = static_cast<FeatureIndex>(i);
+    }
+    // Largest magnitudes first; ties broken by index so the payload
+    // (and therefore the whole simulation) is deterministic.
+    std::nth_element(order.begin(), order.begin() + keep, order.end(),
+                     [&](FeatureIndex a, FeatureIndex b) {
+                       const double ma = std::fabs(v[a]);
+                       const double mb = std::fabs(v[b]);
+                       return ma != mb ? ma > mb : a < b;
+                     });
+    std::sort(order.begin(), order.begin() + keep);
+
+    std::vector<uint8_t> payload;
+    payload.reserve(EncodedBytes(v.dim()));
+    Append(&payload, static_cast<uint32_t>(keep));
+    for (size_t j = 0; j < keep; ++j) {
+      Append(&payload, static_cast<uint32_t>(order[j]));
+      Append(&payload, v[order[j]]);
+    }
+    return Finish(v.dim(), std::move(payload));
+  }
+
+  DenseVector Decode(const EncodedChunk& chunk) const override {
+    DenseVector v(chunk.dim);
+    size_t at = 0;
+    const uint32_t keep = ReadAt<uint32_t>(chunk.payload, &at);
+    for (uint32_t j = 0; j < keep; ++j) {
+      const uint32_t index = ReadAt<uint32_t>(chunk.payload, &at);
+      MLLIBSTAR_CHECK_LT(index, chunk.dim);
+      v[index] = ReadAt<double>(chunk.payload, &at);
+    }
+    return v;
+  }
+
+  uint64_t EncodedBytes(size_t dim) const override {
+    return 4ull + 12ull * Keep(dim);
+  }
+
+  uint64_t SparseEncodedBytes(size_t nnz, size_t dim) const override {
+    // TopK never ships more than its K pairs.
+    return 4ull + 12ull * std::min(nnz, Keep(dim));
+  }
+
+ protected:
+  uint64_t value_bytes() const override { return 8; }
+
+ private:
+  double ratio_;
+};
+
+}  // namespace
+
+std::string CodecName(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kDenseF64:
+      return "dense-f64";
+    case CodecKind::kDenseF32:
+      return "dense-f32";
+    case CodecKind::kInt16Linear:
+      return "int16";
+    case CodecKind::kInt8Linear:
+      return "int8";
+    case CodecKind::kTopK:
+      return "topk";
+  }
+  return "unknown";
+}
+
+uint64_t GradientCodec::SparseEncodedBytes(size_t nnz, size_t dim) const {
+  const uint64_t pairs = (4ull + value_bytes()) * static_cast<uint64_t>(nnz);
+  return std::min(pairs, EncodedBytes(dim));
+}
+
+std::unique_ptr<GradientCodec> MakeCodec(const CodecConfig& config) {
+  switch (config.kind) {
+    case CodecKind::kDenseF64:
+      return std::make_unique<DenseF64Codec>();
+    case CodecKind::kDenseF32:
+      return std::make_unique<DenseF32Codec>();
+    case CodecKind::kInt16Linear:
+      return std::make_unique<LinearQuantCodec<uint16_t>>(
+          CodecKind::kInt16Linear, "int16", config.quant_chunk);
+    case CodecKind::kInt8Linear:
+      return std::make_unique<LinearQuantCodec<uint8_t>>(
+          CodecKind::kInt8Linear, "int8", config.quant_chunk);
+    case CodecKind::kTopK:
+      return std::make_unique<TopKCodec>(config.topk_ratio);
+  }
+  return std::make_unique<DenseF64Codec>();
+}
+
+const GradientCodec& PassthroughCodec() {
+  static const DenseF64Codec* codec = new DenseF64Codec();
+  return *codec;
+}
+
+}  // namespace mllibstar

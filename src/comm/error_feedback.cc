@@ -1,0 +1,56 @@
+#include "comm/error_feedback.h"
+
+#include "common/logging.h"
+
+namespace mllibstar {
+
+ErrorFeedback::ErrorFeedback(size_t num_streams, size_t dim)
+    : residuals_(num_streams, DenseVector(dim)) {}
+
+const DenseVector& ErrorFeedback::residual(size_t stream) const {
+  MLLIBSTAR_CHECK_LT(stream, residuals_.size());
+  return residuals_[stream];
+}
+
+void ErrorFeedback::Compensate(size_t stream, DenseVector* v) const {
+  if (!enabled()) return;
+  MLLIBSTAR_CHECK_LT(stream, residuals_.size());
+  v->AddScaled(residuals_[stream], 1.0);
+}
+
+void ErrorFeedback::Absorb(size_t stream, const DenseVector& compensated,
+                           const DenseVector& decoded) {
+  if (!enabled()) return;
+  MLLIBSTAR_CHECK_LT(stream, residuals_.size());
+  DenseVector& r = residuals_[stream];
+  r = compensated;
+  r.AddScaled(decoded, -1.0);
+}
+
+ErrorFeedback MakeErrorFeedback(const GradientCodec& codec,
+                                const CodecConfig& config,
+                                size_t num_streams, size_t dim) {
+  if (codec.lossless() || !config.error_feedback) return ErrorFeedback();
+  return ErrorFeedback(num_streams, dim);
+}
+
+DenseVector CodecTransmit(const GradientCodec& codec, ErrorFeedback* ef,
+                          size_t stream, const DenseVector& v,
+                          uint64_t* wire_bytes) {
+  // Lossless fast path: the wire is transparent, so skip the
+  // encode/decode copy (the roundtrip is bit-exact by contract, which
+  // comm_test pins down).
+  if (codec.lossless()) {
+    if (wire_bytes != nullptr) *wire_bytes += codec.EncodedBytes(v.dim());
+    return v;
+  }
+  DenseVector compensated = v;
+  if (ef != nullptr) ef->Compensate(stream, &compensated);
+  const EncodedChunk chunk = codec.Encode(compensated);
+  if (wire_bytes != nullptr) *wire_bytes += chunk.bytes;
+  DenseVector decoded = codec.Decode(chunk);
+  if (ef != nullptr) ef->Absorb(stream, compensated, decoded);
+  return decoded;
+}
+
+}  // namespace mllibstar

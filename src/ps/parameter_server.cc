@@ -7,8 +7,11 @@
 
 namespace mllibstar {
 
-PsContext::PsContext(SimCluster* sim, size_t dim, const PsConfig& config)
-    : sim_(sim), config_(config), model_(dim), average_accumulator_(dim) {
+PsContext::PsContext(SimCluster* sim, size_t dim, const PsConfig& config,
+                     const GradientCodec* codec)
+    : sim_(sim), config_(config),
+      codec_(codec != nullptr ? codec : &PassthroughCodec()), model_(dim),
+      average_accumulator_(dim) {
   MLLIBSTAR_CHECK_EQ(sim->num_servers(), config.num_shards);
   MLLIBSTAR_CHECK_GT(config.num_shards, 0u);
 }
@@ -58,7 +61,7 @@ SimTime PsContext::TimeTransfer(SimNode* worker, uint64_t total_bytes,
 }
 
 SimTime PsContext::TimePull(SimNode* worker) {
-  return TimeTransfer(worker, NetworkModel::DenseBytes(dim()),
+  return TimeTransfer(worker, codec_->EncodedBytes(dim()),
                       /*is_pull=*/true, "ps-pull");
 }
 
@@ -71,11 +74,11 @@ SimTime PsContext::TimePush(SimNode* worker, uint64_t bytes) {
 }
 
 SimTime PsContext::TimePush(SimNode* worker) {
-  return TimePush(worker, NetworkModel::DenseBytes(dim()));
+  return TimePush(worker, codec_->EncodedBytes(dim()));
 }
 
 uint64_t PsContext::SparseUpdateBytes(size_t nnz, size_t dim) {
-  return std::min<uint64_t>(12ull * nnz, NetworkModel::DenseBytes(dim));
+  return PassthroughCodec().SparseEncodedBytes(nnz, dim);
 }
 
 void PsContext::ApplyDelta(const DenseVector& delta) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/codec.h"
 #include "core/vector.h"
 #include "sim/sim_cluster.h"
 
@@ -50,11 +51,15 @@ struct PsConfig {
 class PsContext {
  public:
   /// `sim` must outlive this context and have been built with
-  /// config.num_shards server nodes.
-  PsContext(SimCluster* sim, size_t dim, const PsConfig& config);
+  /// config.num_shards server nodes. `codec` (non-owning, may outlive
+  /// this context) sizes all pull/push traffic; nullptr means the
+  /// uncompressed DenseF64 wire.
+  PsContext(SimCluster* sim, size_t dim, const PsConfig& config,
+            const GradientCodec* codec = nullptr);
 
   const PsConfig& config() const { return config_; }
   size_t dim() const { return model_.dim(); }
+  const GradientCodec& wire_codec() const { return *codec_; }
 
   const DenseVector& model() const { return model_; }
   DenseVector* mutable_model() { return &model_; }
@@ -75,8 +80,15 @@ class PsContext {
   SimTime TimePush(SimNode* worker);
 
   /// Wire size of a sparse update with `nnz` nonzeros out of `dim`
-  /// coordinates: 12 bytes per entry (4-byte index + 8-byte value),
-  /// never more than the dense encoding.
+  /// coordinates through this context's codec (4-byte index + encoded
+  /// value per entry, never more than the dense encoding) — the same
+  /// rule the MLlib* shuffle accounting uses.
+  uint64_t SparseBytes(size_t nnz) const {
+    return codec_->SparseEncodedBytes(nnz, dim());
+  }
+
+  /// The uncompressed special case (12 bytes per entry), kept for
+  /// codec-free callers.
   static uint64_t SparseUpdateBytes(size_t nnz, size_t dim);
 
   /// kSumDeltas: applies `delta` (scaled by config.delta_scale) to the
@@ -99,6 +111,7 @@ class PsContext {
 
   SimCluster* sim_;
   PsConfig config_;
+  const GradientCodec* codec_;
   DenseVector model_;
   DenseVector average_accumulator_;
   size_t staged_models_ = 0;

@@ -2,10 +2,10 @@
 
 #include <cmath>
 
+#include "comm/error_feedback.h"
 #include "core/lbfgs.h"
 #include "core/owlqn.h"
 #include "data/partition.h"
-#include "sim/network.h"
 
 namespace mllibstar {
 
@@ -17,7 +17,7 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
   SparkCluster spark(cluster);
   const size_t k = spark.num_workers();
   const size_t d = data.num_features();
-  const uint64_t model_bytes = NetworkModel::DenseBytes(d);
+  const uint64_t model_bytes = codec().EncodedBytes(d);
   const size_t num_agg = std::max<size_t>(
       1, config().num_aggregators != 0
              ? config().num_aggregators
@@ -33,16 +33,18 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
   // model-sized dense vector plus the scalar loss.
   int passes = 0;
   std::vector<DenseVector> worker_gradients(k, DenseVector(d));
+  ErrorFeedback ef = MakeErrorFeedback(codec(), config().codec, k, d);
   auto oracle = [&](const DenseVector& w, DenseVector* gradient) -> double {
     spark.BeginStage("lbfgs pass " + std::to_string(passes));
     spark.Broadcast(model_bytes, config().broadcast, "model-bcast");
+    const DenseVector w_recv = CodecTransmit(codec(), nullptr, 0, w);
 
     double loss_sum = 0.0;
     spark.RunOnWorkers("loss+grad", [&](size_t r) -> uint64_t {
       worker_gradients[r].SetZero();
       uint64_t work = 0;
       for (const DataPoint& p : partitions[r]) {
-        const double margin = w.Dot(p.features);
+        const double margin = w_recv.Dot(p.features);
         const double dl = loss().Derivative(margin, p.label);
         loss_sum += loss().Value(margin, p.label);
         work += p.nnz();
@@ -57,8 +59,9 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
     spark.TreeAggregate(model_bytes, num_agg, d, "grad-agg");
 
     gradient->SetZero();
-    for (const DenseVector& g : worker_gradients) {
-      gradient->AddScaled(g, 1.0);
+    for (size_t r = 0; r < k; ++r) {
+      gradient->AddScaled(CodecTransmit(codec(), &ef, r, worker_gradients[r]),
+                          1.0);
     }
     gradient->Scale(1.0 / n);
     // With L1, OWL-QN owns the penalty: the oracle returns the smooth

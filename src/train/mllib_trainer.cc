@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "comm/error_feedback.h"
 #include "common/logging.h"
 #include "core/gd.h"
 #include "data/partition.h"
-#include "sim/network.h"
 
 namespace mllibstar {
 namespace {
@@ -43,7 +43,7 @@ TrainResult MllibTrainer::Train(const Dataset& data,
   SparkCluster spark(cluster);
   const size_t k = spark.num_workers();
   const size_t d = data.num_features();
-  const uint64_t model_bytes = NetworkModel::DenseBytes(d);
+  const uint64_t model_bytes = codec().EncodedBytes(d);
   const size_t num_agg = DefaultAggregators(k, config().num_aggregators);
 
   std::vector<std::vector<DataPoint>> partitions =
@@ -52,6 +52,7 @@ TrainResult MllibTrainer::Train(const Dataset& data,
 
   DenseVector w(d);
   std::vector<DenseVector> gradients(k, DenseVector(d));
+  ErrorFeedback ef = MakeErrorFeedback(codec(), config().codec, k, d);
 
   result.curve.set_label(name());
   result.curve.Add(0, 0.0, Eval(data, w));
@@ -59,8 +60,10 @@ TrainResult MllibTrainer::Train(const Dataset& data,
   for (int t = 0; t < config().max_comm_steps; ++t) {
     spark.BeginStage("iteration " + std::to_string(t));
 
-    // (1) Driver broadcasts the current model.
+    // (1) Driver broadcasts the current model (through the codec:
+    // executors compute at the model they actually received).
     spark.Broadcast(model_bytes, config().broadcast, "model-bcast");
+    const DenseVector w_recv = CodecTransmit(codec(), nullptr, 0, w);
 
     // (2) Executors compute batch gradients at the received model.
     size_t total_batch = 0;
@@ -72,17 +75,21 @@ TrainResult MllibTrainer::Train(const Dataset& data,
           SampleBatch(part.size(), bsize, &rngs[r]);
       gradients[r].SetZero();
       const ComputeStats stats =
-          AccumulateBatchGradient(part, batch, loss(), w, &gradients[r]);
+          AccumulateBatchGradient(part, batch, loss(), w_recv, &gradients[r]);
       total_batch += batch.size();
       return stats.nnz_processed;
     });
 
-    // (3) Gradients flow to the driver through treeAggregate.
+    // (3) Gradients flow to the driver through treeAggregate; each
+    // worker's contribution crosses the codec (with error feedback).
     spark.TreeAggregate(model_bytes, num_agg, d, "grad-agg");
 
     // (4) The driver applies the single update of this step.
     DenseVector gradient_sum(d);
-    for (const DenseVector& g : gradients) gradient_sum.AddScaled(g, 1.0);
+    for (size_t r = 0; r < k; ++r) {
+      gradient_sum.AddScaled(CodecTransmit(codec(), &ef, r, gradients[r]),
+                             1.0);
+    }
     const double lr = schedule().LrAt(t);
     regularizer().ApplyGradientStep(&w, lr);
     if (total_batch > 0) {
@@ -122,7 +129,7 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
   SparkCluster spark(cluster);
   const size_t k = spark.num_workers();
   const size_t d = data.num_features();
-  const uint64_t model_bytes = NetworkModel::DenseBytes(d);
+  const uint64_t model_bytes = codec().EncodedBytes(d);
   const size_t num_agg = DefaultAggregators(k, config().num_aggregators);
 
   std::vector<std::vector<DataPoint>> partitions =
@@ -131,6 +138,7 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
 
   DenseVector w(d);
   std::vector<DenseVector> locals(k, DenseVector(d));
+  ErrorFeedback ef = MakeErrorFeedback(codec(), config().codec, k, d);
   std::vector<std::unique_ptr<LocalOptimizer>> optimizers;
   if (config().local_optimizer.kind != LocalOptimizerKind::kSgd) {
     for (size_t r = 0; r < k; ++r) {
@@ -144,13 +152,14 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
   for (int t = 0; t < config().max_comm_steps; ++t) {
     spark.BeginStage("iteration " + std::to_string(t));
 
-    // (1) Driver broadcasts the current global model.
+    // (1) Driver broadcasts the current global model through the codec.
     spark.Broadcast(model_bytes, config().broadcast, "model-bcast");
+    const DenseVector w_recv = CodecTransmit(codec(), nullptr, 0, w);
 
     // (2) Executors run local SGD passes starting from it (SendModel).
     const double lr = schedule().LrAt(t);
     spark.RunOnWorkers("local-sgd", [&](size_t r) -> uint64_t {
-      locals[r] = w;
+      locals[r] = w_recv;
       ComputeStats stats;
       for (size_t e = 0; e < std::max<size_t>(1, config().local_epochs);
            ++e) {
@@ -167,8 +176,12 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
       return stats.nnz_processed;
     });
 
-    // (3) Local models flow back through the same treeAggregate path.
+    // (3) Local models flow back through the same treeAggregate path,
+    // each crossing the codec with per-worker error feedback.
     spark.TreeAggregate(model_bytes, num_agg, d, "model-agg");
+    for (size_t r = 0; r < k; ++r) {
+      locals[r] = CodecTransmit(codec(), &ef, r, locals[r]);
+    }
 
     // (4) Driver averages them into the new global model.
     w = Average(locals);
@@ -205,9 +218,9 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
   SparkCluster spark(cluster);
   const size_t k = spark.num_workers();
   const size_t d = data.num_features();
-  // Each shuffle moves one model partition (~d/k doubles) per peer pair.
-  const uint64_t partition_bytes =
-      NetworkModel::DenseBytes((d + k - 1) / k);
+  // Each shuffle moves one codec-encoded model partition (~d/k
+  // coordinates) per peer pair.
+  const uint64_t partition_bytes = codec().EncodedBytes((d + k - 1) / k);
 
   std::vector<std::vector<DataPoint>> partitions =
       PartitionRoundRobin(data, k);
@@ -220,6 +233,7 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
   // the two shuffles.
   DenseVector global(d);
   std::vector<DenseVector> locals(k, DenseVector(d));
+  ErrorFeedback ef = MakeErrorFeedback(codec(), config().codec, k, d);
   std::vector<std::unique_ptr<LocalOptimizer>> optimizers;
   if (config().local_optimizer.kind != LocalOptimizerKind::kSgd) {
     for (size_t r = 0; r < k; ++r) {
@@ -253,18 +267,21 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
     });
 
     // (2) Reduce-Scatter: everyone ships the ranges it does not own to
-    // their owners, then averages the range it owns.
+    // their owners (each piece crossing the codec, with per-worker
+    // error feedback), then averages the range it owns.
     spark.ShuffleAllToAll(partition_bytes, "reduce-scatter");
     for (size_t r = 0; r < k; ++r) {
       // Averaging k contributions of d/k coordinates ~ d work units.
       spark.sim().ComputeExact(&spark.sim().worker(r), d,
                                ActivityKind::kAggregate, "range-average");
+      locals[r] = CodecTransmit(codec(), &ef, r, locals[r]);
     }
     global = Average(locals);
 
     // (3) AllGather: owners broadcast their averaged range; every
-    // executor reassembles the full model.
+    // executor reassembles the full model from what the wire delivered.
     spark.ShuffleAllToAll(partition_bytes, "all-gather");
+    global = CodecTransmit(codec(), nullptr, 0, global);
     for (size_t r = 0; r < k; ++r) locals[r] = global;
 
     const SimTime now = spark.Barrier();

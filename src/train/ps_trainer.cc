@@ -7,10 +7,10 @@
 #include <queue>
 #include <tuple>
 
+#include "comm/error_feedback.h"
 #include "common/logging.h"
 #include "core/gd.h"
 #include "data/partition.h"
-#include "sim/network.h"
 
 namespace mllibstar {
 namespace {
@@ -76,7 +76,7 @@ TrainResult PsTrainer::Train(const Dataset& data,
   ClusterConfig cc = cluster;
   cc.num_servers = ps.num_shards;
   SimCluster sim(cc);
-  PsContext server(&sim, d, ps);
+  PsContext server(&sim, d, ps, &codec());
 
   const size_t k = sim.num_workers();
   std::vector<std::vector<DataPoint>> partitions =
@@ -90,7 +90,7 @@ TrainResult PsTrainer::Train(const Dataset& data,
   // Feature-filtered pulls: each worker only needs the coordinates its
   // partition actually references (Angel's optimization). Computed
   // once from the static partitioning.
-  std::vector<uint64_t> pull_bytes(k, NetworkModel::DenseBytes(d));
+  std::vector<uint64_t> pull_bytes(k, codec().EncodedBytes(d));
   if (ps.sparse_pull) {
     std::vector<bool> touched(d);
     for (size_t r = 0; r < k; ++r) {
@@ -104,10 +104,11 @@ TrainResult PsTrainer::Train(const Dataset& data,
           }
         }
       }
-      pull_bytes[r] = PsContext::SparseUpdateBytes(features, d);
+      pull_bytes[r] = server.SparseBytes(features);
     }
   }
 
+  ErrorFeedback ef = MakeErrorFeedback(codec(), config().codec, k, d);
   std::vector<std::vector<SimTime>> finish_times(k);
   std::vector<int> rounds_done(k, 0);
   std::vector<DenseVector> pending_delta(k);  // between pull and push
@@ -214,7 +215,8 @@ TrainResult PsTrainer::Train(const Dataset& data,
 
     if (phase == kPull) {
       server.TimePull(&node, pull_bytes[r]);
-      DenseVector local = server.model();
+      // The worker trains on the model the wire delivered.
+      DenseVector local = CodecTransmit(codec(), nullptr, 0, server.model());
       const DenseVector snapshot = local;
       const ComputeStats stats = local_compute(r, round, &local);
       result.total_model_updates += stats.model_updates;
@@ -225,10 +227,14 @@ TrainResult PsTrainer::Train(const Dataset& data,
       continue;
     }
 
-    // kPush: ship the delta (sparse index/value pairs on the wire).
-    DenseVector& delta = pending_delta[r];
+    // kPush: ship the delta through the codec (with error feedback);
+    // the wire carries whichever of the codec's dense and sparse
+    // index/value encodings is smaller.
+    uint64_t dense_bytes = 0;
+    const DenseVector delta =
+        CodecTransmit(codec(), &ef, r, pending_delta[r], &dense_bytes);
     const uint64_t push_bytes =
-        PsContext::SparseUpdateBytes(delta.CountNonZeros(), d);
+        std::min(dense_bytes, server.SparseBytes(delta.CountNonZeros()));
     server.TimePush(&node, push_bytes);
     if (static_cast<size_t>(round) >= round_pushes.size()) {
       round_pushes.resize(round + 1, 0);
@@ -242,7 +248,7 @@ TrainResult PsTrainer::Train(const Dataset& data,
     } else {
       round_stage[round].AddScaled(delta, 1.0);
     }
-    delta = DenseVector();  // release
+    pending_delta[r] = DenseVector();  // release
     ++round_pushes[round];
     round_end[round] = std::max(round_end[round], node.clock);
     finish_times[r].push_back(node.clock);

@@ -30,6 +30,7 @@ std::string SystemName(SystemKind kind) {
 
 Trainer::Trainer(TrainerConfig config)
     : config_(std::move(config)),
+      codec_(MakeCodec(config_.codec)),
       loss_(MakeLoss(config_.loss)),
       reg_(MakeRegularizer(config_.regularizer, config_.lambda)),
       schedule_(config_.lr_schedule, config_.base_lr) {}

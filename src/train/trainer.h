@@ -5,6 +5,8 @@
 #include <optional>
 #include <string>
 
+#include "comm/codec.h"
+#include "comm/error_feedback.h"
 #include "core/convergence.h"
 #include "core/local_optimizer.h"
 #include "core/loss.h"
@@ -65,6 +67,12 @@ struct TrainerConfig {
   int eval_every = 1;
   uint64_t seed = 123;
 
+  // Communication codec applied to every path that ships a model or
+  // gradient (broadcast, treeAggregate, Reduce-Scatter/AllGather, PS
+  // push/pull). kDenseF64 reproduces the pre-codec byte accounting
+  // and math bit-for-bit.
+  CodecConfig codec;
+
   // Spark engine knobs.
   BroadcastMode broadcast = BroadcastMode::kDriverSequential;
   /// Intermediate aggregators for treeAggregate; 0 = floor(sqrt(k)).
@@ -109,6 +117,7 @@ class Trainer {
 
  protected:
   const TrainerConfig& config() const { return config_; }
+  const GradientCodec& codec() const { return *codec_; }
   const Loss& loss() const { return *loss_; }
   const Regularizer& regularizer() const { return *reg_; }
   const LrSchedule& schedule() const { return schedule_; }
@@ -126,6 +135,7 @@ class Trainer {
 
  private:
   TrainerConfig config_;
+  std::unique_ptr<GradientCodec> codec_;
   std::unique_ptr<Loss> loss_;
   std::unique_ptr<Regularizer> reg_;
   LrSchedule schedule_;

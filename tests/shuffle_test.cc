@@ -1,7 +1,9 @@
 #include "engine/shuffle.h"
 
+#include <cmath>
 #include <gtest/gtest.h>
 
+#include "comm/codec.h"
 #include "core/vector.h"
 #include "data/partition.h"
 
@@ -148,6 +150,50 @@ TEST(ShuffleExchangeTest, ReduceScatterAllGatherEqualsAverage) {
   const DenseVector expected = Average(locals);
   for (size_t i = 0; i < d; ++i) {
     EXPECT_DOUBLE_EQ(reassembled[i], expected[i]) << "i=" << i;
+  }
+}
+
+TEST(ShuffleExchangeTest, CodecShrunkMessagesShiftTheBottleneckLink) {
+  // Workers ship real encoded payloads of heterogeneous sizes: worker
+  // 0 still sends dense float64, worker 1 int8-quantized. The codec
+  // derives each ShuffleMessage's bytes, so worker 0's link becomes
+  // the bottleneck and the exchange's byte accounting shrinks by
+  // exactly the compression the codec delivered.
+  const size_t dim = 4096;
+  SparkCluster cluster(TestConfig(3));
+
+  CodecConfig int8_config;
+  int8_config.kind = CodecKind::kInt8Linear;
+  const auto dense = MakeCodec(CodecConfig{});
+  const auto int8 = MakeCodec(int8_config);
+
+  DenseVector payload(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    payload[i] = std::sin(static_cast<double>(i)) * 0.01;
+  }
+  EncodedChunk heavy = dense->Encode(payload);
+  EncodedChunk light = int8->Encode(payload);
+  ASSERT_GT(heavy.bytes / light.bytes, 4u);
+
+  const uint64_t heavy_bytes = heavy.bytes;
+  const uint64_t light_bytes = light.bytes;
+  std::vector<std::vector<ShuffleMessage<EncodedChunk>>> outgoing(3);
+  outgoing[0].push_back({2, heavy_bytes, std::move(heavy)});
+  outgoing[1].push_back({2, light_bytes, std::move(light)});
+  const auto received = ShuffleExchange(&cluster, std::move(outgoing), "t");
+
+  EXPECT_EQ(cluster.total_bytes(), heavy_bytes + light_bytes);
+  // The uncompressed sender's link finishes last among the senders.
+  EXPECT_GT(cluster.sim().worker(0).clock, cluster.sim().worker(1).clock);
+
+  // The receiver decodes what actually crossed the wire; the
+  // quantized copy is close to (but cheaper than) the dense one.
+  ASSERT_EQ(received[2].size(), 2u);
+  const DenseVector from_dense = dense->Decode(received[2][0]);
+  const DenseVector from_int8 = int8->Decode(received[2][1]);
+  for (size_t i = 0; i < dim; ++i) {
+    EXPECT_DOUBLE_EQ(from_dense[i], payload[i]);
+    EXPECT_NEAR(from_int8[i], payload[i], 0.02 / 255.0 + 1e-9);
   }
 }
 
