@@ -94,6 +94,87 @@ void BM_SgdEpochEagerL2(benchmark::State& state) {
 }
 BENCHMARK(BM_SgdEpochEagerL2);
 
+void BM_BatchGradientCsr(benchmark::State& state) {
+  // Same workload as BM_BatchGradient over the packed CSR layout; the
+  // delta between the two is the pointer-chasing cost of
+  // vector<DataPoint>.
+  const Dataset data = BenchData(4000, 10000, 20);
+  const CsrBlock block = CsrBlock::FromPoints(data.points());
+  auto loss = MakeLoss(LossKind::kLogistic);
+  DenseVector w(data.num_features());
+  DenseVector grad(data.num_features());
+  std::vector<size_t> batch;
+  for (size_t i = 0; i < data.size(); i += 10) batch.push_back(i);
+  for (auto _ : state) {
+    grad.SetZero();
+    benchmark::DoNotOptimize(
+        AccumulateBatchGradient(block, batch, *loss, w, &grad));
+  }
+  state.SetItemsProcessed(state.iterations() * batch.size());
+}
+BENCHMARK(BM_BatchGradientCsr);
+
+void BM_SgdEpochCsrLazyL2(benchmark::State& state) {
+  // CSR twin of BM_SgdEpochLazyL2 (the MLlib*/Petuum* hot loop).
+  const Dataset data = BenchData(2000, 50000, 20);
+  const CsrBlock block = CsrBlock::FromPoints(data.points());
+  auto loss = MakeLoss(LossKind::kLogistic);
+  auto reg = MakeRegularizer(RegularizerKind::kL2, 0.1);
+  Rng rng(7);
+  for (auto _ : state) {
+    DenseVector w(data.num_features());
+    benchmark::DoNotOptimize(
+        LocalSgdEpoch(block, *loss, *reg, 0.1, true, &rng, &w));
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_SgdEpochCsrLazyL2);
+
+void BM_LossGradientFused(benchmark::State& state) {
+  // The L-BFGS oracle's fused full-pass kernel over CSR.
+  const Dataset data = BenchData(4000, 10000, 20);
+  const CsrBlock block = CsrBlock::FromPoints(data.points());
+  auto loss = MakeLoss(LossKind::kLogistic);
+  DenseVector w(data.num_features());
+  DenseVector grad(data.num_features());
+  for (auto _ : state) {
+    grad.SetZero();
+    double loss_sum = 0.0;
+    benchmark::DoNotOptimize(
+        AccumulateLossGradient(block, *loss, w, &grad, &loss_sum));
+    benchmark::DoNotOptimize(loss_sum);
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_LossGradientFused);
+
+void BM_CsrPack(benchmark::State& state) {
+  // One-time packing cost a trainer pays per partition.
+  const Dataset data = BenchData(4000, 10000, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CsrBlock::FromPoints(data.points()));
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_CsrPack);
+
+void BM_SampleBatch(benchmark::State& state) {
+  // range(0) = population, range(1) = batch. The small-fraction args
+  // hit Floyd's sampling (no O(n) pool); the large-fraction arg hits
+  // the partial Fisher-Yates path.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t batch = static_cast<size_t>(state.range(1));
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleBatch(n, batch, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SampleBatch)
+    ->Args({1 << 20, 64})
+    ->Args({1 << 20, 1 << 10})
+    ->Args({1 << 20, 1 << 19});
+
 void BM_SyntheticGeneration(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(BenchData(5000, 10000, 15));

@@ -51,6 +51,9 @@ int main(int argc, char** argv) {
   flags.AddDouble("batch-fraction", 0.01, "batch size / partition size");
   flags.AddInt64("steps", 20, "communication steps");
   flags.AddInt64("workers", 8, "simulated executors");
+  flags.AddInt64("host_threads", 1,
+                 "host threads for per-worker math (0 = all cores; "
+                 "results are bit-identical for any value)");
   flags.AddInt64("ps-shards", 2, "parameter-server shards (PS systems)");
   flags.AddInt64("staleness", 0, "SSP staleness (PS systems; 0 = BSP)");
   flags.AddDouble("test-fraction", 0.2, "held-out fraction");
@@ -109,6 +112,7 @@ int main(int argc, char** argv) {
   config.batch_fraction = flags.GetDouble("batch-fraction");
   config.max_comm_steps = static_cast<int>(flags.GetInt64("steps"));
   config.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  config.host_threads = static_cast<size_t>(flags.GetInt64("host_threads"));
   config.ps.num_shards = static_cast<size_t>(flags.GetInt64("ps-shards"));
   if (flags.GetInt64("staleness") > 0) {
     config.ps.consistency = ConsistencyKind::kSsp;

@@ -1,0 +1,37 @@
+#include "core/csr_block.h"
+
+namespace mllibstar {
+
+CsrBlock CsrBlock::FromPoints(const std::vector<DataPoint>& points) {
+  CsrBlock block;
+  const size_t n = points.size();
+  size_t total = 0;
+  for (const DataPoint& p : points) total += p.nnz();
+
+  block.offsets.reserve(n + 1);
+  block.indices.reserve(total);
+  block.values.reserve(total);
+  block.labels.reserve(n);
+
+  block.offsets.push_back(0);
+  for (const DataPoint& p : points) {
+    block.indices.insert(block.indices.end(), p.features.indices.begin(),
+                         p.features.indices.end());
+    block.values.insert(block.values.end(), p.features.values.begin(),
+                        p.features.values.end());
+    block.labels.push_back(p.label);
+    block.offsets.push_back(block.indices.size());
+  }
+  return block;
+}
+
+DataPoint CsrBlock::PointAt(size_t i) const {
+  DataPoint p;
+  p.label = labels[i];
+  const size_t n = row_nnz(i);
+  p.features.indices.assign(row_indices(i), row_indices(i) + n);
+  p.features.values.assign(row_values(i), row_values(i) + n);
+  return p;
+}
+
+}  // namespace mllibstar

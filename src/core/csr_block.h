@@ -1,0 +1,51 @@
+#ifndef MLLIBSTAR_CORE_CSR_BLOCK_H_
+#define MLLIBSTAR_CORE_CSR_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/datapoint.h"
+#include "core/vector.h"
+
+namespace mllibstar {
+
+/// A partition of labeled examples packed into one contiguous CSR
+/// block: four flat arrays instead of two heap vectors per point.
+///
+/// The `vector<DataPoint>` layout scatters every example's indices and
+/// values across the heap (one SparseVector = two separately allocated
+/// vectors), so a pass over a partition chases ~2n pointers. Packing
+/// once into offsets/indices/values/labels makes every training pass a
+/// linear scan — the single biggest cache win in the host hot path.
+/// Rows keep their order, indices within a row keep their order, so
+/// every kernel that walks a CsrBlock performs bit-for-bit the same
+/// floating-point operations as its per-DataPoint twin.
+struct CsrBlock {
+  std::vector<uint64_t> offsets;      ///< rows()+1 entries; offsets[0] == 0
+  std::vector<FeatureIndex> indices;  ///< column ids, row-major
+  std::vector<double> values;         ///< parallel to `indices`
+  std::vector<double> labels;         ///< one per row
+
+  size_t rows() const { return labels.size(); }
+  size_t nnz() const { return indices.size(); }
+  size_t row_nnz(size_t i) const { return offsets[i + 1] - offsets[i]; }
+  double label(size_t i) const { return labels[i]; }
+  const FeatureIndex* row_indices(size_t i) const {
+    return indices.data() + offsets[i];
+  }
+  const double* row_values(size_t i) const {
+    return values.data() + offsets[i];
+  }
+
+  /// Packs `points` (row order preserved). One pass to size, one to
+  /// fill; no per-row allocation.
+  static CsrBlock FromPoints(const std::vector<DataPoint>& points);
+
+  /// Reconstructs row `i` as a DataPoint (round-trip check in tests).
+  DataPoint PointAt(size_t i) const;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_CORE_CSR_BLOCK_H_

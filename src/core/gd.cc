@@ -2,94 +2,91 @@
 
 #include <cmath>
 #include <numeric>
+#include <unordered_set>
 
 #include "common/logging.h"
 
 namespace mllibstar {
+namespace {
 
-ComputeStats AccumulateBatchGradient(const std::vector<DataPoint>& points,
-                                     const std::vector<size_t>& batch,
-                                     const Loss& loss, const DenseVector& w,
-                                     DenseVector* gradient) {
+// Uniform row views over the two partition layouts. The kernels below
+// are written once against this interface; instantiated for DataPoint
+// vectors and CsrBlocks they execute identical floating-point
+// operations in identical order, which is what lets the trainers swap
+// in the packed layout without perturbing any simulated result.
+struct PointsView {
+  const std::vector<DataPoint>& points;
+  size_t size() const { return points.size(); }
+  const FeatureIndex* indices(size_t i) const {
+    return points[i].features.indices.data();
+  }
+  const double* values(size_t i) const {
+    return points[i].features.values.data();
+  }
+  size_t nnz(size_t i) const { return points[i].nnz(); }
+  double label(size_t i) const { return points[i].label; }
+};
+
+struct CsrView {
+  const CsrBlock& block;
+  size_t size() const { return block.rows(); }
+  const FeatureIndex* indices(size_t i) const {
+    return block.row_indices(i);
+  }
+  const double* values(size_t i) const { return block.row_values(i); }
+  size_t nnz(size_t i) const { return block.row_nnz(i); }
+  double label(size_t i) const { return block.label(i); }
+};
+
+template <typename View>
+ComputeStats BatchGradientImpl(const View& v,
+                               const std::vector<size_t>& batch,
+                               const Loss& loss, const DenseVector& w,
+                               DenseVector* gradient) {
   ComputeStats stats;
   for (size_t idx : batch) {
-    const DataPoint& p = points[idx];
-    const double margin = w.Dot(p.features);
-    const double d = loss.Derivative(margin, p.label);
-    stats.nnz_processed += p.nnz();
+    const size_t n = v.nnz(idx);
+    const double margin = w.Dot(v.indices(idx), v.values(idx), n);
+    const double d = loss.Derivative(margin, v.label(idx));
+    stats.nnz_processed += n;
     if (d != 0.0) {
-      gradient->AddScaled(p.features, d);
-      stats.nnz_processed += p.nnz();
+      gradient->AddScaled(v.indices(idx), v.values(idx), n, d);
+      stats.nnz_processed += n;
     }
   }
   return stats;
 }
 
-std::vector<size_t> SampleBatch(size_t n, size_t batch_size, Rng* rng) {
-  if (batch_size >= n) {
-    std::vector<size_t> all(n);
-    std::iota(all.begin(), all.end(), size_t{0});
-    return all;
-  }
-  // Floyd's algorithm would avoid the set, but batch sizes here are
-  // small fractions of n, so plain rejection on a sorted draw is fine;
-  // we instead draw with a partial Fisher-Yates over an index pool
-  // only when batch_size is large. For typical 0.1%-1% batches,
-  // rejection sampling almost never retries.
-  std::vector<size_t> batch;
-  batch.reserve(batch_size);
-  if (batch_size * 4 >= n) {
-    std::vector<size_t> pool(n);
-    std::iota(pool.begin(), pool.end(), size_t{0});
-    for (size_t i = 0; i < batch_size; ++i) {
-      const size_t j = i + rng->NextUint64(n - i);
-      std::swap(pool[i], pool[j]);
-      batch.push_back(pool[i]);
-    }
-  } else {
-    std::vector<bool> taken(n, false);
-    while (batch.size() < batch_size) {
-      const size_t j = rng->NextUint64(n);
-      if (!taken[j]) {
-        taken[j] = true;
-        batch.push_back(j);
-      }
-    }
-  }
-  return batch;
-}
-
-void ScaledVector::Shrink(double factor) {
-  MLLIBSTAR_CHECK_GT(factor, 0.0);
-  scale_ *= factor;
-  if (scale_ < 1e-9) Materialize();
-}
-
-void ScaledVector::AddScaled(const SparseVector& x, double alpha) {
-  v_.AddScaled(x, alpha / scale_);
-}
-
-DenseVector ScaledVector::ToDense() const {
-  DenseVector result = v_;
-  result.Scale(scale_);
-  return result;
-}
-
-void ScaledVector::Materialize() {
-  v_.Scale(scale_);
-  scale_ = 1.0;
-}
-
-ComputeStats LocalSgdEpoch(const std::vector<DataPoint>& points,
-                           const Loss& loss, const Regularizer& reg,
-                           double lr, bool lazy_regularization, Rng* rng,
-                           DenseVector* w) {
+template <typename View>
+ComputeStats LossGradientImpl(const View& v, const Loss& loss,
+                              const DenseVector& w, DenseVector* gradient,
+                              double* loss_sum) {
   ComputeStats stats;
-  if (points.empty()) return stats;
+  const size_t rows = v.size();
+  for (size_t i = 0; i < rows; ++i) {
+    const size_t n = v.nnz(i);
+    const double margin = w.Dot(v.indices(i), v.values(i), n);
+    const double y = v.label(i);
+    const double d = loss.Derivative(margin, y);
+    *loss_sum += loss.Value(margin, y);
+    stats.nnz_processed += n;
+    if (d != 0.0) {
+      gradient->AddScaled(v.indices(i), v.values(i), n, d);
+      stats.nnz_processed += n;
+    }
+  }
+  return stats;
+}
 
-  std::vector<size_t> order(points.size());
-  std::iota(order.begin(), order.end(), size_t{0});
-  rng->Shuffle(&order);
+// One shuffled SGD pass visiting `rows` (shuffled in place).
+template <typename View>
+ComputeStats SgdEpochImpl(const View& v, std::vector<size_t> rows,
+                          const Loss& loss, const Regularizer& reg,
+                          double lr, bool lazy_regularization, Rng* rng,
+                          DenseVector* w) {
+  ComputeStats stats;
+  if (rows.empty()) return stats;
+  rng->Shuffle(&rows);
 
   const bool lazy_l2 =
       lazy_regularization && reg.kind() == RegularizerKind::kL2;
@@ -98,15 +95,15 @@ ComputeStats LocalSgdEpoch(const std::vector<DataPoint>& points,
     ScaledVector scaled(std::move(*w));
     const double shrink = 1.0 - lr * reg.lambda();
     MLLIBSTAR_CHECK_GT(shrink, 0.0);
-    for (size_t idx : order) {
-      const DataPoint& p = points[idx];
-      const double margin = scaled.Dot(p.features);
-      const double d = loss.Derivative(margin, p.label);
-      stats.nnz_processed += p.nnz();
+    for (size_t idx : rows) {
+      const size_t n = v.nnz(idx);
+      const double margin = scaled.Dot(v.indices(idx), v.values(idx), n);
+      const double d = loss.Derivative(margin, v.label(idx));
+      stats.nnz_processed += n;
       scaled.Shrink(shrink);
       if (d != 0.0) {
-        scaled.AddScaled(p.features, -lr * d);
-        stats.nnz_processed += p.nnz();
+        scaled.AddScaled(v.indices(idx), v.values(idx), n, -lr * d);
+        stats.nnz_processed += n;
       }
       ++stats.model_updates;
     }
@@ -114,33 +111,34 @@ ComputeStats LocalSgdEpoch(const std::vector<DataPoint>& points,
     return stats;
   }
 
-  for (size_t idx : order) {
-    const DataPoint& p = points[idx];
-    const double margin = w->Dot(p.features);
-    const double d = loss.Derivative(margin, p.label);
-    stats.nnz_processed += p.nnz();
+  for (size_t idx : rows) {
+    const size_t n = v.nnz(idx);
+    const double margin = w->Dot(v.indices(idx), v.values(idx), n);
+    const double d = loss.Derivative(margin, v.label(idx));
+    stats.nnz_processed += n;
     if (reg.kind() != RegularizerKind::kNone) {
       reg.ApplyGradientStep(w, lr);
       // The eager regularizer step touches every coordinate.
       stats.nnz_processed += w->dim();
     }
     if (d != 0.0) {
-      w->AddScaled(p.features, -lr * d);
-      stats.nnz_processed += p.nnz();
+      w->AddScaled(v.indices(idx), v.values(idx), n, -lr * d);
+      stats.nnz_processed += n;
     }
     ++stats.model_updates;
   }
   return stats;
 }
 
-ComputeStats LocalOptimizerEpoch(const std::vector<DataPoint>& points,
-                                 const Loss& loss, const Regularizer& reg,
-                                 double lr, LocalOptimizer* optimizer,
-                                 Rng* rng, DenseVector* w) {
+template <typename View>
+ComputeStats OptimizerEpochImpl(const View& v, const Loss& loss,
+                                const Regularizer& reg, double lr,
+                                LocalOptimizer* optimizer, Rng* rng,
+                                DenseVector* w) {
   ComputeStats stats;
-  if (points.empty()) return stats;
+  if (v.size() == 0) return stats;
 
-  std::vector<size_t> order(points.size());
+  std::vector<size_t> order(v.size());
   std::iota(order.begin(), order.end(), size_t{0});
   rng->Shuffle(&order);
 
@@ -154,29 +152,30 @@ ComputeStats LocalOptimizerEpoch(const std::vector<DataPoint>& points,
 
   uint64_t step = 0;
   for (size_t idx : order) {
-    const DataPoint& p = points[idx];
+    const size_t n = v.nnz(idx);
+    const FeatureIndex* idxs = v.indices(idx);
+    const double* vals = v.values(idx);
     ++step;
     if (lazy_l2) {
       // Decoupled weight decay, applied lazily to the coordinates this
       // example reads (pending decay from skipped steps first).
-      const size_t n = p.nnz();
       for (size_t i = 0; i < n; ++i) {
-        const FeatureIndex j = p.features.indices[i];
+        const FeatureIndex j = idxs[i];
         const uint64_t gap = step - last_touched[j];
         if (gap > 0) {
           (*w)[j] *= std::pow(shrink, static_cast<double>(gap));
           last_touched[j] = step;
         }
       }
-      stats.nnz_processed += p.nnz();
+      stats.nnz_processed += n;
     } else if (reg.kind() == RegularizerKind::kL1) {
       reg.ApplyGradientStep(w, lr);
       stats.nnz_processed += w->dim();
     }
-    const double margin = w->Dot(p.features);
-    const double d = loss.Derivative(margin, p.label);
-    stats.nnz_processed += p.nnz();
-    stats.nnz_processed += optimizer->ApplyUpdate(p.features, d, lr, w);
+    const double margin = w->Dot(idxs, vals, n);
+    const double d = loss.Derivative(margin, v.label(idx));
+    stats.nnz_processed += n;
+    stats.nnz_processed += optimizer->ApplyUpdate(idxs, vals, n, d, lr, w);
     ++stats.model_updates;
   }
 
@@ -193,20 +192,20 @@ ComputeStats LocalOptimizerEpoch(const std::vector<DataPoint>& points,
   return stats;
 }
 
-ComputeStats LocalMiniBatchGd(const std::vector<DataPoint>& points,
-                              const Loss& loss, const Regularizer& reg,
-                              double lr, size_t batch_size,
-                              size_t num_batches, Rng* rng, DenseVector* w) {
+template <typename View>
+ComputeStats MiniBatchGdImpl(const View& v, const Loss& loss,
+                             const Regularizer& reg, double lr,
+                             size_t batch_size, size_t num_batches,
+                             Rng* rng, DenseVector* w) {
   ComputeStats stats;
-  if (points.empty() || batch_size == 0) return stats;
+  if (v.size() == 0 || batch_size == 0) return stats;
 
   DenseVector gradient(w->dim());
   for (size_t b = 0; b < num_batches; ++b) {
-    const std::vector<size_t> batch =
-        SampleBatch(points.size(), batch_size, rng);
+    const std::vector<size_t> batch = SampleBatch(v.size(), batch_size, rng);
     gradient.SetZero();
     const ComputeStats batch_stats =
-        AccumulateBatchGradient(points, batch, loss, *w, &gradient);
+        BatchGradientImpl(v, batch, loss, *w, &gradient);
     stats += batch_stats;
     const double inv_batch = 1.0 / static_cast<double>(batch.size());
     if (reg.kind() != RegularizerKind::kNone) {
@@ -226,6 +225,158 @@ ComputeStats LocalMiniBatchGd(const std::vector<DataPoint>& points,
     ++stats.model_updates;
   }
   return stats;
+}
+
+std::vector<size_t> Iota(size_t n) {
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), size_t{0});
+  return all;
+}
+
+}  // namespace
+
+ComputeStats AccumulateBatchGradient(const std::vector<DataPoint>& points,
+                                     const std::vector<size_t>& batch,
+                                     const Loss& loss, const DenseVector& w,
+                                     DenseVector* gradient) {
+  return BatchGradientImpl(PointsView{points}, batch, loss, w, gradient);
+}
+
+ComputeStats AccumulateBatchGradient(const CsrBlock& block,
+                                     const std::vector<size_t>& batch,
+                                     const Loss& loss, const DenseVector& w,
+                                     DenseVector* gradient) {
+  return BatchGradientImpl(CsrView{block}, batch, loss, w, gradient);
+}
+
+ComputeStats AccumulateLossGradient(const std::vector<DataPoint>& points,
+                                    const Loss& loss, const DenseVector& w,
+                                    DenseVector* gradient,
+                                    double* loss_sum) {
+  return LossGradientImpl(PointsView{points}, loss, w, gradient, loss_sum);
+}
+
+ComputeStats AccumulateLossGradient(const CsrBlock& block, const Loss& loss,
+                                    const DenseVector& w,
+                                    DenseVector* gradient,
+                                    double* loss_sum) {
+  return LossGradientImpl(CsrView{block}, loss, w, gradient, loss_sum);
+}
+
+std::vector<size_t> SampleBatch(size_t n, size_t batch_size, Rng* rng) {
+  if (batch_size >= n) return Iota(n);
+  std::vector<size_t> batch;
+  batch.reserve(batch_size);
+  if (batch_size * 4 >= n) {
+    // Large fractions: partial Fisher-Yates over an index pool.
+    std::vector<size_t> pool = Iota(n);
+    for (size_t i = 0; i < batch_size; ++i) {
+      const size_t j = i + rng->NextUint64(n - i);
+      std::swap(pool[i], pool[j]);
+      batch.push_back(pool[i]);
+    }
+  } else {
+    // Floyd's sampling: exactly batch_size draws, O(batch_size)
+    // memory, uniform over subsets — unlike rejection sampling, no
+    // O(n) bitmap and no retries as the batch fills.
+    std::unordered_set<size_t> chosen;
+    chosen.reserve(batch_size * 2);
+    for (size_t i = n - batch_size; i < n; ++i) {
+      const size_t j = rng->NextUint64(i + 1);
+      if (chosen.insert(j).second) {
+        batch.push_back(j);
+      } else {
+        chosen.insert(i);
+        batch.push_back(i);
+      }
+    }
+  }
+  return batch;
+}
+
+void ScaledVector::Shrink(double factor) {
+  MLLIBSTAR_CHECK_GT(factor, 0.0);
+  scale_ *= factor;
+  if (scale_ < 1e-9) Materialize();
+}
+
+void ScaledVector::AddScaled(const SparseVector& x, double alpha) {
+  v_.AddScaled(x, alpha / scale_);
+}
+
+void ScaledVector::AddScaled(const FeatureIndex* indices,
+                             const double* values, size_t nnz,
+                             double alpha) {
+  v_.AddScaled(indices, values, nnz, alpha / scale_);
+}
+
+DenseVector ScaledVector::ToDense() const {
+  DenseVector result = v_;
+  result.Scale(scale_);
+  return result;
+}
+
+void ScaledVector::Materialize() {
+  v_.Scale(scale_);
+  scale_ = 1.0;
+}
+
+ComputeStats LocalSgdEpoch(const std::vector<DataPoint>& points,
+                           const Loss& loss, const Regularizer& reg,
+                           double lr, bool lazy_regularization, Rng* rng,
+                           DenseVector* w) {
+  return SgdEpochImpl(PointsView{points}, Iota(points.size()), loss, reg,
+                      lr, lazy_regularization, rng, w);
+}
+
+ComputeStats LocalSgdEpoch(const CsrBlock& block, const Loss& loss,
+                           const Regularizer& reg, double lr,
+                           bool lazy_regularization, Rng* rng,
+                           DenseVector* w) {
+  return SgdEpochImpl(CsrView{block}, Iota(block.rows()), loss, reg, lr,
+                      lazy_regularization, rng, w);
+}
+
+ComputeStats LocalSgdEpoch(const CsrBlock& block,
+                           const std::vector<size_t>& rows,
+                           const Loss& loss, const Regularizer& reg,
+                           double lr, bool lazy_regularization, Rng* rng,
+                           DenseVector* w) {
+  return SgdEpochImpl(CsrView{block}, rows, loss, reg, lr,
+                      lazy_regularization, rng, w);
+}
+
+ComputeStats LocalOptimizerEpoch(const std::vector<DataPoint>& points,
+                                 const Loss& loss, const Regularizer& reg,
+                                 double lr, LocalOptimizer* optimizer,
+                                 Rng* rng, DenseVector* w) {
+  return OptimizerEpochImpl(PointsView{points}, loss, reg, lr, optimizer,
+                            rng, w);
+}
+
+ComputeStats LocalOptimizerEpoch(const CsrBlock& block, const Loss& loss,
+                                 const Regularizer& reg, double lr,
+                                 LocalOptimizer* optimizer, Rng* rng,
+                                 DenseVector* w) {
+  return OptimizerEpochImpl(CsrView{block}, loss, reg, lr, optimizer, rng,
+                            w);
+}
+
+ComputeStats LocalMiniBatchGd(const std::vector<DataPoint>& points,
+                              const Loss& loss, const Regularizer& reg,
+                              double lr, size_t batch_size,
+                              size_t num_batches, Rng* rng,
+                              DenseVector* w) {
+  return MiniBatchGdImpl(PointsView{points}, loss, reg, lr, batch_size,
+                         num_batches, rng, w);
+}
+
+ComputeStats LocalMiniBatchGd(const CsrBlock& block, const Loss& loss,
+                              const Regularizer& reg, double lr,
+                              size_t batch_size, size_t num_batches,
+                              Rng* rng, DenseVector* w) {
+  return MiniBatchGdImpl(CsrView{block}, loss, reg, lr, batch_size,
+                         num_batches, rng, w);
 }
 
 }  // namespace mllibstar

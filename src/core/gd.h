@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "core/csr_block.h"
 #include "core/datapoint.h"
 #include "core/local_optimizer.h"
 #include "core/loss.h"
@@ -28,13 +29,36 @@ struct ComputeStats {
 
 /// Adds Σ_{i in batch} ∇l(w·xᵢ, yᵢ) to `*gradient` (the SendGradient
 /// worker task in Algorithm 2). `batch` holds indices into `points`.
+///
+/// Every kernel below has a CsrBlock twin that performs bit-for-bit
+/// the same floating-point operations over the packed layout; the
+/// trainers use the CSR versions, the DataPoint versions remain for
+/// ad-hoc callers and as the reference the tests compare against.
 ComputeStats AccumulateBatchGradient(const std::vector<DataPoint>& points,
                                      const std::vector<size_t>& batch,
                                      const Loss& loss, const DenseVector& w,
                                      DenseVector* gradient);
+ComputeStats AccumulateBatchGradient(const CsrBlock& block,
+                                     const std::vector<size_t>& batch,
+                                     const Loss& loss, const DenseVector& w,
+                                     DenseVector* gradient);
+
+/// Fused full-partition pass: margin → loss value + derivative → axpy
+/// per row, adding Σ_i ∇l(w·xᵢ, yᵢ) to `*gradient` and Σ_i l(w·xᵢ, yᵢ)
+/// to `*loss_sum`. This is the L-BFGS oracle's worker task — fusing
+/// the two reads of each row halves the memory traffic of computing
+/// loss and gradient in separate passes.
+ComputeStats AccumulateLossGradient(const std::vector<DataPoint>& points,
+                                    const Loss& loss, const DenseVector& w,
+                                    DenseVector* gradient, double* loss_sum);
+ComputeStats AccumulateLossGradient(const CsrBlock& block, const Loss& loss,
+                                    const DenseVector& w,
+                                    DenseVector* gradient, double* loss_sum);
 
 /// Samples `batch_size` indices from [0, n) without replacement when
 /// batch_size < n (otherwise returns all indices, i.e. full GD).
+/// Small batches use Floyd's algorithm: exactly `batch_size` draws and
+/// O(batch_size) memory — no O(n) pool or bitmap allocation.
 std::vector<size_t> SampleBatch(size_t n, size_t batch_size, Rng* rng);
 
 /// Dense weight vector stored as scale · v so that the multiplicative
@@ -52,12 +76,18 @@ class ScaledVector {
 
   /// (scale · v) · x.
   double Dot(const SparseVector& x) const { return scale_ * v_.Dot(x); }
+  double Dot(const FeatureIndex* indices, const double* values,
+             size_t nnz) const {
+    return scale_ * v_.Dot(indices, values, nnz);
+  }
 
   /// w ← factor · w in O(1).
   void Shrink(double factor);
 
   /// w ← w + alpha · x (sparse, O(nnz(x))).
   void AddScaled(const SparseVector& x, double alpha);
+  void AddScaled(const FeatureIndex* indices, const double* values,
+                 size_t nnz, double alpha);
 
   /// Materializes the plain dense weights (O(d)).
   DenseVector ToDense() const;
@@ -82,6 +112,18 @@ ComputeStats LocalSgdEpoch(const std::vector<DataPoint>& points,
                            const Loss& loss, const Regularizer& reg,
                            double lr, bool lazy_regularization, Rng* rng,
                            DenseVector* w);
+ComputeStats LocalSgdEpoch(const CsrBlock& block, const Loss& loss,
+                           const Regularizer& reg, double lr,
+                           bool lazy_regularization, Rng* rng,
+                           DenseVector* w);
+/// Subset variant: one shuffled SGD pass over `rows` of `block` only
+/// (a sampled mini-batch). Matches LocalSgdEpoch over a vector holding
+/// copies of those rows, without materializing the copies.
+ComputeStats LocalSgdEpoch(const CsrBlock& block,
+                           const std::vector<size_t>& rows, const Loss& loss,
+                           const Regularizer& reg, double lr,
+                           bool lazy_regularization, Rng* rng,
+                           DenseVector* w);
 
 /// One shuffled pass of per-point updates applied through a stateful
 /// LocalOptimizer (momentum/Adagrad/Adam variants of the SendModel
@@ -92,6 +134,10 @@ ComputeStats LocalOptimizerEpoch(const std::vector<DataPoint>& points,
                                  const Loss& loss, const Regularizer& reg,
                                  double lr, LocalOptimizer* optimizer,
                                  Rng* rng, DenseVector* w);
+ComputeStats LocalOptimizerEpoch(const CsrBlock& block, const Loss& loss,
+                                 const Regularizer& reg, double lr,
+                                 LocalOptimizer* optimizer, Rng* rng,
+                                 DenseVector* w);
 
 /// `num_batches` steps of local mini-batch GD: each step samples
 /// `batch_size` points, computes the averaged batch gradient at the
@@ -101,6 +147,10 @@ ComputeStats LocalMiniBatchGd(const std::vector<DataPoint>& points,
                               const Loss& loss, const Regularizer& reg,
                               double lr, size_t batch_size,
                               size_t num_batches, Rng* rng, DenseVector* w);
+ComputeStats LocalMiniBatchGd(const CsrBlock& block, const Loss& loss,
+                              const Regularizer& reg, double lr,
+                              size_t batch_size, size_t num_batches,
+                              Rng* rng, DenseVector* w);
 
 }  // namespace mllibstar
 

@@ -7,11 +7,12 @@ namespace {
 
 class SgdOptimizer final : public LocalOptimizer {
  public:
-  uint64_t ApplyUpdate(const SparseVector& x, double dl, double lr,
+  uint64_t ApplyUpdate(const FeatureIndex* indices, const double* values,
+                       size_t nnz, double dl, double lr,
                        DenseVector* w) override {
     if (dl == 0.0) return 0;
-    w->AddScaled(x, -lr * dl);
-    return x.nnz();
+    w->AddScaled(indices, values, nnz, -lr * dl);
+    return nnz;
   }
   LocalOptimizerKind kind() const override {
     return LocalOptimizerKind::kSgd;
@@ -27,16 +28,17 @@ class MomentumOptimizer final : public LocalOptimizer {
   MomentumOptimizer(double mu, size_t dim)
       : mu_(mu), velocity_(dim), last_step_(dim, 0) {}
 
-  uint64_t ApplyUpdate(const SparseVector& x, double dl, double lr,
+  uint64_t ApplyUpdate(const FeatureIndex* indices, const double* values,
+                       size_t nnz, double dl, double lr,
                        DenseVector* w) override {
     ++step_;
     if (dl == 0.0) return 0;
-    const size_t n = x.nnz();
+    const size_t n = nnz;
     for (size_t i = 0; i < n; ++i) {
-      const FeatureIndex j = x.indices[i];
+      const FeatureIndex j = indices[i];
       const uint64_t gap = step_ - last_step_[j];
       double v = velocity_[j] * std::pow(mu_, static_cast<double>(gap));
-      v += dl * x.values[i];
+      v += dl * values[i];
       velocity_[j] = v;
       last_step_[j] = step_;
       (*w)[j] -= lr * v;
@@ -60,13 +62,14 @@ class AdagradOptimizer final : public LocalOptimizer {
   AdagradOptimizer(double epsilon, size_t dim)
       : epsilon_(epsilon), accumulator_(dim) {}
 
-  uint64_t ApplyUpdate(const SparseVector& x, double dl, double lr,
+  uint64_t ApplyUpdate(const FeatureIndex* indices, const double* values,
+                       size_t nnz, double dl, double lr,
                        DenseVector* w) override {
     if (dl == 0.0) return 0;
-    const size_t n = x.nnz();
+    const size_t n = nnz;
     for (size_t i = 0; i < n; ++i) {
-      const FeatureIndex j = x.indices[i];
-      const double g = dl * x.values[i];
+      const FeatureIndex j = indices[i];
+      const double g = dl * values[i];
       accumulator_[j] += g * g;
       (*w)[j] -= lr * g / (std::sqrt(accumulator_[j]) + epsilon_);
     }
@@ -93,7 +96,8 @@ class AdamOptimizer final : public LocalOptimizer {
         first_(dim),
         second_(dim) {}
 
-  uint64_t ApplyUpdate(const SparseVector& x, double dl, double lr,
+  uint64_t ApplyUpdate(const FeatureIndex* indices, const double* values,
+                       size_t nnz, double dl, double lr,
                        DenseVector* w) override {
     ++step_;
     if (dl == 0.0) return 0;
@@ -101,10 +105,10 @@ class AdamOptimizer final : public LocalOptimizer {
         1.0 - std::pow(beta1_, static_cast<double>(step_));
     const double correction2 =
         1.0 - std::pow(beta2_, static_cast<double>(step_));
-    const size_t n = x.nnz();
+    const size_t n = nnz;
     for (size_t i = 0; i < n; ++i) {
-      const FeatureIndex j = x.indices[i];
-      const double g = dl * x.values[i];
+      const FeatureIndex j = indices[i];
+      const double g = dl * values[i];
       first_[j] = beta1_ * first_[j] + (1.0 - beta1_) * g;
       second_[j] = beta2_ * second_[j] + (1.0 - beta2_) * g * g;
       const double m_hat = first_[j] / correction1;

@@ -40,11 +40,21 @@ class LocalOptimizer {
  public:
   virtual ~LocalOptimizer() = default;
 
-  /// Applies one update for an example with gradient dl_dmargin * x.
-  /// Touches only x's coordinates. Returns coordinates touched (work
-  /// units for the cost model).
-  virtual uint64_t ApplyUpdate(const SparseVector& x, double dl_dmargin,
-                               double lr, DenseVector* w) = 0;
+  /// Applies one update for an example with gradient dl_dmargin * x,
+  /// where x is given as a raw sparse span (works for both SparseVector
+  /// and CsrBlock rows). Touches only x's coordinates. Returns
+  /// coordinates touched (work units for the cost model).
+  virtual uint64_t ApplyUpdate(const FeatureIndex* indices,
+                               const double* values, size_t nnz,
+                               double dl_dmargin, double lr,
+                               DenseVector* w) = 0;
+
+  /// Convenience overload for SparseVector examples.
+  uint64_t ApplyUpdate(const SparseVector& x, double dl_dmargin, double lr,
+                       DenseVector* w) {
+    return ApplyUpdate(x.indices.data(), x.values.data(), x.nnz(),
+                       dl_dmargin, lr, w);
+  }
 
   virtual LocalOptimizerKind kind() const = 0;
   virtual std::string name() const = 0;

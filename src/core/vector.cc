@@ -24,17 +24,30 @@ void DenseVector::SetZero() {
 }
 
 void DenseVector::AddScaled(const SparseVector& x, double alpha) {
-  const size_t n = x.nnz();
-  for (size_t i = 0; i < n; ++i) {
-    values_[x.indices[i]] += alpha * x.values[i];
+  AddScaled(x.indices.data(), x.values.data(), x.nnz(), alpha);
+}
+
+void DenseVector::AddScaled(const FeatureIndex* indices,
+                            const double* values, size_t nnz, double alpha) {
+  // Each coordinate updates independently, so unrolling cannot change
+  // the result; it only breaks the loop-carried address dependence.
+  double* __restrict w = values_.data();
+  size_t i = 0;
+  for (; i + 4 <= nnz; i += 4) {
+    w[indices[i]] += alpha * values[i];
+    w[indices[i + 1]] += alpha * values[i + 1];
+    w[indices[i + 2]] += alpha * values[i + 2];
+    w[indices[i + 3]] += alpha * values[i + 3];
   }
+  for (; i < nnz; ++i) w[indices[i]] += alpha * values[i];
 }
 
 void DenseVector::AddScaled(const DenseVector& x, double alpha) {
   MLLIBSTAR_CHECK_EQ(dim(), x.dim());
   const size_t n = values_.size();
-  const double* xs = x.data();
-  for (size_t i = 0; i < n; ++i) values_[i] += alpha * xs[i];
+  double* __restrict w = values_.data();
+  const double* __restrict xs = x.data();
+  for (size_t i = 0; i < n; ++i) w[i] += alpha * xs[i];
 }
 
 void DenseVector::Scale(double alpha) {
@@ -42,20 +55,44 @@ void DenseVector::Scale(double alpha) {
 }
 
 double DenseVector::Dot(const SparseVector& x) const {
-  double sum = 0.0;
-  const size_t n = x.nnz();
-  for (size_t i = 0; i < n; ++i) {
-    sum += values_[x.indices[i]] * x.values[i];
+  return Dot(x.indices.data(), x.values.data(), x.nnz());
+}
+
+double DenseVector::Dot(const FeatureIndex* indices, const double* values,
+                        size_t nnz) const {
+  // Four independent accumulators hide the gather latency. The
+  // summation order differs from a single running sum, but every
+  // caller goes through this one implementation, so results stay
+  // deterministic and layout-independent.
+  const double* __restrict w = values_.data();
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= nnz; i += 4) {
+    s0 += w[indices[i]] * values[i];
+    s1 += w[indices[i + 1]] * values[i + 1];
+    s2 += w[indices[i + 2]] * values[i + 2];
+    s3 += w[indices[i + 3]] * values[i + 3];
   }
+  double sum = (s0 + s1) + (s2 + s3);
+  for (; i < nnz; ++i) sum += w[indices[i]] * values[i];
   return sum;
 }
 
 double DenseVector::Dot(const DenseVector& x) const {
   MLLIBSTAR_CHECK_EQ(dim(), x.dim());
-  double sum = 0.0;
   const size_t n = values_.size();
-  const double* xs = x.data();
-  for (size_t i = 0; i < n; ++i) sum += values_[i] * xs[i];
+  const double* __restrict a = values_.data();
+  const double* __restrict b = x.data();
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  double sum = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) sum += a[i] * b[i];
   return sum;
 }
 

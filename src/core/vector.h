@@ -61,6 +61,12 @@ class DenseVector {
   /// this += alpha * x (sparse axpy; x indices must be < dim()).
   void AddScaled(const SparseVector& x, double alpha);
 
+  /// Sparse axpy over a raw span (a CsrBlock row view). The
+  /// SparseVector overload delegates here, so both layouts perform the
+  /// identical arithmetic.
+  void AddScaled(const FeatureIndex* indices, const double* values,
+                 size_t nnz, double alpha);
+
   /// this += alpha * x. Dimensions must match.
   void AddScaled(const DenseVector& x, double alpha);
 
@@ -69,6 +75,12 @@ class DenseVector {
 
   /// Dot product with a sparse vector (indices must be < dim()).
   double Dot(const SparseVector& x) const;
+
+  /// Sparse dot over a raw span (a CsrBlock row view). The
+  /// SparseVector overload delegates here, so both layouts produce
+  /// bit-identical sums.
+  double Dot(const FeatureIndex* indices, const double* values,
+             size_t nnz) const;
 
   /// Dot product with a dense vector of the same dimension.
   double Dot(const DenseVector& x) const;

@@ -33,6 +33,37 @@ std::vector<std::vector<DataPoint>> PartitionContiguous(
   return parts;
 }
 
+std::vector<CsrBlock> PartitionCsr(const Dataset& dataset, size_t k) {
+  MLLIBSTAR_CHECK_GT(k, 0u);
+  std::vector<CsrBlock> parts(k);
+  const size_t n = dataset.size();
+  // Size every block first so the fill pass never reallocates.
+  std::vector<size_t> rows(k, 0);
+  std::vector<size_t> nnz(k, 0);
+  for (size_t i = 0; i < n; ++i) {
+    ++rows[i % k];
+    nnz[i % k] += dataset.point(i).nnz();
+  }
+  for (size_t r = 0; r < k; ++r) {
+    parts[r].offsets.reserve(rows[r] + 1);
+    parts[r].offsets.push_back(0);
+    parts[r].indices.reserve(nnz[r]);
+    parts[r].values.reserve(nnz[r]);
+    parts[r].labels.reserve(rows[r]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    CsrBlock& b = parts[i % k];
+    const DataPoint& p = dataset.point(i);
+    b.indices.insert(b.indices.end(), p.features.indices.begin(),
+                     p.features.indices.end());
+    b.values.insert(b.values.end(), p.features.values.begin(),
+                    p.features.values.end());
+    b.offsets.push_back(b.indices.size());
+    b.labels.push_back(p.label);
+  }
+  return parts;
+}
+
 std::vector<ModelRange> PartitionModel(size_t dim, size_t k) {
   MLLIBSTAR_CHECK_GT(k, 0u);
   std::vector<ModelRange> ranges(k);

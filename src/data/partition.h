@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/csr_block.h"
 #include "core/datapoint.h"
 #include "data/dataset.h"
 
@@ -17,6 +18,12 @@ std::vector<std::vector<DataPoint>> PartitionRoundRobin(
 /// Splits into `k` contiguous, near-equal ranges (HDFS-block-style).
 std::vector<std::vector<DataPoint>> PartitionContiguous(
     const Dataset& dataset, size_t k);
+
+/// Round-robin split packed directly into CSR blocks: the same row
+/// assignment as PartitionRoundRobin, but each partition lands in four
+/// contiguous arrays instead of per-point heap vectors. The trainers'
+/// hot loops scan these blocks linearly.
+std::vector<CsrBlock> PartitionCsr(const Dataset& dataset, size_t k);
 
 /// A half-open range [begin, end) of model coordinates.
 struct ModelRange {

@@ -2,21 +2,48 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "common/logging.h"
 
 namespace mllibstar {
 
-SparkCluster::SparkCluster(const ClusterConfig& config) : sim_(config) {}
+size_t ResolveHostThreads(size_t host_threads) {
+  if (host_threads != 0) return host_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+SparkCluster::SparkCluster(const ClusterConfig& config, size_t host_threads)
+    : sim_(config), host_threads_(ResolveHostThreads(host_threads)) {
+  if (host_threads_ > 1 && sim_.num_workers() > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        std::min(host_threads_, sim_.num_workers()));
+  }
+}
 
 void SparkCluster::BeginStage(const std::string& label) {
   trace().MarkStage(Barrier(), label);
 }
 
-void SparkCluster::RunOnWorkers(const std::string& detail,
-                                const std::function<uint64_t(size_t)>& fn) {
-  for (size_t r = 0; r < num_workers(); ++r) {
-    const uint64_t work = fn(r);
+std::vector<WorkerStats> SparkCluster::RunOnWorkers(
+    const std::string& detail,
+    const std::function<WorkerStats(size_t)>& fn) {
+  const size_t k = num_workers();
+  std::vector<WorkerStats> stats(k);
+  // Phase 1 — the real math. Each callback writes only its own slot,
+  // so the tasks are independent and may run on any host schedule.
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(k, [&](size_t r) { stats[r] = fn(r); });
+  } else {
+    for (size_t r = 0; r < k; ++r) stats[r] = fn(r);
+  }
+  // Phase 2 — virtual time. All shared-stream draws (task failures,
+  // straggler jitter) and clock/trace updates happen here, on the
+  // calling thread, in fixed worker order: the simulated outcome is a
+  // pure function of the config seeds, never of the host schedule.
+  for (size_t r = 0; r < k; ++r) {
+    const uint64_t work = stats[r].work_units;
     SimNode& worker = sim_.worker(r);
     // Spark lineage recovery: a failed task re-executes from its
     // cached partition after a scheduling delay. The host-side result
@@ -31,6 +58,16 @@ void SparkCluster::RunOnWorkers(const std::string& detail,
     }
     sim_.Compute(&worker, work, detail);
   }
+  return stats;
+}
+
+void SparkCluster::RunOnWorkers(const std::string& detail,
+                                const std::function<uint64_t(size_t)>& fn) {
+  RunOnWorkers(detail, [&fn](size_t r) {
+    WorkerStats stats;
+    stats.work_units = fn(r);
+    return stats;
+  });
 }
 
 void SparkCluster::RunOnDriver(const std::string& detail,

@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "sim/cluster_config.h"
 #include "sim/sim_cluster.h"
 #include "sim/trace.h"
@@ -17,6 +20,22 @@ enum class BroadcastMode {
   kTorrent,           ///< BitTorrent-style: ~log2(k) pipelined rounds
 };
 
+/// What one simulated worker task produced, returned by the task
+/// callback instead of being accumulated into captured shared state
+/// (which would race once tasks run host-parallel). The engine hands
+/// the full per-worker vector back to the trainer, which folds the
+/// fields it cares about in fixed worker order.
+struct WorkerStats {
+  uint64_t work_units = 0;    ///< virtual-time charge (nnz touched)
+  uint64_t batch_size = 0;    ///< examples the task consumed
+  uint64_t model_updates = 0; ///< local model updates it applied
+  double loss_sum = 0.0;      ///< partial loss (full-pass oracles)
+};
+
+/// Resolves a host-thread count: 0 means "all hardware threads",
+/// anything else is taken literally (minimum 1).
+size_t ResolveHostThreads(size_t host_threads);
+
 /// A Spark-like BSP cluster: one driver plus executors, with the
 /// primitives MLlib's MGD uses (per-stage worker tasks, treeAggregate,
 /// broadcast) and the shuffle from which MLlib* composes
@@ -26,23 +45,42 @@ enum class BroadcastMode {
 /// actual gradient/model arithmetic runs host-side in the trainers.
 /// This mirrors the paper's implementation strategy: MLlib* changes
 /// no Spark internals, it only composes existing primitives.
+///
+/// `host_threads` controls how many *host* threads execute the
+/// embarrassingly parallel worker callbacks (1 = sequential; 0 = all
+/// hardware threads). It cannot change any simulated result: callbacks
+/// write only their own slot, and every shared-stream draw (jitter,
+/// task failures) and clock update happens afterwards on the calling
+/// thread in fixed worker order. See "Host parallelism vs. virtual
+/// time" in docs/ARCHITECTURE.md.
 class SparkCluster {
  public:
-  explicit SparkCluster(const ClusterConfig& config);
+  explicit SparkCluster(const ClusterConfig& config, size_t host_threads = 1);
 
   size_t num_workers() const { return sim_.num_workers(); }
   SimCluster& sim() { return sim_; }
   TraceLog& trace() { return sim_.trace(); }
   const NetworkModel& network() const { return sim_.network(); }
+  size_t host_threads() const { return host_threads_; }
 
   /// Marks the start of a new Spark stage (the red vertical lines in
   /// Figure 3) at the current barrier time.
   void BeginStage(const std::string& label);
 
-  /// Runs `fn(worker_index)` for every worker. `fn` performs the real
-  /// computation host-side and returns the work units to charge; the
-  /// worker's virtual clock advances by units/speed (with straggler
-  /// jitter).
+  /// Runs `fn(worker_index)` for every worker — host-parallel when the
+  /// cluster was built with host_threads > 1. `fn` performs the real
+  /// computation and returns its WorkerStats; the engine charges
+  /// stats.work_units to each worker's virtual clock (with straggler
+  /// jitter and task-failure retries) sequentially in worker order
+  /// after all callbacks finish, then returns the collected stats.
+  ///
+  /// `fn` must only touch per-worker state (its own gradient slot, its
+  /// own Rng); it must not draw from the cluster's jitter stream.
+  std::vector<WorkerStats> RunOnWorkers(
+      const std::string& detail,
+      const std::function<WorkerStats(size_t)>& fn);
+
+  /// Back-compat convenience: callback returns only the work units.
   void RunOnWorkers(const std::string& detail,
                     const std::function<uint64_t(size_t)>& fn);
 
@@ -81,6 +119,8 @@ class SparkCluster {
  private:
   SimCluster sim_;
   uint64_t total_bytes_ = 0;
+  size_t host_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  ///< created when host_threads_ > 1
 };
 
 }  // namespace mllibstar

@@ -34,7 +34,12 @@ SimCluster::SimCluster(const ClusterConfig& config)
 
 SimTime SimCluster::Compute(SimNode* node, uint64_t work_units,
                             const std::string& detail) {
-  const double jitter = NextJitter();
+  return ChargeCompute(node, work_units, NextJitter(), detail);
+}
+
+SimTime SimCluster::ChargeCompute(SimNode* node, uint64_t work_units,
+                                  double jitter,
+                                  const std::string& detail) {
   const double seconds =
       static_cast<double>(work_units) / node->compute_speed * jitter;
   const SimTime start = node->clock;

@@ -54,6 +54,16 @@ class SimCluster {
   SimTime Compute(SimNode* node, uint64_t work_units,
                   const std::string& detail);
 
+  /// Charges `work_units` with an explicitly supplied `jitter` factor.
+  /// This is the post-hoc charge API for host-parallel execution: the
+  /// engine draws the jitter from the shared stream in fixed worker
+  /// order *before* dispatching the real computation to a thread pool,
+  /// then applies the charge here once the work units are known — so
+  /// the jitter stream, the clocks, and the trace are identical to the
+  /// sequential schedule.
+  SimTime ChargeCompute(SimNode* node, uint64_t work_units, double jitter,
+                        const std::string& detail);
+
   /// Charges compute without jitter (driver-side bookkeeping work).
   SimTime ComputeExact(SimNode* node, uint64_t work_units,
                        ActivityKind kind, const std::string& detail);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "comm/error_feedback.h"
+#include "core/gd.h"
 #include "core/lbfgs.h"
 #include "core/owlqn.h"
 #include "data/partition.h"
@@ -14,7 +15,7 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
   TrainResult result;
   result.system = name();
 
-  SparkCluster spark(cluster);
+  SparkCluster spark(cluster, config().host_threads);
   const size_t k = spark.num_workers();
   const size_t d = data.num_features();
   const uint64_t model_bytes = codec().EncodedBytes(d);
@@ -23,8 +24,7 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
              ? config().num_aggregators
              : static_cast<size_t>(std::sqrt(static_cast<double>(k))));
 
-  std::vector<std::vector<DataPoint>> partitions =
-      PartitionRoundRobin(data, k);
+  std::vector<CsrBlock> partitions = PartitionCsr(data, k);
   const double n = static_cast<double>(data.size());
 
   result.curve.set_label(name());
@@ -39,22 +39,22 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
     spark.Broadcast(model_bytes, config().broadcast, "model-bcast");
     const DenseVector w_recv = CodecTransmit(codec(), nullptr, 0, w);
 
+    // Fused margin -> loss + derivative -> axpy pass over each CSR
+    // partition. Each callback owns its gradient slot and returns its
+    // partial loss; the fold below runs in fixed worker order (the old
+    // shared `loss_sum +=` capture would race under host parallelism).
+    const std::vector<WorkerStats> pass_stats =
+        spark.RunOnWorkers("loss+grad", [&](size_t r) -> WorkerStats {
+          worker_gradients[r].SetZero();
+          WorkerStats ws;
+          const ComputeStats stats =
+              AccumulateLossGradient(partitions[r], loss(), w_recv,
+                                     &worker_gradients[r], &ws.loss_sum);
+          ws.work_units = stats.nnz_processed;
+          return ws;
+        });
     double loss_sum = 0.0;
-    spark.RunOnWorkers("loss+grad", [&](size_t r) -> uint64_t {
-      worker_gradients[r].SetZero();
-      uint64_t work = 0;
-      for (const DataPoint& p : partitions[r]) {
-        const double margin = w_recv.Dot(p.features);
-        const double dl = loss().Derivative(margin, p.label);
-        loss_sum += loss().Value(margin, p.label);
-        work += p.nnz();
-        if (dl != 0.0) {
-          worker_gradients[r].AddScaled(p.features, dl);
-          work += p.nnz();
-        }
-      }
-      return work;
-    });
+    for (const WorkerStats& ws : pass_stats) loss_sum += ws.loss_sum;
 
     spark.TreeAggregate(model_bytes, num_agg, d, "grad-agg");
 

@@ -40,14 +40,13 @@ TrainResult MllibTrainer::Train(const Dataset& data,
   TrainResult result;
   result.system = name();
 
-  SparkCluster spark(cluster);
+  SparkCluster spark(cluster, config().host_threads);
   const size_t k = spark.num_workers();
   const size_t d = data.num_features();
   const uint64_t model_bytes = codec().EncodedBytes(d);
   const size_t num_agg = DefaultAggregators(k, config().num_aggregators);
 
-  std::vector<std::vector<DataPoint>> partitions =
-      PartitionRoundRobin(data, k);
+  std::vector<CsrBlock> partitions = PartitionCsr(data, k);
   std::vector<Rng> rngs = WorkerRngs(config().seed, k);
 
   DenseVector w(d);
@@ -66,19 +65,27 @@ TrainResult MllibTrainer::Train(const Dataset& data,
     const DenseVector w_recv = CodecTransmit(codec(), nullptr, 0, w);
 
     // (2) Executors compute batch gradients at the received model.
-    size_t total_batch = 0;
-    spark.RunOnWorkers("gradient", [&](size_t r) -> uint64_t {
-      const std::vector<DataPoint>& part = partitions[r];
-      const size_t bsize = BatchSize(part.size(), config().batch_fraction);
-      if (bsize == 0) return 0;
-      const std::vector<size_t> batch =
-          SampleBatch(part.size(), bsize, &rngs[r]);
-      gradients[r].SetZero();
-      const ComputeStats stats =
-          AccumulateBatchGradient(part, batch, loss(), w_recv, &gradients[r]);
-      total_batch += batch.size();
-      return stats.nnz_processed;
-    });
+    // Each callback touches only its own gradient slot and Rng, so the
+    // engine may run them host-parallel; the batch-size fold happens
+    // below in fixed worker order.
+    const std::vector<WorkerStats> step_stats =
+        spark.RunOnWorkers("gradient", [&](size_t r) -> WorkerStats {
+          WorkerStats ws;
+          const CsrBlock& part = partitions[r];
+          const size_t bsize =
+              BatchSize(part.rows(), config().batch_fraction);
+          if (bsize == 0) return ws;
+          const std::vector<size_t> batch =
+              SampleBatch(part.rows(), bsize, &rngs[r]);
+          gradients[r].SetZero();
+          const ComputeStats stats = AccumulateBatchGradient(
+              part, batch, loss(), w_recv, &gradients[r]);
+          ws.work_units = stats.nnz_processed;
+          ws.batch_size = batch.size();
+          return ws;
+        });
+    uint64_t total_batch = 0;
+    for (const WorkerStats& ws : step_stats) total_batch += ws.batch_size;
 
     // (3) Gradients flow to the driver through treeAggregate; each
     // worker's contribution crosses the codec (with error feedback).
@@ -126,14 +133,13 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
   TrainResult result;
   result.system = name();
 
-  SparkCluster spark(cluster);
+  SparkCluster spark(cluster, config().host_threads);
   const size_t k = spark.num_workers();
   const size_t d = data.num_features();
   const uint64_t model_bytes = codec().EncodedBytes(d);
   const size_t num_agg = DefaultAggregators(k, config().num_aggregators);
 
-  std::vector<std::vector<DataPoint>> partitions =
-      PartitionRoundRobin(data, k);
+  std::vector<CsrBlock> partitions = PartitionCsr(data, k);
   std::vector<Rng> rngs = WorkerRngs(config().seed, k);
 
   DenseVector w(d);
@@ -157,24 +163,33 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
     const DenseVector w_recv = CodecTransmit(codec(), nullptr, 0, w);
 
     // (2) Executors run local SGD passes starting from it (SendModel).
+    // Per-worker state only (own local model, own Rng, own optimizer);
+    // the update counter folds below in fixed worker order.
     const double lr = schedule().LrAt(t);
-    spark.RunOnWorkers("local-sgd", [&](size_t r) -> uint64_t {
-      locals[r] = w_recv;
-      ComputeStats stats;
-      for (size_t e = 0; e < std::max<size_t>(1, config().local_epochs);
-           ++e) {
-        stats += optimizers.empty()
-                     ? LocalSgdEpoch(partitions[r], loss(), regularizer(),
-                                     lr, config().lazy_regularization,
-                                     &rngs[r], &locals[r])
-                     : LocalOptimizerEpoch(partitions[r], loss(),
-                                           regularizer(), lr,
-                                           optimizers[r].get(), &rngs[r],
-                                           &locals[r]);
-      }
-      result.total_model_updates += stats.model_updates;
-      return stats.nnz_processed;
-    });
+    const std::vector<WorkerStats> step_stats =
+        spark.RunOnWorkers("local-sgd", [&](size_t r) -> WorkerStats {
+          locals[r] = w_recv;
+          ComputeStats stats;
+          for (size_t e = 0; e < std::max<size_t>(1, config().local_epochs);
+               ++e) {
+            stats +=
+                optimizers.empty()
+                    ? LocalSgdEpoch(partitions[r], loss(), regularizer(),
+                                    lr, config().lazy_regularization,
+                                    &rngs[r], &locals[r])
+                    : LocalOptimizerEpoch(partitions[r], loss(),
+                                          regularizer(), lr,
+                                          optimizers[r].get(), &rngs[r],
+                                          &locals[r]);
+          }
+          WorkerStats ws;
+          ws.work_units = stats.nnz_processed;
+          ws.model_updates = stats.model_updates;
+          return ws;
+        });
+    for (const WorkerStats& ws : step_stats) {
+      result.total_model_updates += ws.model_updates;
+    }
 
     // (3) Local models flow back through the same treeAggregate path,
     // each crossing the codec with per-worker error feedback.
@@ -215,15 +230,14 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
   TrainResult result;
   result.system = name();
 
-  SparkCluster spark(cluster);
+  SparkCluster spark(cluster, config().host_threads);
   const size_t k = spark.num_workers();
   const size_t d = data.num_features();
   // Each shuffle moves one codec-encoded model partition (~d/k
   // coordinates) per peer pair.
   const uint64_t partition_bytes = codec().EncodedBytes((d + k - 1) / k);
 
-  std::vector<std::vector<DataPoint>> partitions =
-      PartitionRoundRobin(data, k);
+  std::vector<CsrBlock> partitions = PartitionCsr(data, k);
   std::vector<Rng> rngs = WorkerRngs(config().seed, k);
 
   // Every executor holds a full copy of the model; ownership of the
@@ -247,24 +261,32 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
   for (int t = 0; t < config().max_comm_steps; ++t) {
     spark.BeginStage("iteration " + std::to_string(t));
 
-    // (1) UpdateModel: local SGD passes over the whole partition.
+    // (1) UpdateModel: local SGD passes over the whole partition,
+    // host-parallel when configured (per-worker state only).
     const double lr = schedule().LrAt(t);
-    spark.RunOnWorkers("local-sgd", [&](size_t r) -> uint64_t {
-      ComputeStats stats;
-      for (size_t e = 0; e < std::max<size_t>(1, config().local_epochs);
-           ++e) {
-        stats += optimizers.empty()
-                     ? LocalSgdEpoch(partitions[r], loss(), regularizer(),
-                                     lr, config().lazy_regularization,
-                                     &rngs[r], &locals[r])
-                     : LocalOptimizerEpoch(partitions[r], loss(),
-                                           regularizer(), lr,
-                                           optimizers[r].get(), &rngs[r],
-                                           &locals[r]);
-      }
-      result.total_model_updates += stats.model_updates;
-      return stats.nnz_processed;
-    });
+    const std::vector<WorkerStats> step_stats =
+        spark.RunOnWorkers("local-sgd", [&](size_t r) -> WorkerStats {
+          ComputeStats stats;
+          for (size_t e = 0; e < std::max<size_t>(1, config().local_epochs);
+               ++e) {
+            stats +=
+                optimizers.empty()
+                    ? LocalSgdEpoch(partitions[r], loss(), regularizer(),
+                                    lr, config().lazy_regularization,
+                                    &rngs[r], &locals[r])
+                    : LocalOptimizerEpoch(partitions[r], loss(),
+                                          regularizer(), lr,
+                                          optimizers[r].get(), &rngs[r],
+                                          &locals[r]);
+          }
+          WorkerStats ws;
+          ws.work_units = stats.nnz_processed;
+          ws.model_updates = stats.model_updates;
+          return ws;
+        });
+    for (const WorkerStats& ws : step_stats) {
+      result.total_model_updates += ws.model_updates;
+    }
 
     // (2) Reduce-Scatter: everyone ships the ranges it does not own to
     // their owners (each piece crossing the codec, with per-worker

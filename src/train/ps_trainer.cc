@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <queue>
 #include <tuple>
 
 #include "comm/error_feedback.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "core/gd.h"
 #include "data/partition.h"
+#include "engine/spark_cluster.h"
 
 namespace mllibstar {
 namespace {
@@ -79,8 +82,7 @@ TrainResult PsTrainer::Train(const Dataset& data,
   PsContext server(&sim, d, ps, &codec());
 
   const size_t k = sim.num_workers();
-  std::vector<std::vector<DataPoint>> partitions =
-      PartitionRoundRobin(data, k);
+  std::vector<CsrBlock> partitions = PartitionCsr(data, k);
   Rng root(config().seed);
   std::vector<Rng> rngs;
   rngs.reserve(k);
@@ -96,12 +98,10 @@ TrainResult PsTrainer::Train(const Dataset& data,
     for (size_t r = 0; r < k; ++r) {
       std::fill(touched.begin(), touched.end(), false);
       size_t features = 0;
-      for (const DataPoint& p : partitions[r]) {
-        for (FeatureIndex j : p.features.indices) {
-          if (!touched[j]) {
-            touched[j] = true;
-            ++features;
-          }
+      for (FeatureIndex j : partitions[r].indices) {
+        if (!touched[j]) {
+          touched[j] = true;
+          ++features;
         }
       }
       pull_bytes[r] = server.SparseBytes(features);
@@ -123,8 +123,8 @@ TrainResult PsTrainer::Train(const Dataset& data,
   // place and returning the work done (paper §III-B differences).
   auto local_compute = [&](size_t r, int round,
                            DenseVector* local) -> ComputeStats {
-    const std::vector<DataPoint>& part = partitions[r];
-    const size_t bsize = BatchSize(part.size(), config().batch_fraction);
+    const CsrBlock& part = partitions[r];
+    const size_t bsize = BatchSize(part.rows(), config().batch_fraction);
     const double lr = schedule().LrAt(round);
     ComputeStats stats;
     if (bsize == 0) return stats;
@@ -132,13 +132,12 @@ TrainResult PsTrainer::Train(const Dataset& data,
       case Mode::kPetuum:
       case Mode::kPetuumStar: {
         if (regularizer().kind() == RegularizerKind::kNone) {
-          // Parallel SGD inside the batch: many updates per step.
+          // Parallel SGD inside the batch: many updates per step. The
+          // subset epoch shuffles the sampled row ids directly —
+          // identical math to copying the rows out, without the copy.
           const std::vector<size_t> batch =
-              SampleBatch(part.size(), bsize, &rngs[r]);
-          std::vector<DataPoint> batch_points;
-          batch_points.reserve(batch.size());
-          for (size_t idx : batch) batch_points.push_back(part[idx]);
-          stats = LocalSgdEpoch(batch_points, loss(), regularizer(), lr,
+              SampleBatch(part.rows(), bsize, &rngs[r]);
+          stats = LocalSgdEpoch(part, batch, loss(), regularizer(), lr,
                                 config().lazy_regularization, &rngs[r],
                                 local);
         } else {
@@ -151,7 +150,7 @@ TrainResult PsTrainer::Train(const Dataset& data,
       }
       case Mode::kAngel: {
         // One epoch of batch GD locally, communicating once.
-        const size_t num_batches = (part.size() + bsize - 1) / bsize;
+        const size_t num_batches = (part.rows() + bsize - 1) / bsize;
         stats = LocalMiniBatchGd(part, loss(), regularizer(), lr, bsize,
                                  num_batches, &rngs[r], local);
         if (config().angel_allocation_overhead) {
@@ -207,8 +206,67 @@ TrainResult PsTrainer::Train(const Dataset& data,
 
   for (size_t r = 0; r < k; ++r) try_schedule_pull(r);
 
-  while (!queue.empty()) {
+  // Host parallelism. A popped pull's local computation is independent
+  // of everything that can pop before the matching push (it trains on
+  // the snapshot the wire delivered, with its own Rng), so it may run
+  // on a pool thread while the event loop keeps popping. Determinism
+  // holds because (a) the straggler jitter is pre-drawn at pop time,
+  // in pop order; (b) an event pops while computes are in flight only
+  // if it would also have popped before their pushes in the
+  // sequential schedule: a worker's push can land no earlier than its
+  // pull completed, so `bound = min in-flight pull-completion` lower-
+  // bounds every pending push time (pulls win ties against pushes);
+  // (c) drain() applies charges, counter folds and push enqueues in
+  // pop order. Pop sequence, RNG streams, clocks and traces are
+  // therefore identical for any host_threads value.
+  struct InflightCompute {
+    size_t worker = 0;
+    int round = 0;
+    double jitter = 1.0;    ///< pre-drawn from the shared stream
+    SimTime pull_end = 0.0; ///< worker clock right after its pull
+    DenseVector snapshot;   ///< model the wire delivered
+    DenseVector local;      ///< updated in place by the compute task
+    ComputeStats stats;     ///< filled by the compute task
+  };
+  std::vector<std::unique_ptr<InflightCompute>> inflight;
+  const size_t host_threads = ResolveHostThreads(config().host_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (host_threads > 1 && k > 1) {
+    pool = std::make_unique<ThreadPool>(std::min(host_threads, k));
+  }
+
+  auto drain = [&] {
+    if (inflight.empty()) return;
+    if (pool != nullptr) pool->WaitAll();
+    for (std::unique_ptr<InflightCompute>& fl : inflight) {
+      SimNode& node = sim.worker(fl->worker);
+      result.total_model_updates += fl->stats.model_updates;
+      sim.ChargeCompute(&node, fl->stats.nnz_processed, fl->jitter,
+                        "local-train");
+      fl->local.AddScaled(fl->snapshot, -1.0);  // local := delta
+      pending_delta[fl->worker] = std::move(fl->local);
+      queue.emplace(node.clock, kPush, fl->worker);
+    }
+    inflight.clear();
+  };
+
+  while (!queue.empty() || !inflight.empty()) {
+    if (queue.empty()) {
+      drain();
+      continue;
+    }
     const auto [time, phase, r] = queue.top();
+    if (!inflight.empty()) {
+      SimTime bound = std::numeric_limits<SimTime>::infinity();
+      for (const std::unique_ptr<InflightCompute>& fl : inflight) {
+        bound = std::min(bound, fl->pull_end);
+      }
+      const bool safe = phase == kPull ? time <= bound : time < bound;
+      if (!safe) {
+        drain();
+        continue;
+      }
+    }
     queue.pop();
     SimNode& node = sim.worker(r);
     const int round = rounds_done[r];
@@ -216,14 +274,24 @@ TrainResult PsTrainer::Train(const Dataset& data,
     if (phase == kPull) {
       server.TimePull(&node, pull_bytes[r]);
       // The worker trains on the model the wire delivered.
-      DenseVector local = CodecTransmit(codec(), nullptr, 0, server.model());
-      const DenseVector snapshot = local;
-      const ComputeStats stats = local_compute(r, round, &local);
-      result.total_model_updates += stats.model_updates;
-      sim.Compute(&node, stats.nnz_processed, "local-train");
-      local.AddScaled(snapshot, -1.0);  // local := delta
-      pending_delta[r] = std::move(local);
-      queue.emplace(node.clock, kPush, r);
+      auto fl = std::make_unique<InflightCompute>();
+      fl->worker = r;
+      fl->round = round;
+      fl->jitter = sim.NextJitter();
+      fl->pull_end = node.clock;
+      fl->snapshot = CodecTransmit(codec(), nullptr, 0, server.model());
+      fl->local = fl->snapshot;
+      InflightCompute* task = fl.get();
+      inflight.push_back(std::move(fl));
+      if (pool != nullptr) {
+        pool->Submit([task, &local_compute] {
+          task->stats =
+              local_compute(task->worker, task->round, &task->local);
+        });
+      } else {
+        task->stats = local_compute(task->worker, task->round, &task->local);
+        drain();
+      }
       continue;
     }
 
@@ -284,6 +352,11 @@ TrainResult PsTrainer::Train(const Dataset& data,
     for (size_t v : to_retry) try_schedule_pull(v);
     try_schedule_pull(r);
   }
+
+  // A divergence break can leave computes in flight; the sequential
+  // schedule would already have charged them, so charge them here too
+  // before reading the clocks.
+  drain();
 
   result.comm_steps = std::min(last_completed_round, max_rounds);
   result.final_weights = server.model();

@@ -67,6 +67,13 @@ struct TrainerConfig {
   int eval_every = 1;
   uint64_t seed = 123;
 
+  // Host execution. Number of *host* threads used to run the
+  // embarrassingly parallel per-worker computations (1 = sequential,
+  // 0 = all hardware threads). Pure wall-clock knob: every simulated
+  // result is bit-identical for any value — see "Host parallelism vs.
+  // virtual time" in docs/ARCHITECTURE.md.
+  size_t host_threads = 1;
+
   // Communication codec applied to every path that ships a model or
   // gradient (broadcast, treeAggregate, Reduce-Scatter/AllGather, PS
   // push/pull). kDenseF64 reproduces the pre-codec byte accounting

@@ -1,0 +1,269 @@
+// CsrBlock is a pure layout change: packing a partition and running
+// the CSR kernels must produce bit-for-bit the results of the
+// per-DataPoint kernels — same floating-point ops in the same order,
+// same RNG consumption, same work accounting. EXPECT_EQ on doubles is
+// intentional throughout.
+
+#include "core/csr_block.h"
+
+#include <gtest/gtest.h>
+
+#include "core/gd.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+
+namespace mllibstar {
+namespace {
+
+Dataset TestData() {
+  SyntheticSpec spec;
+  spec.name = "csr";
+  spec.num_instances = 300;
+  spec.num_features = 80;
+  spec.avg_nnz = 7;
+  spec.seed = 19;
+  return GenerateSynthetic(spec);
+}
+
+std::vector<DataPoint> Points(const Dataset& data) {
+  std::vector<DataPoint> points;
+  points.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) points.push_back(data.point(i));
+  return points;
+}
+
+void ExpectSameVector(const DenseVector& a, const DenseVector& b) {
+  ASSERT_EQ(a.dim(), b.dim());
+  for (size_t i = 0; i < a.dim(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "coordinate " << i;
+  }
+}
+
+TEST(CsrBlockTest, RoundTripsEveryPoint) {
+  const Dataset data = TestData();
+  const std::vector<DataPoint> points = Points(data);
+  const CsrBlock block = CsrBlock::FromPoints(points);
+
+  ASSERT_EQ(block.rows(), points.size());
+  EXPECT_EQ(block.offsets.size(), points.size() + 1);
+  EXPECT_EQ(block.offsets.front(), 0u);
+  EXPECT_EQ(block.offsets.back(), block.nnz());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const DataPoint back = block.PointAt(i);
+    EXPECT_EQ(back.label, points[i].label);
+    ASSERT_EQ(back.features.indices, points[i].features.indices);
+    ASSERT_EQ(back.features.values, points[i].features.values);
+  }
+}
+
+TEST(CsrBlockTest, EmptyInputGivesEmptyBlock) {
+  const CsrBlock block = CsrBlock::FromPoints({});
+  EXPECT_EQ(block.rows(), 0u);
+  EXPECT_EQ(block.nnz(), 0u);
+  ASSERT_EQ(block.offsets.size(), 1u);
+  EXPECT_EQ(block.offsets[0], 0u);
+}
+
+TEST(PartitionCsrTest, MatchesRoundRobinPartitioning) {
+  const Dataset data = TestData();
+  const size_t k = 7;  // does not divide 300: uneven partitions
+  const std::vector<std::vector<DataPoint>> parts =
+      PartitionRoundRobin(data, k);
+  const std::vector<CsrBlock> blocks = PartitionCsr(data, k);
+
+  ASSERT_EQ(blocks.size(), parts.size());
+  for (size_t r = 0; r < k; ++r) {
+    ASSERT_EQ(blocks[r].rows(), parts[r].size()) << "partition " << r;
+    for (size_t i = 0; i < parts[r].size(); ++i) {
+      const DataPoint back = blocks[r].PointAt(i);
+      EXPECT_EQ(back.label, parts[r][i].label);
+      ASSERT_EQ(back.features.indices, parts[r][i].features.indices);
+      ASSERT_EQ(back.features.values, parts[r][i].features.values);
+    }
+  }
+}
+
+TEST(CsrKernelTest, BatchGradientMatchesDataPointKernel) {
+  const Dataset data = TestData();
+  const std::vector<DataPoint> points = Points(data);
+  const CsrBlock block = CsrBlock::FromPoints(points);
+  auto loss = MakeLoss(LossKind::kLogistic);
+
+  Rng rng(3);
+  const std::vector<size_t> batch = SampleBatch(points.size(), 40, &rng);
+  DenseVector w(data.num_features());
+  for (size_t i = 0; i < w.dim(); ++i) {
+    w[i] = 0.01 * static_cast<double>(i % 13) - 0.05;
+  }
+
+  DenseVector g_points(w.dim());
+  DenseVector g_block(w.dim());
+  const ComputeStats a =
+      AccumulateBatchGradient(points, batch, *loss, w, &g_points);
+  const ComputeStats b =
+      AccumulateBatchGradient(block, batch, *loss, w, &g_block);
+  EXPECT_EQ(a.nnz_processed, b.nnz_processed);
+  ExpectSameVector(g_points, g_block);
+}
+
+TEST(CsrKernelTest, LossGradientMatchesSeparateLoops) {
+  const Dataset data = TestData();
+  const std::vector<DataPoint> points = Points(data);
+  const CsrBlock block = CsrBlock::FromPoints(points);
+  auto loss = MakeLoss(LossKind::kHinge);
+
+  DenseVector w(data.num_features());
+  for (size_t i = 0; i < w.dim(); ++i) {
+    w[i] = 0.02 * static_cast<double>(i % 7) - 0.03;
+  }
+
+  // Reference: the unfused per-point loop over DataPoints.
+  DenseVector g_ref(w.dim());
+  double loss_ref = 0.0;
+  uint64_t work_ref = 0;
+  for (const DataPoint& p : points) {
+    const double margin = w.Dot(p.features);
+    const double dl = loss->Derivative(margin, p.label);
+    loss_ref += loss->Value(margin, p.label);
+    work_ref += p.nnz();
+    if (dl != 0.0) {
+      g_ref.AddScaled(p.features, dl);
+      work_ref += p.nnz();
+    }
+  }
+
+  for (const auto& run : {0, 1}) {
+    DenseVector g(w.dim());
+    double loss_sum = 0.0;
+    const ComputeStats stats =
+        run == 0 ? AccumulateLossGradient(points, *loss, w, &g, &loss_sum)
+                 : AccumulateLossGradient(block, *loss, w, &g, &loss_sum);
+    EXPECT_EQ(stats.nnz_processed, work_ref);
+    EXPECT_EQ(loss_sum, loss_ref);
+    ExpectSameVector(g, g_ref);
+  }
+}
+
+TEST(CsrKernelTest, SgdEpochMatchesDataPointKernel) {
+  const Dataset data = TestData();
+  const std::vector<DataPoint> points = Points(data);
+  const CsrBlock block = CsrBlock::FromPoints(points);
+  auto loss = MakeLoss(LossKind::kLogistic);
+
+  for (const RegularizerKind kind :
+       {RegularizerKind::kNone, RegularizerKind::kL2}) {
+    for (const bool lazy : {false, true}) {
+      auto reg = MakeRegularizer(kind, 0.01);
+      Rng rng_a(11), rng_b(11);
+      DenseVector w_a(data.num_features());
+      DenseVector w_b(data.num_features());
+      const ComputeStats a =
+          LocalSgdEpoch(points, *loss, *reg, 0.2, lazy, &rng_a, &w_a);
+      const ComputeStats b =
+          LocalSgdEpoch(block, *loss, *reg, 0.2, lazy, &rng_b, &w_b);
+      EXPECT_EQ(a.nnz_processed, b.nnz_processed);
+      EXPECT_EQ(a.model_updates, b.model_updates);
+      ExpectSameVector(w_a, w_b);
+      EXPECT_EQ(rng_a.NextUint64(1u << 30), rng_b.NextUint64(1u << 30))
+          << "RNG consumption diverged";
+    }
+  }
+}
+
+TEST(CsrKernelTest, SubsetEpochMatchesCopyingTheRowsOut) {
+  const Dataset data = TestData();
+  const std::vector<DataPoint> points = Points(data);
+  const CsrBlock block = CsrBlock::FromPoints(points);
+  auto loss = MakeLoss(LossKind::kLogistic);
+  auto reg = MakeRegularizer(RegularizerKind::kNone, 0.0);
+
+  Rng rng_a(23), rng_b(23);
+  const std::vector<size_t> batch_a = SampleBatch(points.size(), 50, &rng_a);
+  const std::vector<size_t> batch_b = SampleBatch(points.size(), 50, &rng_b);
+  ASSERT_EQ(batch_a, batch_b);
+
+  std::vector<DataPoint> copied;
+  copied.reserve(batch_a.size());
+  for (size_t idx : batch_a) copied.push_back(points[idx]);
+
+  DenseVector w_a(data.num_features());
+  DenseVector w_b(data.num_features());
+  const ComputeStats a =
+      LocalSgdEpoch(copied, *loss, *reg, 0.3, true, &rng_a, &w_a);
+  const ComputeStats b =
+      LocalSgdEpoch(block, batch_b, *loss, *reg, 0.3, true, &rng_b, &w_b);
+  EXPECT_EQ(a.nnz_processed, b.nnz_processed);
+  EXPECT_EQ(a.model_updates, b.model_updates);
+  ExpectSameVector(w_a, w_b);
+}
+
+TEST(CsrKernelTest, OptimizerEpochMatchesDataPointKernel) {
+  const Dataset data = TestData();
+  const std::vector<DataPoint> points = Points(data);
+  const CsrBlock block = CsrBlock::FromPoints(points);
+  auto loss = MakeLoss(LossKind::kLogistic);
+  auto reg = MakeRegularizer(RegularizerKind::kL2, 0.01);
+
+  LocalOptimizerConfig opt_config;
+  opt_config.kind = LocalOptimizerKind::kAdam;
+  auto opt_a = MakeLocalOptimizer(opt_config, data.num_features());
+  auto opt_b = MakeLocalOptimizer(opt_config, data.num_features());
+
+  Rng rng_a(7), rng_b(7);
+  DenseVector w_a(data.num_features());
+  DenseVector w_b(data.num_features());
+  const ComputeStats a = LocalOptimizerEpoch(points, *loss, *reg, 0.1,
+                                             opt_a.get(), &rng_a, &w_a);
+  const ComputeStats b = LocalOptimizerEpoch(block, *loss, *reg, 0.1,
+                                             opt_b.get(), &rng_b, &w_b);
+  EXPECT_EQ(a.nnz_processed, b.nnz_processed);
+  EXPECT_EQ(a.model_updates, b.model_updates);
+  ExpectSameVector(w_a, w_b);
+}
+
+TEST(CsrKernelTest, MiniBatchGdMatchesDataPointKernel) {
+  const Dataset data = TestData();
+  const std::vector<DataPoint> points = Points(data);
+  const CsrBlock block = CsrBlock::FromPoints(points);
+  auto loss = MakeLoss(LossKind::kLogistic);
+  auto reg = MakeRegularizer(RegularizerKind::kL2, 0.05);
+
+  Rng rng_a(29), rng_b(29);
+  DenseVector w_a(data.num_features());
+  DenseVector w_b(data.num_features());
+  const ComputeStats a = LocalMiniBatchGd(points, *loss, *reg, 0.1, 30, 5,
+                                          &rng_a, &w_a);
+  const ComputeStats b =
+      LocalMiniBatchGd(block, *loss, *reg, 0.1, 30, 5, &rng_b, &w_b);
+  EXPECT_EQ(a.nnz_processed, b.nnz_processed);
+  EXPECT_EQ(a.model_updates, b.model_updates);
+  ExpectSameVector(w_a, w_b);
+}
+
+TEST(SampleBatchFloydTest, SmallFractionIsUniqueAndInRange) {
+  Rng rng(41);
+  // batch_size * 4 < n: exercises the Floyd's-sampling path.
+  const std::vector<size_t> batch = SampleBatch(1000, 50, &rng);
+  ASSERT_EQ(batch.size(), 50u);
+  std::vector<bool> seen(1000, false);
+  for (size_t idx : batch) {
+    ASSERT_LT(idx, 1000u);
+    EXPECT_FALSE(seen[idx]) << "duplicate index " << idx;
+    seen[idx] = true;
+  }
+}
+
+TEST(SampleBatchFloydTest, CoversAllIndicesEventually) {
+  // Every index must be reachable (uniformity smoke check).
+  std::vector<bool> seen(64, false);
+  Rng rng(13);
+  for (int trial = 0; trial < 400; ++trial) {
+    for (size_t idx : SampleBatch(64, 8, &rng)) seen[idx] = true;
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_TRUE(seen[i]) << "index " << i << " never sampled";
+  }
+}
+
+}  // namespace
+}  // namespace mllibstar

@@ -1,0 +1,146 @@
+// Host parallelism must be invisible in every simulated result: the
+// same config trained with host_threads=1 and host_threads=8 has to
+// produce bit-identical TrainResults — curve, clocks, bytes, update
+// counts and final weights — because callbacks only touch per-worker
+// state and all shared-stream draws happen on the host thread in
+// fixed worker order. These tests use EXPECT_EQ on doubles on
+// purpose: tolerance would hide a broken schedule.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "train/trainer.h"
+
+namespace mllibstar {
+namespace {
+
+Dataset HostparData() {
+  SyntheticSpec spec;
+  spec.name = "hostpar";
+  spec.num_instances = 600;
+  spec.num_features = 120;
+  spec.avg_nnz = 10;
+  spec.seed = 31;
+  return GenerateSynthetic(spec);
+}
+
+// Nonzero jitter and task failures on purpose: both draw from the
+// cluster's shared RNG streams, which is exactly where a careless
+// parallelization would reorder draws.
+ClusterConfig JitteryCluster() {
+  ClusterConfig config = ClusterConfig::Cluster1(8);
+  config.straggler_sigma = 0.08;
+  config.task_failure_prob = 0.05;
+  return config;
+}
+
+TrainerConfig BaseConfig(size_t host_threads) {
+  TrainerConfig config;
+  config.loss = LossKind::kLogistic;
+  config.base_lr = 0.5;
+  config.lr_schedule = LrScheduleKind::kConstant;
+  config.batch_fraction = 0.1;
+  config.max_comm_steps = 10;
+  config.seed = 5;
+  config.host_threads = host_threads;
+  return config;
+}
+
+void ExpectBitIdentical(const TrainResult& a, const TrainResult& b) {
+  EXPECT_EQ(a.system, b.system);
+  EXPECT_EQ(a.comm_steps, b.comm_steps);
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.total_model_updates, b.total_model_updates);
+  EXPECT_EQ(a.diverged, b.diverged);
+  ASSERT_EQ(a.curve.points().size(), b.curve.points().size());
+  for (size_t i = 0; i < a.curve.points().size(); ++i) {
+    EXPECT_EQ(a.curve.points()[i].comm_step, b.curve.points()[i].comm_step);
+    EXPECT_EQ(a.curve.points()[i].time_sec, b.curve.points()[i].time_sec);
+    EXPECT_EQ(a.curve.points()[i].objective, b.curve.points()[i].objective);
+  }
+  ASSERT_EQ(a.final_weights.dim(), b.final_weights.dim());
+  for (size_t i = 0; i < a.final_weights.dim(); ++i) {
+    EXPECT_EQ(a.final_weights[i], b.final_weights[i]) << "coordinate " << i;
+  }
+}
+
+class HostParallelismTest : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(HostParallelismTest, EightThreadsMatchesSequentialBitForBit) {
+  const Dataset data = HostparData();
+  const ClusterConfig cluster = JitteryCluster();
+
+  TrainerConfig sequential = BaseConfig(1);
+  TrainerConfig parallel = BaseConfig(8);
+  if (GetParam() == SystemKind::kPetuum) {
+    // SSP exercises the parked-worker gate in the PS event loop.
+    sequential.ps.consistency = ConsistencyKind::kSsp;
+    sequential.ps.staleness = 1;
+    parallel.ps = sequential.ps;
+  }
+  if (GetParam() == SystemKind::kAngel) {
+    sequential.ps.sparse_pull = true;
+    parallel.ps = sequential.ps;
+  }
+
+  const TrainResult a =
+      MakeTrainer(GetParam(), sequential)->Train(data, cluster);
+  const TrainResult b = MakeTrainer(GetParam(), parallel)->Train(data, cluster);
+  ExpectBitIdentical(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, HostParallelismTest,
+    ::testing::Values(SystemKind::kMllib, SystemKind::kMllibMa,
+                      SystemKind::kMllibStar, SystemKind::kPetuum,
+                      SystemKind::kPetuumStar, SystemKind::kAngel,
+                      SystemKind::kMllibLbfgs),
+    [](const ::testing::TestParamInfo<SystemKind>& info) {
+      std::string name = SystemName(info.param);
+      for (char& c : name) {
+        if (c == '*') {
+          c = 'S';
+        } else if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(HostParallelismTest, AsyncPsMatchesUnderAsp) {
+  // ASP maximizes event-loop interleaving (no gates at all), the
+  // hardest case for the speculative dispatch.
+  const Dataset data = HostparData();
+  const ClusterConfig cluster = JitteryCluster();
+  TrainerConfig sequential = BaseConfig(1);
+  sequential.ps.consistency = ConsistencyKind::kAsp;
+  TrainerConfig parallel = sequential;
+  parallel.host_threads = 8;
+  const TrainResult a =
+      MakeTrainer(SystemKind::kPetuumStar, sequential)->Train(data, cluster);
+  const TrainResult b =
+      MakeTrainer(SystemKind::kPetuumStar, parallel)->Train(data, cluster);
+  ExpectBitIdentical(a, b);
+}
+
+TEST(HostParallelismTest, AutoThreadCountMatchesSequential) {
+  // host_threads = 0 resolves to the hardware concurrency; whatever
+  // that is on the machine running the test, results must not move.
+  const Dataset data = HostparData();
+  const ClusterConfig cluster = JitteryCluster();
+  const TrainResult a =
+      MakeTrainer(SystemKind::kMllibStar, BaseConfig(1))->Train(data, cluster);
+  const TrainResult b =
+      MakeTrainer(SystemKind::kMllibStar, BaseConfig(0))->Train(data, cluster);
+  ExpectBitIdentical(a, b);
+}
+
+TEST(ResolveHostThreadsTest, ZeroMeansHardware) {
+  EXPECT_GE(ResolveHostThreads(0), 1u);
+  EXPECT_EQ(ResolveHostThreads(1), 1u);
+  EXPECT_EQ(ResolveHostThreads(6), 6u);
+}
+
+}  // namespace
+}  // namespace mllibstar
