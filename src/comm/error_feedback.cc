@@ -27,6 +27,14 @@ void ErrorFeedback::Absorb(size_t stream, const DenseVector& compensated,
   r.AddScaled(decoded, -1.0);
 }
 
+void ErrorFeedback::RestoreResidual(size_t stream,
+                                    const DenseVector& residual) {
+  if (!enabled()) return;
+  MLLIBSTAR_CHECK_LT(stream, residuals_.size());
+  MLLIBSTAR_CHECK_EQ(residual.dim(), residuals_[stream].dim());
+  residuals_[stream] = residual;
+}
+
 ErrorFeedback MakeErrorFeedback(const GradientCodec& codec,
                                 const CodecConfig& config,
                                 size_t num_streams, size_t dim) {

@@ -35,6 +35,10 @@ class ErrorFeedback {
   void Absorb(size_t stream, const DenseVector& compensated,
               const DenseVector& decoded);
 
+  /// Overwrites one stream's residual (checkpoint restore). No-op on a
+  /// disabled accumulator.
+  void RestoreResidual(size_t stream, const DenseVector& residual);
+
  private:
   std::vector<DenseVector> residuals_;
 };

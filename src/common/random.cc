@@ -1,5 +1,7 @@
 #include "common/random.h"
 
+#include <cstring>
+
 #include "common/logging.h"
 
 namespace mllibstar {
@@ -90,5 +92,19 @@ uint64_t Rng::NextZipf(uint64_t n, double alpha) {
 }
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
+
+std::array<uint64_t, Rng::kStateWords> Rng::SaveState() const {
+  std::array<uint64_t, kStateWords> words = {};
+  for (size_t i = 0; i < 4; ++i) words[i] = state_[i];
+  words[4] = has_cached_gaussian_ ? 1 : 0;
+  std::memcpy(&words[5], &cached_gaussian_, sizeof(words[5]));
+  return words;
+}
+
+void Rng::RestoreState(const std::array<uint64_t, kStateWords>& words) {
+  for (size_t i = 0; i < 4; ++i) state_[i] = words[i];
+  has_cached_gaussian_ = words[4] != 0;
+  std::memcpy(&cached_gaussian_, &words[5], sizeof(cached_gaussian_));
+}
 
 }  // namespace mllibstar

@@ -1,6 +1,7 @@
 #ifndef MLLIBSTAR_COMMON_RANDOM_H_
 #define MLLIBSTAR_COMMON_RANDOM_H_
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -55,6 +56,15 @@ class Rng {
 
   /// Derives an independent child generator (for per-worker streams).
   Rng Fork();
+
+  /// Number of words in a serialized generator state.
+  static constexpr size_t kStateWords = 6;
+
+  /// Full generator state — the four xoshiro words plus the Box-Muller
+  /// cache — as raw words, for checkpoint/resume. Restoring a saved
+  /// state continues the stream exactly where it left off.
+  std::array<uint64_t, kStateWords> SaveState() const;
+  void RestoreState(const std::array<uint64_t, kStateWords>& words);
 
  private:
   uint64_t state_[4];

@@ -1,7 +1,6 @@
 #include "core/lbfgs.h"
 
 #include <cmath>
-#include <deque>
 
 #include "common/logging.h"
 
@@ -20,75 +19,80 @@ double InfNorm(const DenseVector& v) {
 
 LbfgsResult LbfgsSolver::Minimize(const Oracle& oracle,
                                   DenseVector initial) const {
-  const size_t dim = initial.dim();
+  LbfgsState state;
+  state.x = std::move(initial);
+  return MinimizeFrom(oracle, std::move(state));
+}
+
+LbfgsResult LbfgsSolver::MinimizeFrom(
+    const Oracle& oracle, LbfgsState st,
+    const IterationObserver& observer) const {
+  const size_t dim = st.x.dim();
   LbfgsResult result;
-  result.minimizer = std::move(initial);
 
-  DenseVector gradient(dim);
-  double objective = oracle(result.minimizer, &gradient);
-  ++result.function_evaluations;
-
-  // Correction pairs s_i = w_{i+1} - w_i, y_i = g_{i+1} - g_i.
-  std::deque<DenseVector> s_history;
-  std::deque<DenseVector> y_history;
-  std::deque<double> rho_history;  // 1 / (y_i . s_i)
+  if (!st.evaluated) {
+    st.gradient = DenseVector(dim);
+    st.objective = oracle(st.x, &st.gradient);
+    ++result.function_evaluations;
+    st.evaluated = true;
+  }
 
   DenseVector direction(dim);
   std::vector<double> alpha(options_.history, 0.0);
 
-  for (int iter = 0; iter < options_.max_iterations; ++iter) {
-    const double gnorm = InfNorm(gradient);
+  for (int iter = st.iteration; iter < options_.max_iterations; ++iter) {
+    const double gnorm = InfNorm(st.gradient);
     if (gnorm <= options_.gradient_tolerance) {
       result.converged = true;
       break;
     }
 
     // Two-loop recursion: direction = -H_k * gradient.
-    direction = gradient;
-    const size_t m = s_history.size();
+    direction = st.gradient;
+    const size_t m = st.s_history.size();
     for (size_t j = m; j-- > 0;) {
-      alpha[j] = rho_history[j] * s_history[j].Dot(direction);
-      direction.AddScaled(y_history[j], -alpha[j]);
+      alpha[j] = st.rho_history[j] * st.s_history[j].Dot(direction);
+      direction.AddScaled(st.y_history[j], -alpha[j]);
     }
     if (m > 0) {
       // Initial Hessian scaling gamma = (s.y)/(y.y) (Nocedal 7.20).
-      const double ys = y_history[m - 1].Dot(s_history[m - 1]);
-      const double yy = y_history[m - 1].SquaredNorm();
+      const double ys = st.y_history[m - 1].Dot(st.s_history[m - 1]);
+      const double yy = st.y_history[m - 1].SquaredNorm();
       if (yy > 0) direction.Scale(ys / yy);
     }
     for (size_t j = 0; j < m; ++j) {
-      const double beta = rho_history[j] * y_history[j].Dot(direction);
-      direction.AddScaled(s_history[j], alpha[j] - beta);
+      const double beta = st.rho_history[j] * st.y_history[j].Dot(direction);
+      direction.AddScaled(st.s_history[j], alpha[j] - beta);
     }
     direction.Scale(-1.0);
 
-    double directional = gradient.Dot(direction);
+    double directional = st.gradient.Dot(direction);
     if (directional >= 0) {
       // Not a descent direction (can happen with noisy oracles):
       // restart from steepest descent.
-      direction = gradient;
+      direction = st.gradient;
       direction.Scale(-1.0);
-      directional = -gradient.SquaredNorm();
-      s_history.clear();
-      y_history.clear();
-      rho_history.clear();
+      directional = -st.gradient.SquaredNorm();
+      st.s_history.clear();
+      st.y_history.clear();
+      st.rho_history.clear();
     }
 
     // Armijo backtracking line search.
     double step = 1.0;
     DenseVector candidate(dim);
     DenseVector candidate_gradient(dim);
-    double candidate_objective = objective;
+    double candidate_objective = st.objective;
     int evals_this_iter = 0;
     bool accepted = false;
     for (int ls = 0; ls < options_.max_line_search_steps; ++ls) {
-      candidate = result.minimizer;
+      candidate = st.x;
       candidate.AddScaled(direction, step);
       candidate_objective = oracle(candidate, &candidate_gradient);
       ++result.function_evaluations;
       ++evals_this_iter;
       if (candidate_objective <=
-          objective + options_.armijo_c * step * directional) {
+          st.objective + options_.armijo_c * step * directional) {
         accepted = true;
         break;
       }
@@ -97,43 +101,46 @@ LbfgsResult LbfgsSolver::Minimize(const Oracle& oracle,
     if (!accepted) {
       // The line search failed: gradient noise floor reached.
       result.trace.push_back(
-          {iter, objective, gnorm, evals_this_iter});
+          {iter, st.objective, gnorm, evals_this_iter});
       break;
     }
 
     // Update histories.
     DenseVector s = candidate;
-    s.AddScaled(result.minimizer, -1.0);
+    s.AddScaled(st.x, -1.0);
     DenseVector y = candidate_gradient;
-    y.AddScaled(gradient, -1.0);
+    y.AddScaled(st.gradient, -1.0);
     const double ys = y.Dot(s);
     if (ys > 1e-12) {
-      s_history.push_back(std::move(s));
-      y_history.push_back(std::move(y));
-      rho_history.push_back(1.0 / ys);
-      if (s_history.size() > options_.history) {
-        s_history.pop_front();
-        y_history.pop_front();
-        rho_history.pop_front();
+      st.s_history.push_back(std::move(s));
+      st.y_history.push_back(std::move(y));
+      st.rho_history.push_back(1.0 / ys);
+      if (st.s_history.size() > options_.history) {
+        st.s_history.erase(st.s_history.begin());
+        st.y_history.erase(st.y_history.begin());
+        st.rho_history.erase(st.rho_history.begin());
       }
     }
 
-    const double previous = objective;
-    result.minimizer = std::move(candidate);
-    gradient = std::move(candidate_gradient);
-    objective = candidate_objective;
+    const double previous = st.objective;
+    st.x = std::move(candidate);
+    st.gradient = std::move(candidate_gradient);
+    st.objective = candidate_objective;
+    st.iteration = iter + 1;
     result.iterations = iter + 1;
-    result.trace.push_back({iter, objective, InfNorm(gradient),
+    result.trace.push_back({iter, st.objective, InfNorm(st.gradient),
                             evals_this_iter});
+    if (observer) observer(st);
 
-    if (previous - objective <=
+    if (previous - st.objective <=
         options_.objective_tolerance * std::max(1.0, std::fabs(previous))) {
       result.converged = true;
       break;
     }
   }
 
-  result.objective = objective;
+  result.objective = st.objective;
+  result.minimizer = std::move(st.x);
   return result;
 }
 

@@ -37,6 +37,22 @@ struct LbfgsResult {
   std::vector<LbfgsIterate> trace;
 };
 
+/// The complete resumable state of an L-BFGS run after some number of
+/// iterations: the iterate, its cached evaluation, and the correction
+/// history. MinimizeFrom continues from such a state exactly where an
+/// interrupted run left off — the subsequent iterates are bit-identical
+/// to the uninterrupted run's (checkpoint/resume relies on this).
+struct LbfgsState {
+  DenseVector x;
+  DenseVector gradient;
+  double objective = 0.0;
+  int iteration = 0;       ///< next iteration index
+  bool evaluated = false;  ///< gradient/objective valid for x
+  std::vector<DenseVector> s_history;
+  std::vector<DenseVector> y_history;
+  std::vector<double> rho_history;  ///< 1 / (y_i . s_i)
+};
+
 /// Limited-memory BFGS with the standard two-loop recursion and an
 /// Armijo backtracking line search (Liu & Nocedal [27] — the
 /// second-order method the paper names as spark.ml's optimizer and
@@ -53,9 +69,19 @@ class LbfgsSolver {
 
   explicit LbfgsSolver(LbfgsOptions options) : options_(options) {}
 
+  /// Called after every accepted iteration with the solver's full
+  /// resumable state (checkpoint hooks).
+  using IterationObserver = std::function<void(const LbfgsState&)>;
+
   /// Minimizes the oracle starting from `initial`. Requires a smooth
   /// objective (use logistic or squared loss, not hinge).
   LbfgsResult Minimize(const Oracle& oracle, DenseVector initial) const;
+
+  /// Continues minimization from `state` (a fresh state with only `x`
+  /// set behaves exactly like Minimize). `observer`, when non-null,
+  /// sees the state after each accepted iteration.
+  LbfgsResult MinimizeFrom(const Oracle& oracle, LbfgsState state,
+                           const IterationObserver& observer = nullptr) const;
 
  private:
   LbfgsOptions options_;

@@ -39,24 +39,156 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
     for (size_t r = 0; r < k; ++r) stats[r] = fn(r);
   }
   // Phase 2 — virtual time. All shared-stream draws (task failures,
-  // straggler jitter) and clock/trace updates happen here, on the
-  // calling thread, in fixed worker order: the simulated outcome is a
-  // pure function of the config seeds, never of the host schedule.
+  // straggler jitter, fault-plan events) and clock/trace updates happen
+  // here, on the calling thread, in fixed worker order: the simulated
+  // outcome is a pure function of the config seeds, never of the host
+  // schedule. Faults and recovery cost virtual time only — the
+  // host-side math from phase 1 stays the ground truth, which is what
+  // makes the bit-identity tests possible.
+  FaultInjector& faults = sim_.faults();
+  const ClusterConfig& cfg = sim_.config();
+
+  struct TaskPlan {
+    SimTime start = 0.0;
+    SimTime end = 0.0;
+    double dur = 0.0;
+    uint64_t work = 0;
+    bool crashed = false;
+    SimTime crash_at = 0.0;
+  };
+  std::vector<TaskPlan> plan(k);
+
+  // Pass A — sequential draws. Task-failure retries (Spark lineage
+  // recovery: a failed task re-executes from its cached partition after
+  // a scheduling delay) commit immediately; the primary attempt is only
+  // planned, so later passes can truncate or extend it.
   for (size_t r = 0; r < k; ++r) {
     const uint64_t work = stats[r].work_units;
     SimNode& worker = sim_.worker(r);
-    // Spark lineage recovery: a failed task re-executes from its
-    // cached partition after a scheduling delay. The host-side result
-    // is unaffected (the retry recomputes the same thing); only the
-    // virtual clock pays.
     while (sim_.NextTaskFailure()) {
-      const SimTime fail_at = worker.clock + sim_.config().task_restart_seconds;
-      trace().Record(worker.name, worker.clock, fail_at, ActivityKind::kWait,
-                     detail + "/task-retry");
+      const SimTime fail_at =
+          worker.clock + cfg.task_restart_seconds;
+      trace().Record(worker.name, worker.clock, fail_at,
+                     ActivityKind::kRetry, detail + "/task-retry");
       worker.clock = fail_at;
-      sim_.Compute(&worker, work, detail + "/retry");
+      sim_.ChargeCompute(&worker, work, sim_.NextRetryJitter(),
+                         detail + "/retry");
     }
-    sim_.Compute(&worker, work, detail);
+    TaskPlan& p = plan[r];
+    p.work = work;
+    p.start = worker.clock;
+    p.dur = static_cast<double>(work) / worker.compute_speed *
+            sim_.NextJitter();
+    p.end = p.start + p.dur;
+    p.crashed = faults.WorkerCrashes(r, p.start, p.end, &p.crash_at);
+  }
+
+  // avail[r]: when worker r is next free to host recovery or backup
+  // work (its own task end, or its restart time after a crash).
+  std::vector<SimTime> avail(k);
+  for (size_t r = 0; r < k; ++r) {
+    avail[r] = plan[r].crashed
+                   ? plan[r].crash_at +
+                         faults.plan().executor_restart_seconds
+                   : plan[r].end;
+  }
+
+  // Pass B — executor loss. The partial result dies with the executor;
+  // a surviving worker rebuilds the lost partition via lineage (charged
+  // at lineage_recompute_factor times the task's work) and re-executes
+  // the task. The host-side result from phase 1 already exists, so
+  // only virtual time is paid.
+  for (size_t r = 0; r < k; ++r) {
+    if (!plan[r].crashed) continue;
+    const TaskPlan& p = plan[r];
+    SimNode& worker = sim_.worker(r);
+    if (p.crash_at > p.start) {
+      trace().Record(worker.name, p.start, p.crash_at,
+                     ActivityKind::kCompute, detail + "/lost");
+    }
+    const SimTime up_at =
+        p.crash_at + faults.plan().executor_restart_seconds;
+    trace().Record(worker.name, p.crash_at, up_at, ActivityKind::kFault,
+                   detail + "/executor-down");
+    worker.clock = up_at;
+    // Replacement: the earliest-available surviving worker (ties to
+    // the lowest index); the restarted executor itself when alone.
+    size_t repl = r;
+    for (size_t r2 = 0; r2 < k; ++r2) {
+      if (r2 == r || plan[r2].crashed) continue;
+      if (repl == r || avail[r2] < avail[repl]) repl = r2;
+    }
+    SimNode& host = sim_.worker(repl);
+    const SimTime t0 = std::max(avail[repl], p.crash_at);
+    const double rebuild_dur =
+        static_cast<double>(p.work) *
+        faults.plan().lineage_recompute_factor / host.compute_speed *
+        sim_.NextRetryJitter();
+    trace().Record(host.name, t0, t0 + rebuild_dur,
+                   ActivityKind::kRecompute, detail + "/lineage-rebuild");
+    ++faults.stats().lineage_recomputes;
+    const double rerun_dur = static_cast<double>(p.work) /
+                             host.compute_speed * sim_.NextRetryJitter();
+    trace().Record(host.name, t0 + rebuild_dur,
+                   t0 + rebuild_dur + rerun_dur, ActivityKind::kCompute,
+                   detail + "/rerun");
+    avail[repl] = t0 + rebuild_dur + rerun_dur;
+  }
+
+  // Pass C — speculative execution (spark.speculation). Once a task
+  // runs speculation_multiplier times longer than the duration at
+  // speculation_quantile of its stage, a backup copy launches on the
+  // earliest-available other worker; the first copy to finish wins and
+  // the loser is killed at that instant.
+  if (cfg.speculation && k > 1) {
+    std::vector<double> durs;
+    for (size_t r = 0; r < k; ++r) {
+      if (!plan[r].crashed) durs.push_back(plan[r].dur);
+    }
+    if (durs.size() >= 2) {
+      std::sort(durs.begin(), durs.end());
+      const size_t qi = static_cast<size_t>(
+          cfg.speculation_quantile *
+          static_cast<double>(durs.size() - 1));
+      const double threshold = cfg.speculation_multiplier * durs[qi];
+      for (size_t r = 0; r < k; ++r) {
+        if (plan[r].crashed || plan[r].dur <= threshold) continue;
+        size_t helper = r;
+        for (size_t r2 = 0; r2 < k; ++r2) {
+          if (r2 == r) continue;
+          if (helper == r || avail[r2] < avail[helper]) helper = r2;
+        }
+        if (helper == r) continue;
+        // The scheduler only notices the straggler once it exceeds
+        // the threshold.
+        const SimTime bstart =
+            std::max(avail[helper], plan[r].start + threshold);
+        if (bstart >= plan[r].end) continue;
+        SimNode& host = sim_.worker(helper);
+        const double bdur = static_cast<double>(plan[r].work) /
+                            host.compute_speed * sim_.NextRetryJitter();
+        const SimTime bend = bstart + bdur;
+        ++faults.stats().speculative_launches;
+        const SimTime win = std::min(plan[r].end, bend);
+        if (bend < plan[r].end) ++faults.stats().speculative_wins;
+        trace().Record(host.name, bstart, win, ActivityKind::kSpeculative,
+                       detail + "/speculative");
+        plan[r].end = win;
+        avail[r] = win;
+        avail[helper] = std::max(avail[helper], win);
+      }
+    }
+  }
+
+  // Pass D — commit the (possibly truncated) primary bars and final
+  // clocks.
+  for (size_t r = 0; r < k; ++r) {
+    SimNode& worker = sim_.worker(r);
+    if (!plan[r].crashed) {
+      trace().Record(worker.name, plan[r].start, plan[r].end,
+                     ActivityKind::kCompute, detail);
+    }
+    worker.clock = std::max(worker.clock, avail[r]);
   }
   return stats;
 }
@@ -87,7 +219,8 @@ void SparkCluster::TreeAggregate(uint64_t bytes, size_t num_aggregators,
 
   // Group workers round-robin onto aggregators (workers [0, g) act as
   // the intermediate aggregators themselves, like MLlib reusing
-  // executors).
+  // executors). Transfers starting inside a degraded-link fault window
+  // are stretched by the window's factor.
   for (size_t g = 0; g < num_aggregators; ++g) {
     SimNode& agg = sim_.worker(g);
     // Senders in this group, excluding the aggregator itself.
@@ -96,7 +229,9 @@ void SparkCluster::TreeAggregate(uint64_t bytes, size_t num_aggregators,
     for (size_t r = g; r < k; r += num_aggregators) {
       if (r == g) continue;
       SimNode& sender = sim_.worker(r);
-      const SimTime send_end = sender.clock + net.TransferTime(bytes);
+      const SimTime send_end =
+          sender.clock +
+          net.TransferTime(bytes) * sim_.LinkFactor(sender.clock);
       trace().Record(sender.name, sender.clock, send_end,
                      ActivityKind::kCommunicate, detail + "/send");
       sender.clock = send_end;
@@ -111,7 +246,8 @@ void SparkCluster::TreeAggregate(uint64_t bytes, size_t num_aggregators,
                                                              bytes));
       const SimTime recv_end =
           std::max(last_sender_ready,
-                   recv_start + net.SerializedTransferTime(bytes, senders));
+                   recv_start + net.SerializedTransferTime(bytes, senders) *
+                                    sim_.LinkFactor(recv_start));
       trace().Record(agg.name, agg.clock, recv_end,
                      ActivityKind::kCommunicate, detail + "/recv");
       agg.clock = recv_end;
@@ -126,7 +262,8 @@ void SparkCluster::TreeAggregate(uint64_t bytes, size_t num_aggregators,
   SimTime last_ready = driver.clock;
   for (size_t g = 0; g < num_aggregators; ++g) {
     SimNode& agg = sim_.worker(g);
-    const SimTime send_end = agg.clock + net.TransferTime(bytes);
+    const SimTime send_end =
+        agg.clock + net.TransferTime(bytes) * sim_.LinkFactor(agg.clock);
     trace().Record(agg.name, agg.clock, send_end, ActivityKind::kCommunicate,
                    detail + "/to-driver");
     agg.clock = send_end;
@@ -136,7 +273,8 @@ void SparkCluster::TreeAggregate(uint64_t bytes, size_t num_aggregators,
       std::max(driver.clock, last_ready - net.TransferTime(bytes));
   const SimTime recv_end = std::max(
       last_ready,
-      recv_start + net.SerializedTransferTime(bytes, num_aggregators));
+      recv_start + net.SerializedTransferTime(bytes, num_aggregators) *
+                       sim_.LinkFactor(recv_start));
   trace().Record(driver.name, driver.clock, recv_end,
                  ActivityKind::kCommunicate, detail + "/gather");
   driver.clock = recv_end;
@@ -152,6 +290,10 @@ void SparkCluster::Broadcast(uint64_t bytes, BroadcastMode mode,
   const SimTime start = driver.clock;
   total_bytes_ += bytes * k;
 
+  // Degraded-link windows stretch every transfer of this broadcast
+  // (they all start at the driver's send time).
+  const double link = sim_.LinkFactor(start);
+
   switch (mode) {
     case BroadcastMode::kDriverSequential: {
       // The driver's outbound link pushes k copies back-to-back;
@@ -161,14 +303,15 @@ void SparkCluster::Broadcast(uint64_t bytes, BroadcastMode mode,
         const SimTime arrive =
             start + net.latency() +
             static_cast<double>(bytes) * static_cast<double>(r + 1) /
-                net.bandwidth();
+                net.bandwidth() * link;
         const SimTime recv_start = std::max(w.clock, start);
         const SimTime recv_end = std::max(arrive, recv_start);
         trace().Record(w.name, recv_start, recv_end,
                        ActivityKind::kCommunicate, detail + "/recv");
         w.clock = recv_end;
       }
-      const SimTime send_end = start + net.SerializedTransferTime(bytes, k);
+      const SimTime send_end =
+          start + net.SerializedTransferTime(bytes, k) * link;
       trace().Record(driver.name, start, send_end,
                      ActivityKind::kCommunicate, detail + "/send");
       driver.clock = send_end;
@@ -179,7 +322,7 @@ void SparkCluster::Broadcast(uint64_t bytes, BroadcastMode mode,
       // the payload; each round costs one point-to-point transfer.
       const double rounds =
           std::ceil(std::log2(static_cast<double>(k) + 1.0));
-      const SimTime done = start + rounds * net.TransferTime(bytes);
+      const SimTime done = start + rounds * net.TransferTime(bytes) * link;
       for (size_t r = 0; r < k; ++r) {
         SimNode& w = sim_.worker(r);
         const SimTime recv_start = std::max(w.clock, start);
@@ -188,7 +331,7 @@ void SparkCluster::Broadcast(uint64_t bytes, BroadcastMode mode,
                        ActivityKind::kCommunicate, detail + "/recv");
         w.clock = recv_end;
       }
-      const SimTime send_end = start + net.TransferTime(bytes);
+      const SimTime send_end = start + net.TransferTime(bytes) * link;
       trace().Record(driver.name, start, send_end,
                      ActivityKind::kCommunicate, detail + "/seed");
       driver.clock = send_end;
@@ -209,7 +352,8 @@ void SparkCluster::ShuffleAllToAll(uint64_t bytes_per_peer,
   // on full-duplex links.
   const SimTime start = sim_.MaxWorkerClock();
   const SimTime end =
-      start + net.SerializedTransferTime(bytes_per_peer, k - 1);
+      start + net.SerializedTransferTime(bytes_per_peer, k - 1) *
+                  sim_.LinkFactor(start);
   for (size_t r = 0; r < k; ++r) {
     SimNode& w = sim_.worker(r);
     if (w.clock < start) {

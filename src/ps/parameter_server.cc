@@ -1,6 +1,7 @@
 #include "ps/parameter_server.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 #include "sim/network.h"
@@ -11,9 +12,47 @@ PsContext::PsContext(SimCluster* sim, size_t dim, const PsConfig& config,
                      const GradientCodec* codec)
     : sim_(sim), config_(config),
       codec_(codec != nullptr ? codec : &PassthroughCodec()), model_(dim),
-      average_accumulator_(dim) {
+      average_accumulator_(dim),
+      shard_down_until_(config.num_shards, 0.0), ckpt_model_(dim) {
   MLLIBSTAR_CHECK_EQ(sim->num_servers(), config.num_shards);
   MLLIBSTAR_CHECK_GT(config.num_shards, 0u);
+}
+
+void PsContext::HandleShardCrash(size_t s, SimTime at) {
+  FaultInjector& faults = sim_->faults();
+  SimNode& shard = sim_->server(s);
+  const SimTime up_at = at + faults.plan().server_restart_seconds;
+  sim_->trace().Record(shard.name, at, up_at, ActivityKind::kFault,
+                       "ps-shard-down");
+
+  // Updates applied to this shard's model range since the last server
+  // checkpoint are lost: roll the range back. With
+  // server_checkpoint_every_sec == 0 the last checkpoint *is* the
+  // current state, so nothing is lost and crash-free bit-identity
+  // holds.
+  const size_t dim = model_.dim();
+  const size_t per = (dim + config_.num_shards - 1) / config_.num_shards;
+  const size_t lo = std::min(dim, s * per);
+  const size_t hi = std::min(dim, lo + per);
+  for (size_t i = lo; i < hi; ++i) model_[i] = ckpt_model_[i];
+
+  // The restarted shard re-reads its range from the checkpoint store.
+  const uint64_t range_bytes = codec_->EncodedBytes(hi - lo);
+  const SimTime restore_end =
+      up_at + static_cast<double>(range_bytes) / sim_->network().bandwidth();
+  sim_->trace().Record(shard.name, up_at, restore_end,
+                       ActivityKind::kRecompute, "ps-restore");
+  shard.clock = std::max(shard.clock, restore_end);
+  shard_down_until_[s] = restore_end;
+}
+
+void PsContext::MaybeServerCheckpoint() {
+  if (config_.server_checkpoint_every_sec <= 0.0 ||
+      last_push_end_ - last_ckpt_time_ >=
+          config_.server_checkpoint_every_sec) {
+    ckpt_model_ = model_;
+    last_ckpt_time_ = last_push_end_;
+  }
 }
 
 SimTime PsContext::TimeTransfer(SimNode* worker, uint64_t total_bytes,
@@ -22,6 +61,47 @@ SimTime PsContext::TimeTransfer(SimNode* worker, uint64_t total_bytes,
   const size_t shards = config_.num_shards;
   const uint64_t shard_bytes = (total_bytes + shards - 1) / shards;
   total_bytes_ += total_bytes;
+  FaultInjector& faults = sim_->faults();
+
+  // Fire any shard crash due at this request (scripted events, or the
+  // probabilistic while-serving draw). The crash rolls the shard's
+  // range back to its checkpoint and makes it unavailable until the
+  // restore completes.
+  for (size_t s = 0; s < shards; ++s) {
+    SimTime crash_at = 0.0;
+    if (faults.ServerCrashDue(s, worker->clock, &crash_at)) {
+      HandleShardCrash(s, std::max(crash_at, shard_down_until_[s]));
+    } else if (faults.plan().server_crash_prob > 0.0 &&
+               faults.NextServerCrash()) {
+      HandleShardCrash(s, std::max(worker->clock,
+                                   sim_->server(s).clock));
+    }
+  }
+
+  // Retry with jittered exponential backoff while the request is
+  // dropped in-flight or a target shard is down. After
+  // max_request_retries the request proceeds regardless and queues on
+  // the shard.
+  size_t attempt = 0;
+  for (;;) {
+    const SimTime now = worker->clock;
+    bool blocked = faults.NextMessageDrop(now);
+    for (size_t s = 0; !blocked && s < shards; ++s) {
+      if (shard_down_until_[s] > now) blocked = true;
+    }
+    if (!blocked || attempt >= config_.max_request_retries) break;
+    ++faults.stats().ps_retries;
+    const double backoff =
+        std::min(config_.backoff_max_sec,
+                 config_.backoff_base_sec *
+                     std::ldexp(1.0, static_cast<int>(attempt))) *
+        (0.5 + 0.5 * faults.NextBackoffJitter());
+    const SimTime wait_until = now + config_.request_timeout_sec + backoff;
+    sim_->trace().Record(worker->name, now, wait_until, ActivityKind::kRetry,
+                         detail + "/retry");
+    worker->clock = wait_until;
+    ++attempt;
+  }
 
   const SimTime request_time = worker->clock;
 
@@ -32,7 +112,8 @@ SimTime PsContext::TimeTransfer(SimNode* worker, uint64_t total_bytes,
     SimNode& shard = sim_->server(s);
     const SimTime start = std::max(request_time + net.latency(), shard.clock);
     const SimTime end =
-        start + static_cast<double>(shard_bytes) / net.bandwidth();
+        start + static_cast<double>(shard_bytes) / net.bandwidth() *
+                    sim_->LinkFactor(start);
     sim_->trace().Record(shard.name, start, end, ActivityKind::kCommunicate,
                          detail);
     shard.clock = end;
@@ -51,12 +132,14 @@ SimTime PsContext::TimeTransfer(SimNode* worker, uint64_t total_bytes,
   // (slowest shard + latency) and (worker link time) is later wins.
   const SimTime worker_link_done =
       request_time + net.latency() +
-      static_cast<double>(total_bytes) / net.bandwidth();
+      static_cast<double>(total_bytes) / net.bandwidth() *
+          sim_->LinkFactor(request_time);
   const SimTime done = std::max(last_shard_done + net.latency(),
                                 worker_link_done);
   sim_->trace().Record(worker->name, worker->clock, done,
                        ActivityKind::kCommunicate, detail);
   worker->clock = done;
+  if (!is_pull) last_push_end_ = std::max(last_push_end_, done);
   return done;
 }
 
@@ -84,6 +167,7 @@ uint64_t PsContext::SparseUpdateBytes(size_t nnz, size_t dim) {
 void PsContext::ApplyDelta(const DenseVector& delta) {
   MLLIBSTAR_CHECK_EQ(delta.dim(), model_.dim());
   model_.AddScaled(delta, config_.delta_scale);
+  MaybeServerCheckpoint();
 }
 
 void PsContext::AccumulateForAverage(const DenseVector& local_model) {
@@ -98,6 +182,7 @@ void PsContext::FinalizeAverage() {
   model_ = average_accumulator_;
   average_accumulator_.SetZero();
   staged_models_ = 0;
+  MaybeServerCheckpoint();
 }
 
 SimTime ConsistencyStartTime(

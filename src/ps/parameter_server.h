@@ -38,6 +38,28 @@ struct PsConfig {
   /// Workers pull only the coordinates their partition touches
   /// (Angel's feature-filtered pull) instead of the dense model.
   bool sparse_pull = false;
+
+  /// Robustness knobs: a pull/push that is dropped (fault plan) or
+  /// that targets a down shard times out and retries with jittered
+  /// exponential backoff — delay = min(backoff_max_sec,
+  /// backoff_base_sec * 2^attempt) * (0.5 + 0.5 * U[0,1)) — up to
+  /// max_request_retries times before proceeding regardless (the shard
+  /// queue then absorbs the wait).
+  double request_timeout_sec = 0.25;
+  double backoff_base_sec = 0.05;
+  double backoff_max_sec = 2.0;
+  size_t max_request_retries = 6;
+
+  /// How often a shard snapshots its model range to stable storage.
+  /// 0 = after every applied update (lossless: a crash rolls back to
+  /// the state just before the in-flight request, which is then
+  /// retried — bit-identical to a crash-free run). Positive values
+  /// trade checkpoint overhead for lost updates on crash.
+  double server_checkpoint_every_sec = 0.0;
+
+  /// SSP/ASP graceful degradation: pushes staler than the staleness
+  /// bound are discarded (and counted) instead of applied.
+  bool discard_stale_pushes = false;
 };
 
 /// The global model sharded across server nodes, plus the timing model
@@ -105,9 +127,27 @@ class PsContext {
   /// Total bytes moved through the server tier so far.
   uint64_t total_bytes() const { return total_bytes_; }
 
+  /// Time the last push completed (gates server-side checkpoints).
+  SimTime last_push_end() const { return last_push_end_; }
+
+  /// Re-snapshots the crash-restore state from the current model (call
+  /// after externally overwriting the model, e.g. on trainer resume,
+  /// so a later shard crash rolls back to the restored state and not
+  /// to a stale one).
+  void CheckpointServerNow() { ckpt_model_ = model_; }
+
  private:
   SimTime TimeTransfer(SimNode* worker, uint64_t total_bytes, bool is_pull,
                        const std::string& detail);
+
+  /// Crashes shard `s` at virtual time `at`: its model range rolls
+  /// back to the last server checkpoint, it is down for
+  /// server_restart_seconds, then pays the restore transfer.
+  void HandleShardCrash(size_t s, SimTime at);
+
+  /// Snapshots the model for crash restore when the checkpoint
+  /// cadence says so (always when server_checkpoint_every_sec == 0).
+  void MaybeServerCheckpoint();
 
   SimCluster* sim_;
   PsConfig config_;
@@ -116,6 +156,13 @@ class PsContext {
   DenseVector average_accumulator_;
   size_t staged_models_ = 0;
   uint64_t total_bytes_ = 0;
+  /// Per-shard time until which the shard is unavailable (crash +
+  /// restore in progress).
+  std::vector<SimTime> shard_down_until_;
+  /// Last server-side snapshot of the model (crash rollback target).
+  DenseVector ckpt_model_;
+  SimTime last_ckpt_time_ = 0.0;
+  SimTime last_push_end_ = 0.0;
 };
 
 /// Returns the virtual time at which a worker may start round `round`

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/fault_plan.h"
+
 namespace mllibstar {
 
 /// Static description of a simulated cluster.
@@ -35,6 +37,20 @@ struct ClusterConfig {
   double task_failure_prob = 0.0;
   double task_restart_seconds = 1.0;
   uint64_t seed = 7;
+
+  /// Scripted and probabilistic faults (executor/shard crashes, link
+  /// degradation, message drops). Empty by default — fault-free runs
+  /// consume nothing from the fault RNG stream.
+  FaultPlan faults;
+
+  /// Spark speculative execution (spark.speculation): once a stage's
+  /// pending tasks exceed `speculation_multiplier` times the duration
+  /// at `speculation_quantile` of finished tasks, a backup copy is
+  /// launched on the first available worker; the first copy to finish
+  /// wins.
+  bool speculation = false;
+  double speculation_quantile = 0.75;
+  double speculation_multiplier = 1.5;
 
   /// The paper's Cluster 1: 9 nodes (1 driver + 8 executors) on a
   /// 1 Gbps network. Bandwidth is scaled by the same 1/1000 factor as

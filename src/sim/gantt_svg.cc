@@ -22,9 +22,49 @@ const char* ActivityColor(ActivityKind kind) {
       return "#b05bbf";  // purple
     case ActivityKind::kWait:
       return "#d8d8d8";  // light gray
+    case ActivityKind::kRetry:
+      return "#e8845a";  // salmon
+    case ActivityKind::kFault:
+      return "#c0392b";  // dark red
+    case ActivityKind::kRecompute:
+      return "#2a8f8f";  // teal
+    case ActivityKind::kSpeculative:
+      return "#7fb04d";  // olive green
   }
   return "#000000";
 }
+
+const char* ActivityLabel(ActivityKind kind) {
+  switch (kind) {
+    case ActivityKind::kCompute:
+      return "compute";
+    case ActivityKind::kCommunicate:
+      return "communicate";
+    case ActivityKind::kAggregate:
+      return "aggregate";
+    case ActivityKind::kUpdate:
+      return "update";
+    case ActivityKind::kWait:
+      return "wait";
+    case ActivityKind::kRetry:
+      return "retry";
+    case ActivityKind::kFault:
+      return "fault";
+    case ActivityKind::kRecompute:
+      return "recompute";
+    case ActivityKind::kSpeculative:
+      return "speculative";
+  }
+  return "?";
+}
+
+constexpr ActivityKind kAllKinds[] = {
+    ActivityKind::kCompute,   ActivityKind::kCommunicate,
+    ActivityKind::kAggregate, ActivityKind::kUpdate,
+    ActivityKind::kWait,      ActivityKind::kRetry,
+    ActivityKind::kFault,     ActivityKind::kRecompute,
+    ActivityKind::kSpeculative,
+};
 
 }  // namespace
 
@@ -38,12 +78,26 @@ std::string RenderGanttSvg(const TraceLog& trace,
     }
   }
 
+  // The legend only lists kinds that occur, so faulty and fault-free
+  // charts stay visually comparable.
+  std::vector<ActivityKind> present;
+  for (ActivityKind kind : kAllKinds) {
+    for (const TraceEvent& e : trace.events()) {
+      if (e.kind == kind) {
+        present.push_back(kind);
+        break;
+      }
+    }
+  }
+
   const int header = options.title.empty() ? 10 : 34;
   const int axis_height = 24;
+  const int legend_height =
+      options.draw_legend && !present.empty() ? 22 : 0;
   const int chart_width = options.width_px - options.label_width_px - 10;
   const int height = header +
                      static_cast<int>(nodes.size()) * options.row_height_px +
-                     axis_height;
+                     axis_height + legend_height;
 
   std::ostringstream os;
   os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
@@ -111,6 +165,21 @@ std::string RenderGanttSvg(const TraceLog& trace,
   os << "<text x=\"" << options.width_px - 10 << "\" y=\"" << axis_y
      << "\" text-anchor=\"end\">" << FormatDouble(total, 5)
      << "s</text>\n";
+
+  // Legend: one swatch + label per activity kind present in the trace.
+  if (legend_height > 0) {
+    const int ly = axis_y + 8;
+    int lx = options.label_width_px;
+    for (ActivityKind kind : present) {
+      os << "<rect x=\"" << lx << "\" y=\"" << ly << "\" width=\"12\""
+         << " height=\"12\" fill=\"" << ActivityColor(kind)
+         << "\"/>\n";
+      os << "<text x=\"" << lx + 16 << "\" y=\"" << ly + 10 << "\">"
+         << ActivityLabel(kind) << "</text>\n";
+      lx += 16 + 8 * static_cast<int>(std::string(ActivityLabel(kind)).size()) +
+            12;
+    }
+  }
   os << "</svg>\n";
   return os.str();
 }

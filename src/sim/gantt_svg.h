@@ -15,6 +15,10 @@ struct GanttSvgOptions {
   int label_width_px = 90;
   std::string title;
   bool draw_stage_lines = true;  ///< the paper's red stage boundaries
+  /// Color legend under the time axis, one swatch per activity kind
+  /// that actually occurs in the trace (fault/retry/recompute/
+  /// speculative bars are distinguishable at a glance).
+  bool draw_legend = true;
 };
 
 /// Renders a trace as an SVG gantt chart in the style of the paper's

@@ -10,7 +10,11 @@ namespace mllibstar {
 SimCluster::SimCluster(const ClusterConfig& config)
     : config_(config),
       network_(config.latency_sec, config.bandwidth_bytes_per_sec),
-      jitter_rng_(config.seed) {
+      jitter_rng_(config.seed),
+      // Failures live on their own stream so that enabling them leaves
+      // the per-task jitter sequence untouched (and vice versa).
+      failure_rng_(config.seed ^ 0x0fa111e5c0feeULL),
+      faults_(config.faults) {
   MLLIBSTAR_CHECK_GT(config.num_workers, 0u);
   MLLIBSTAR_CHECK_GT(config.compute_speed, 0.0);
   driver_.name = "driver";
@@ -95,7 +99,29 @@ double SimCluster::NextJitter() {
 
 bool SimCluster::NextTaskFailure() {
   if (config_.task_failure_prob <= 0.0) return false;
-  return jitter_rng_.NextBool(config_.task_failure_prob);
+  return failure_rng_.NextBool(config_.task_failure_prob);
+}
+
+double SimCluster::NextRetryJitter() {
+  if (config_.straggler_sigma <= 0.0) return 1.0;
+  return std::exp(config_.straggler_sigma * failure_rng_.NextGaussian());
+}
+
+std::vector<double> SimCluster::SaveClocks() const {
+  std::vector<double> clocks;
+  clocks.reserve(1 + workers_.size() + servers_.size());
+  clocks.push_back(driver_.clock);
+  for (const SimNode& w : workers_) clocks.push_back(w.clock);
+  for (const SimNode& s : servers_) clocks.push_back(s.clock);
+  return clocks;
+}
+
+void SimCluster::RestoreClocks(const std::vector<double>& clocks) {
+  MLLIBSTAR_CHECK_EQ(clocks.size(), 1 + workers_.size() + servers_.size());
+  size_t i = 0;
+  driver_.clock = clocks[i++];
+  for (SimNode& w : workers_) w.clock = clocks[i++];
+  for (SimNode& s : servers_) s.clock = clocks[i++];
 }
 
 }  // namespace mllibstar

@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "sim/cluster_config.h"
+#include "sim/fault_plan.h"
 #include "sim/network.h"
 #include "sim/trace.h"
 
@@ -87,14 +88,39 @@ class SimCluster {
 
   /// Draws whether the next worker task fails (and must be retried).
   /// Always false when task_failure_prob is 0; deterministic given the
-  /// config seed.
+  /// config seed. Drawn from a dedicated failure stream so that the
+  /// jitter sequence is identical with failures on or off.
   bool NextTaskFailure();
+
+  /// Jitter for a retried / recomputed / speculative task, drawn from
+  /// the failure stream — recovery never perturbs the primary
+  /// schedule's jitter sequence.
+  double NextRetryJitter();
+
+  /// The fault injector consuming config().faults.
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
+
+  /// Slowdown factor for a transfer starting at `at` (degraded-link
+  /// fault windows; 1.0 in fault-free runs).
+  double LinkFactor(SimTime at) const { return faults_.LinkFactor(at); }
+
+  /// Snapshot / restore of every virtual clock (driver, workers,
+  /// servers, in that order) for checkpoint/resume.
+  std::vector<double> SaveClocks() const;
+  void RestoreClocks(const std::vector<double>& clocks);
+
+  /// Checkpoint access to the shared RNG cursors.
+  Rng* mutable_jitter_rng() { return &jitter_rng_; }
+  Rng* mutable_failure_rng() { return &failure_rng_; }
 
  private:
   ClusterConfig config_;
   NetworkModel network_;
   TraceLog trace_;
   Rng jitter_rng_;
+  Rng failure_rng_;
+  FaultInjector faults_;
   SimNode driver_;
   std::vector<SimNode> workers_;
   std::vector<SimNode> servers_;

@@ -20,6 +20,14 @@ char ActivityCode(ActivityKind kind) {
       return 'U';
     case ActivityKind::kWait:
       return '.';
+    case ActivityKind::kRetry:
+      return 'R';
+    case ActivityKind::kFault:
+      return 'X';
+    case ActivityKind::kRecompute:
+      return 'L';
+    case ActivityKind::kSpeculative:
+      return 'S';
   }
   return '?';
 }
@@ -86,7 +94,8 @@ std::string TraceLog::RenderAscii(size_t width) const {
   os << std::string(name_width + 1, ' ') << '0'
      << std::string(width - 8 > 0 ? width - 8 : 1, ' ')
      << FormatDouble(total, 4) << "s\n";
-  os << "legend: C=compute M=communicate A=aggregate U=update .=wait\n";
+  os << "legend: C=compute M=communicate A=aggregate U=update .=wait "
+        "R=retry X=fault L=recompute S=speculative\n";
   return os.str();
 }
 

@@ -19,9 +19,14 @@ enum class ActivityKind {
   kAggregate,    ///< reducing gradients or averaging models
   kUpdate,       ///< applying an update to the global model
   kWait,         ///< blocked on a barrier or on the driver
+  kRetry,        ///< rescheduling delay / backoff of a failed attempt
+  kFault,        ///< crash downtime of an executor or PS shard
+  kRecompute,    ///< lineage rebuild of a lost partition / ckpt restore
+  kSpeculative,  ///< backup copy of a straggler task
 };
 
-/// Single-letter code used by the ASCII gantt ("C", "M", "A", "U", ".").
+/// Single-letter code used by the ASCII gantt
+/// ("C", "M", "A", "U", ".", "R", "X", "L", "S").
 char ActivityCode(ActivityKind kind);
 
 /// One bar of the gantt chart: `node` did `kind` during [start, end).

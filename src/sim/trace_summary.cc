@@ -22,6 +22,18 @@ void Accumulate(NodeSummary* summary, ActivityKind kind, double duration) {
     case ActivityKind::kWait:
       summary->wait += duration;
       break;
+    case ActivityKind::kRetry:
+      summary->retry += duration;
+      break;
+    case ActivityKind::kFault:
+      summary->fault += duration;
+      break;
+    case ActivityKind::kRecompute:
+      summary->recompute += duration;
+      break;
+    case ActivityKind::kSpeculative:
+      summary->speculative += duration;
+      break;
   }
 }
 

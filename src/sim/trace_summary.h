@@ -15,9 +15,19 @@ struct NodeSummary {
   double aggregate = 0.0;
   double update = 0.0;
   double wait = 0.0;
+  double retry = 0.0;        ///< backoff / rescheduling delay
+  double fault = 0.0;        ///< crash downtime
+  double recompute = 0.0;    ///< lineage rebuild / checkpoint restore
+  double speculative = 0.0;  ///< backup copies of straggler tasks
 
-  double busy() const { return compute + communicate + aggregate + update; }
-  double total() const { return busy() + wait; }
+  /// Recovery work is real work (the cluster is burning cycles on it),
+  /// so lineage recomputation and speculative copies count as busy;
+  /// downtime and backoff count against utilization like wait.
+  double busy() const {
+    return compute + communicate + aggregate + update + recompute +
+           speculative;
+  }
+  double total() const { return busy() + wait + retry + fault; }
   /// Fraction of accounted time spent doing useful work.
   double utilization() const {
     const double t = total();

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "comm/error_feedback.h"
+#include "common/logging.h"
 #include "core/gd.h"
 #include "core/lbfgs.h"
 #include "core/owlqn.h"
@@ -86,11 +87,59 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
   options.max_iterations = config().max_comm_steps;
   LbfgsResult solved;
   if (config().regularizer == RegularizerKind::kL1) {
+    // OWL-QN carries orthant/pseudo-gradient state that is not
+    // serialized; checkpointing covers the smooth L-BFGS path only.
+    MLLIBSTAR_CHECK(!config().checkpoint.enabled());
     OwlqnSolver solver(options, config().lambda);
     solved = solver.Minimize(oracle, DenseVector(d));
   } else {
     LbfgsSolver solver(options);
-    solved = solver.Minimize(oracle, DenseVector(d));
+    LbfgsState state;
+    state.x = DenseVector(d);
+    {
+      Checkpoint ck;
+      if (TryResume(config().checkpoint, &ck)) {
+        MLLIBSTAR_CHECK_EQ(ck.TakeU64(),
+                           static_cast<uint64_t>(CheckpointTag::kLbfgs));
+        state.iteration = static_cast<int>(ck.TakeU64());
+        state.evaluated = ck.TakeU64() != 0;
+        state.objective = ck.TakeDouble();
+        state.x = ck.TakeVector();
+        state.gradient = ck.TakeVector();
+        MLLIBSTAR_CHECK_EQ(state.x.dim(), d);
+        const uint64_t m = ck.TakeU64();
+        for (uint64_t i = 0; i < m; ++i) {
+          state.s_history.push_back(ck.TakeVector());
+          state.y_history.push_back(ck.TakeVector());
+          state.rho_history.push_back(ck.TakeDouble());
+        }
+        TakeErrorFeedback(&ck, &ef);
+        MLLIBSTAR_CHECK(ck.exhausted());
+      }
+    }
+    LbfgsSolver::IterationObserver observer;
+    if (config().checkpoint.enabled() &&
+        config().checkpoint.every_steps > 0) {
+      observer = [&](const LbfgsState& st) {
+        if (!ShouldCheckpoint(config().checkpoint, st.iteration)) return;
+        Checkpoint ck;
+        ck.PutU64(static_cast<uint64_t>(CheckpointTag::kLbfgs));
+        ck.PutU64(static_cast<uint64_t>(st.iteration));
+        ck.PutU64(st.evaluated ? 1 : 0);
+        ck.PutDouble(st.objective);
+        ck.PutVector(st.x);
+        ck.PutVector(st.gradient);
+        ck.PutU64(st.s_history.size());
+        for (size_t i = 0; i < st.s_history.size(); ++i) {
+          ck.PutVector(st.s_history[i]);
+          ck.PutVector(st.y_history[i]);
+          ck.PutDouble(st.rho_history[i]);
+        }
+        PutErrorFeedback(&ck, ef);
+        MLLIBSTAR_CHECK_OK(ck.WriteFile(config().checkpoint.path));
+      };
+    }
+    solved = solver.MinimizeFrom(oracle, std::move(state), observer);
   }
 
   result.comm_steps = passes;
@@ -98,6 +147,7 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
   result.diverged = !std::isfinite(solved.objective);
   result.sim_seconds = spark.Now();
   result.total_bytes = spark.total_bytes();
+  result.faults = spark.sim().faults().stats();
   result.trace = std::move(spark.trace());
   return result;
 }

@@ -53,10 +53,25 @@ TrainResult MllibTrainer::Train(const Dataset& data,
   std::vector<DenseVector> gradients(k, DenseVector(d));
   ErrorFeedback ef = MakeErrorFeedback(codec(), config().codec, k, d);
 
-  result.curve.set_label(name());
-  result.curve.Add(0, 0.0, Eval(data, w));
+  int t0 = 0;
+  {
+    Checkpoint ck;
+    if (TryResume(config().checkpoint, &ck)) {
+      MLLIBSTAR_CHECK_EQ(ck.TakeU64(),
+                         static_cast<uint64_t>(CheckpointTag::kMllib));
+      t0 = static_cast<int>(ck.TakeU64());
+      w = ck.TakeVector();
+      MLLIBSTAR_CHECK_EQ(w.dim(), d);
+      TakeWorkerRngs(&ck, &rngs);
+      TakeErrorFeedback(&ck, &ef);
+      MLLIBSTAR_CHECK(ck.exhausted());
+    }
+  }
 
-  for (int t = 0; t < config().max_comm_steps; ++t) {
+  result.curve.set_label(name());
+  result.curve.Add(t0, 0.0, Eval(data, w));
+
+  for (int t = t0; t < config().max_comm_steps; ++t) {
     spark.BeginStage("iteration " + std::to_string(t));
 
     // (1) Driver broadcasts the current model (through the codec:
@@ -106,6 +121,15 @@ TrainResult MllibTrainer::Train(const Dataset& data,
     ++result.total_model_updates;
 
     const SimTime now = spark.Barrier();
+    if (ShouldCheckpoint(config().checkpoint, t + 1)) {
+      Checkpoint ck;
+      ck.PutU64(static_cast<uint64_t>(CheckpointTag::kMllib));
+      ck.PutU64(static_cast<uint64_t>(t + 1));
+      ck.PutVector(w);
+      PutWorkerRngs(&ck, rngs);
+      PutErrorFeedback(&ck, ef);
+      MLLIBSTAR_CHECK_OK(ck.WriteFile(config().checkpoint.path));
+    }
     if ((t + 1) % config().eval_every == 0 ||
         t + 1 == config().max_comm_steps) {
       const double objective = Eval(data, w);
@@ -124,6 +148,7 @@ TrainResult MllibTrainer::Train(const Dataset& data,
   result.final_weights = std::move(w);
   result.sim_seconds = spark.Now();
   result.total_bytes = spark.total_bytes();
+  result.faults = spark.sim().faults().stats();
   result.trace = std::move(spark.trace());
   return result;
 }
@@ -152,10 +177,28 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
     }
   }
 
-  result.curve.set_label(name());
-  result.curve.Add(0, 0.0, Eval(data, w));
+  // Adaptive-optimizer moments are not serialized; checkpointing
+  // requires the paper's plain SGD local passes.
+  if (config().checkpoint.enabled()) MLLIBSTAR_CHECK(optimizers.empty());
+  int t0 = 0;
+  {
+    Checkpoint ck;
+    if (TryResume(config().checkpoint, &ck)) {
+      MLLIBSTAR_CHECK_EQ(ck.TakeU64(),
+                         static_cast<uint64_t>(CheckpointTag::kMllibMa));
+      t0 = static_cast<int>(ck.TakeU64());
+      w = ck.TakeVector();
+      MLLIBSTAR_CHECK_EQ(w.dim(), d);
+      TakeWorkerRngs(&ck, &rngs);
+      TakeErrorFeedback(&ck, &ef);
+      MLLIBSTAR_CHECK(ck.exhausted());
+    }
+  }
 
-  for (int t = 0; t < config().max_comm_steps; ++t) {
+  result.curve.set_label(name());
+  result.curve.Add(t0, 0.0, Eval(data, w));
+
+  for (int t = t0; t < config().max_comm_steps; ++t) {
     spark.BeginStage("iteration " + std::to_string(t));
 
     // (1) Driver broadcasts the current global model through the codec.
@@ -203,6 +246,15 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
     spark.RunOnDriver("model-average", d);
 
     const SimTime now = spark.Barrier();
+    if (ShouldCheckpoint(config().checkpoint, t + 1)) {
+      Checkpoint ck;
+      ck.PutU64(static_cast<uint64_t>(CheckpointTag::kMllibMa));
+      ck.PutU64(static_cast<uint64_t>(t + 1));
+      ck.PutVector(w);
+      PutWorkerRngs(&ck, rngs);
+      PutErrorFeedback(&ck, ef);
+      MLLIBSTAR_CHECK_OK(ck.WriteFile(config().checkpoint.path));
+    }
     if ((t + 1) % config().eval_every == 0 ||
         t + 1 == config().max_comm_steps) {
       const double objective = Eval(data, w);
@@ -221,6 +273,7 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
   result.final_weights = std::move(w);
   result.sim_seconds = spark.Now();
   result.total_bytes = spark.total_bytes();
+  result.faults = spark.sim().faults().stats();
   result.trace = std::move(spark.trace());
   return result;
 }
@@ -255,10 +308,31 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
     }
   }
 
-  result.curve.set_label(name());
-  result.curve.Add(0, 0.0, Eval(data, global));
+  // Adaptive-optimizer moments are not serialized; checkpointing
+  // requires the paper's plain SGD local passes.
+  if (config().checkpoint.enabled()) MLLIBSTAR_CHECK(optimizers.empty());
+  int t0 = 0;
+  {
+    Checkpoint ck;
+    if (TryResume(config().checkpoint, &ck)) {
+      MLLIBSTAR_CHECK_EQ(ck.TakeU64(),
+                         static_cast<uint64_t>(CheckpointTag::kMllibStar));
+      t0 = static_cast<int>(ck.TakeU64());
+      global = ck.TakeVector();
+      MLLIBSTAR_CHECK_EQ(global.dim(), d);
+      TakeWorkerRngs(&ck, &rngs);
+      TakeErrorFeedback(&ck, &ef);
+      MLLIBSTAR_CHECK(ck.exhausted());
+      // Every step ends with locals[r] == global (the AllGather), so
+      // the step boundary needs no per-worker local models on disk.
+      for (size_t r = 0; r < k; ++r) locals[r] = global;
+    }
+  }
 
-  for (int t = 0; t < config().max_comm_steps; ++t) {
+  result.curve.set_label(name());
+  result.curve.Add(t0, 0.0, Eval(data, global));
+
+  for (int t = t0; t < config().max_comm_steps; ++t) {
     spark.BeginStage("iteration " + std::to_string(t));
 
     // (1) UpdateModel: local SGD passes over the whole partition,
@@ -307,6 +381,15 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
     for (size_t r = 0; r < k; ++r) locals[r] = global;
 
     const SimTime now = spark.Barrier();
+    if (ShouldCheckpoint(config().checkpoint, t + 1)) {
+      Checkpoint ck;
+      ck.PutU64(static_cast<uint64_t>(CheckpointTag::kMllibStar));
+      ck.PutU64(static_cast<uint64_t>(t + 1));
+      ck.PutVector(global);
+      PutWorkerRngs(&ck, rngs);
+      PutErrorFeedback(&ck, ef);
+      MLLIBSTAR_CHECK_OK(ck.WriteFile(config().checkpoint.path));
+    }
     if ((t + 1) % config().eval_every == 0 ||
         t + 1 == config().max_comm_steps) {
       const double objective = Eval(data, global);
@@ -325,6 +408,7 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
   result.final_weights = std::move(global);
   result.sim_seconds = spark.Now();
   result.total_bytes = spark.total_bytes();
+  result.faults = spark.sim().faults().stats();
   result.trace = std::move(spark.trace());
   return result;
 }

@@ -113,11 +113,56 @@ TrainResult PsTrainer::Train(const Dataset& data,
   std::vector<int> rounds_done(k, 0);
   std::vector<DenseVector> pending_delta(k);  // between pull and push
   std::vector<size_t> round_pushes;           // pushes seen per round
+  std::vector<size_t> round_contribs;         // deltas actually applied
   std::vector<SimTime> round_end;             // latest push per round
   std::vector<DenseVector> round_stage;       // averaging: delta sums
 
+  int max_rounds = config().max_comm_steps;
+  int last_completed_round = 0;
+
+  // Resume. PS checkpoints are only written at quiescent BSP round
+  // boundaries (every worker has pushed round t, nothing queued or in
+  // flight), so the restored state is exactly "all workers about to
+  // schedule round t+1": model, per-worker RNG cursors, the shared
+  // jitter/failure/fault streams, every virtual clock, and the finish
+  // times the consistency barrier reads. SSP/ASP runs have no
+  // quiescent point and never write checkpoints.
+  int resumed_round = 0;
+  {
+    Checkpoint ck;
+    if (TryResume(config().checkpoint, &ck)) {
+      MLLIBSTAR_CHECK_EQ(ck.TakeU64(),
+                         static_cast<uint64_t>(CheckpointTag::kPs));
+      resumed_round = static_cast<int>(ck.TakeU64());
+      *server.mutable_model() = ck.TakeVector();
+      MLLIBSTAR_CHECK_EQ(server.model().dim(), d);
+      // A later shard crash must roll back to the restored state, not
+      // to the fresh context's zeros.
+      server.CheckpointServerNow();
+      TakeWorkerRngs(&ck, &rngs);
+      sim.mutable_jitter_rng()->RestoreState(ck.TakeRngState());
+      sim.mutable_failure_rng()->RestoreState(ck.TakeRngState());
+      sim.faults().mutable_rng()->RestoreState(ck.TakeRngState());
+      sim.RestoreClocks(ck.TakeDoubles());
+      MLLIBSTAR_CHECK_EQ(ck.TakeU64(), k);
+      for (size_t r = 0; r < k; ++r) finish_times[r] = ck.TakeDoubles();
+      TakeErrorFeedback(&ck, &ef);
+      MLLIBSTAR_CHECK(ck.exhausted());
+      std::fill(rounds_done.begin(), rounds_done.end(), resumed_round);
+      // Completed rounds stay completed; their staging slots were
+      // already released and will not be touched again.
+      round_pushes.assign(resumed_round, k);
+      round_contribs.assign(resumed_round, k);
+      round_end.assign(resumed_round, 0.0);
+      if (ps.aggregation == PsAggregation::kAverageModels) {
+        round_stage.assign(resumed_round, DenseVector());
+      }
+      last_completed_round = resumed_round;
+    }
+  }
+
   result.curve.set_label(name());
-  result.curve.Add(0, 0.0, Eval(data, server.model()));
+  result.curve.Add(resumed_round, 0.0, Eval(data, server.model()));
 
   // Runs the system-specific local computation, updating `*local` in
   // place and returning the work done (paper §III-B differences).
@@ -171,9 +216,6 @@ TrainResult PsTrainer::Train(const Dataset& data,
   using Event = std::tuple<SimTime, int, size_t>;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
   std::vector<size_t> parked;
-
-  int max_rounds = config().max_comm_steps;
-  int last_completed_round = 0;
 
   // Schedules worker r's next pull if the consistency barrier for its
   // round is already determined; parks it otherwise.
@@ -241,8 +283,35 @@ TrainResult PsTrainer::Train(const Dataset& data,
     for (std::unique_ptr<InflightCompute>& fl : inflight) {
       SimNode& node = sim.worker(fl->worker);
       result.total_model_updates += fl->stats.model_updates;
-      sim.ChargeCompute(&node, fl->stats.nnz_processed, fl->jitter,
-                        "local-train");
+      const double dur = static_cast<double>(fl->stats.nnz_processed) /
+                         node.compute_speed * fl->jitter;
+      SimTime crash_at = 0.0;
+      if (sim.faults().WorkerCrashes(fl->worker, node.clock,
+                                     node.clock + dur, &crash_at)) {
+        // PS workers keep their partition local, so recovery is a
+        // restart plus a re-run on the same node (no lineage transfer
+        // to a survivor), charged at a fresh failure-stream jitter.
+        // The numeric delta below is unaffected: faults cost virtual
+        // time only.
+        if (crash_at > node.clock) {
+          sim.trace().Record(node.name, node.clock, crash_at,
+                             ActivityKind::kCompute, "local-train/lost");
+        }
+        const SimTime up_at =
+            crash_at + sim.faults().plan().executor_restart_seconds;
+        sim.trace().Record(node.name, crash_at, up_at, ActivityKind::kFault,
+                           "executor-down");
+        node.clock = up_at;
+        ++sim.faults().stats().lineage_recomputes;
+        const double redo = static_cast<double>(fl->stats.nnz_processed) /
+                            node.compute_speed * sim.NextRetryJitter();
+        sim.trace().Record(node.name, node.clock, node.clock + redo,
+                           ActivityKind::kRecompute, "local-train/rerun");
+        node.clock += redo;
+      } else {
+        sim.ChargeCompute(&node, fl->stats.nnz_processed, fl->jitter,
+                          "local-train");
+      }
       fl->local.AddScaled(fl->snapshot, -1.0);  // local := delta
       pending_delta[fl->worker] = std::move(fl->local);
       queue.emplace(node.clock, kPush, fl->worker);
@@ -289,8 +358,10 @@ TrainResult PsTrainer::Train(const Dataset& data,
               local_compute(task->worker, task->round, &task->local);
         });
       } else {
+        // Run the compute synchronously but leave the charge to the
+        // same drain ordering the pool path uses, so the trace event
+        // sequence is byte-identical for every host_threads value.
         task->stats = local_compute(task->worker, task->round, &task->local);
-        drain();
       }
       continue;
     }
@@ -306,15 +377,31 @@ TrainResult PsTrainer::Train(const Dataset& data,
     server.TimePush(&node, push_bytes);
     if (static_cast<size_t>(round) >= round_pushes.size()) {
       round_pushes.resize(round + 1, 0);
+      round_contribs.resize(round + 1, 0);
       round_end.resize(round + 1, 0.0);
       if (ps.aggregation == PsAggregation::kAverageModels) {
         round_stage.resize(round + 1, DenseVector(d));
       }
     }
-    if (ps.aggregation == PsAggregation::kSumDeltas) {
+    // SSP/ASP graceful degradation: a worker more than staleness + 1
+    // rounds behind the leader is pushing a delta computed on a model
+    // the cluster has long moved past, so it is discarded — it still
+    // counts toward round completion (the worker moves on) but its
+    // delta never touches the model. SSP's scheduling gate already
+    // bounds the spread to staleness + 1, so this only fires under
+    // ASP, where nothing else protects the model from ancient deltas.
+    const int leader =
+        *std::max_element(rounds_done.begin(), rounds_done.end());
+    const bool stale =
+        ps.discard_stale_pushes && leader - round > ps.staleness + 1;
+    if (stale) {
+      ++sim.faults().stats().stale_pushes_discarded;
+    } else if (ps.aggregation == PsAggregation::kSumDeltas) {
       server.ApplyDelta(delta);
+      ++round_contribs[round];
     } else {
       round_stage[round].AddScaled(delta, 1.0);
+      ++round_contribs[round];
     }
     pending_delta[r] = DenseVector();  // release
     ++round_pushes[round];
@@ -325,13 +412,45 @@ TrainResult PsTrainer::Train(const Dataset& data,
     if (round_pushes[round] == k) {
       // The round is complete everywhere.
       if (ps.aggregation == PsAggregation::kAverageModels) {
-        // New global model = old model + average of the k deltas.
-        round_stage[round].Scale(1.0 / static_cast<double>(k));
-        server.mutable_model()->AddScaled(round_stage[round], 1.0);
+        // New global model = old model + average of the deltas that
+        // were actually applied (all k unless staleness discarded
+        // some; with none discarded this is exactly the old 1/k).
+        if (round_contribs[round] > 0) {
+          round_stage[round].Scale(
+              1.0 / static_cast<double>(round_contribs[round]));
+          server.mutable_model()->AddScaled(round_stage[round], 1.0);
+          // The average was applied outside PsContext, so refresh its
+          // crash-restore snapshot (lossless mode only; a positive
+          // cadence keeps its lossy window).
+          if (ps.server_checkpoint_every_sec <= 0.0) {
+            server.CheckpointServerNow();
+          }
+        }
         round_stage[round] = DenseVector();  // release
       }
       const int completed = round + 1;
       last_completed_round = std::max(last_completed_round, completed);
+      // A completed BSP round is a quiescent point — every worker has
+      // pushed, nothing is queued or in flight — which is the one
+      // moment the whole trainer state is a handful of vectors and
+      // cursors. Snapshot it if the cadence says so.
+      if (ps.consistency == ConsistencyKind::kBsp && queue.empty() &&
+          inflight.empty() &&
+          ShouldCheckpoint(config().checkpoint, completed)) {
+        Checkpoint ck;
+        ck.PutU64(static_cast<uint64_t>(CheckpointTag::kPs));
+        ck.PutU64(static_cast<uint64_t>(completed));
+        ck.PutVector(server.model());
+        PutWorkerRngs(&ck, rngs);
+        ck.PutRngState(sim.mutable_jitter_rng()->SaveState());
+        ck.PutRngState(sim.mutable_failure_rng()->SaveState());
+        ck.PutRngState(sim.faults().mutable_rng()->SaveState());
+        ck.PutDoubles(sim.SaveClocks());
+        ck.PutU64(k);
+        for (size_t v = 0; v < k; ++v) ck.PutDoubles(finish_times[v]);
+        PutErrorFeedback(&ck, ef);
+        MLLIBSTAR_CHECK_OK(ck.WriteFile(config().checkpoint.path));
+      }
       if (completed % config().eval_every == 0 || completed >= max_rounds) {
         const double objective = Eval(data, server.model());
         result.curve.Add(completed, round_end[round], objective);
@@ -362,6 +481,7 @@ TrainResult PsTrainer::Train(const Dataset& data,
   result.final_weights = server.model();
   result.sim_seconds = sim.Now();
   result.total_bytes = server.total_bytes();
+  result.faults = sim.faults().stats();
   result.trace = std::move(sim.trace());
   return result;
 }

@@ -17,7 +17,9 @@
 #include "engine/spark_cluster.h"
 #include "ps/parameter_server.h"
 #include "sim/cluster_config.h"
+#include "sim/fault_plan.h"
 #include "sim/trace.h"
+#include "train/checkpoint.h"
 
 namespace mllibstar {
 
@@ -85,6 +87,13 @@ struct TrainerConfig {
   /// Intermediate aggregators for treeAggregate; 0 = floor(sqrt(k)).
   size_t num_aggregators = 0;
 
+  // Crash recovery: periodic trainer-state snapshots (model,
+  // iteration, RNG cursors, error-feedback residuals) and resume.
+  // Resumed runs finish with weights bit-identical to uninterrupted
+  // ones. Not supported with adaptive local optimizers or L1-regularized
+  // L-BFGS (OWL-QN).
+  CheckpointConfig checkpoint;
+
   // Parameter-server knobs (Petuum/Petuum*/Angel).
   PsConfig ps;
   /// Model Angel's per-batch gradient-buffer allocation + GC overhead
@@ -102,6 +111,8 @@ struct TrainResult {
   uint64_t total_bytes = 0;
   uint64_t total_model_updates = 0;
   bool diverged = false;
+  /// What the fault injector (and the recovery machinery) did.
+  FaultStats faults;
   TraceLog trace;
 };
 

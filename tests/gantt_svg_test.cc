@@ -28,7 +28,7 @@ TEST(GanttSvgTest, ContainsNodesBarsAndStages) {
        ++pos) {
     ++rects;
   }
-  EXPECT_EQ(rects, 4u);  // background + 3 bars
+  EXPECT_EQ(rects, 7u);  // background + 3 bars + 3 legend swatches
   // Two stage lines.
   size_t lines = 0;
   for (size_t pos = 0; (pos = svg.find("<line", pos)) != std::string::npos;
@@ -58,6 +58,46 @@ TEST(GanttSvgTest, EmptyTraceIsValidSvg) {
   const std::string svg = RenderGanttSvg(trace);
   EXPECT_NE(svg.find("<svg"), std::string::npos);
   EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(GanttSvgTest, LegendListsOnlyPresentKinds) {
+  const std::string svg = RenderGanttSvg(MakeTrace());
+  EXPECT_NE(svg.find(">compute</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">communicate</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">update</text>"), std::string::npos);
+  // No fault/retry bars in this trace: their legend entries stay out.
+  EXPECT_EQ(svg.find(">fault</text>"), std::string::npos);
+  EXPECT_EQ(svg.find(">retry</text>"), std::string::npos);
+}
+
+TEST(GanttSvgTest, LegendCanBeDisabled) {
+  GanttSvgOptions options;
+  options.draw_legend = false;
+  const std::string svg = RenderGanttSvg(MakeTrace(), options);
+  size_t rects = 0;
+  for (size_t pos = 0; (pos = svg.find("<rect", pos)) != std::string::npos;
+       ++pos) {
+    ++rects;
+  }
+  EXPECT_EQ(rects, 4u);  // background + 3 bars, no swatches
+  EXPECT_EQ(svg.find(">compute</text>"), std::string::npos);
+}
+
+TEST(GanttSvgTest, FaultBarsGetTheirOwnColorsAndLegendEntries) {
+  TraceLog trace;
+  trace.Record("w", 0.0, 1.0, ActivityKind::kRetry, "task-retry");
+  trace.Record("w", 1.0, 2.0, ActivityKind::kFault, "executor-down");
+  trace.Record("w", 2.0, 3.0, ActivityKind::kRecompute, "lineage-rebuild");
+  trace.Record("w", 3.0, 4.0, ActivityKind::kSpeculative, "backup");
+  const std::string svg = RenderGanttSvg(trace);
+  EXPECT_NE(svg.find("#e8845a"), std::string::npos);  // retry
+  EXPECT_NE(svg.find("#c0392b"), std::string::npos);  // fault
+  EXPECT_NE(svg.find("#2a8f8f"), std::string::npos);  // recompute
+  EXPECT_NE(svg.find("#7fb04d"), std::string::npos);  // speculative
+  EXPECT_NE(svg.find(">retry</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">fault</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">recompute</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">speculative</text>"), std::string::npos);
 }
 
 TEST(GanttSvgTest, ActivityKindsGetDistinctColors) {
