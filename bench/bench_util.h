@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "core/convergence.h"
+#include "obs/chrome_trace.h"
+#include "obs/telemetry.h"
 #include "train/report.h"
 
 namespace mllibstar {
@@ -29,6 +31,50 @@ inline void SaveCurves(const std::string& stem,
   } else {
     std::printf("  [could not write %s: %s]\n", path.c_str(),
                 st.ToString().c_str());
+  }
+}
+
+/// Filesystem-safe file stem: SystemName() uses '*' and '+'.
+inline std::string SanitizeStem(std::string stem) {
+  for (char& c : stem) {
+    if (c == '*') c = 's';
+    if (c == '+') c = 'p';
+  }
+  return stem;
+}
+
+/// Writes the telemetry artifacts for one finished run: a
+/// Perfetto-loadable Chrome trace (results/<stem>.trace.json) when
+/// `chrome_trace` is set and a unified RunReport
+/// (results/<stem>.report.json) when `run_report` is set. Callers
+/// that want host-side spans in the trace and metric series in the
+/// report must enable Telemetry::Get() before training and Clear()
+/// it between runs.
+inline void ExportRunArtifacts(const TrainResult& result,
+                               const std::string& stem, bool chrome_trace,
+                               bool run_report) {
+  const std::string safe = SanitizeStem(stem);
+  Telemetry& obs = Telemetry::Get();
+  if (chrome_trace) {
+    const std::string path = ResultsDir() + "/" + safe + ".trace.json";
+    const Status st = WriteChromeTrace(path, result.trace,
+                                       obs.enabled() ? &obs : nullptr);
+    if (st.ok()) {
+      std::printf("  [chrome trace written to %s]\n", path.c_str());
+    } else {
+      std::printf("  [could not write %s: %s]\n", path.c_str(),
+                  st.ToString().c_str());
+    }
+  }
+  if (run_report) {
+    const std::string path = ResultsDir() + "/" + safe + ".report.json";
+    const Status st = WriteRunReport(result, path);
+    if (st.ok()) {
+      std::printf("  [run report written to %s]\n", path.c_str());
+    } else {
+      std::printf("  [could not write %s: %s]\n", path.c_str(),
+                  st.ToString().c_str());
+    }
   }
 }
 

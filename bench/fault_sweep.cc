@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/flags.h"
 #include "data/synthetic.h"
 #include "train/trainer.h"
@@ -85,6 +86,10 @@ int main(int argc, char** argv) {
   flags.AddString("rates", "0,0.02,0.05,0.1",
                   "worker crash probabilities to sweep");
   flags.AddString("out", "BENCH_faults.json", "JSON report path");
+  flags.AddBool("chrome-trace", false,
+                "export a Perfetto-loadable Chrome trace per run");
+  flags.AddBool("run-report", false,
+                "export a unified RunReport JSON per run");
   const Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.message().c_str(),
@@ -95,6 +100,10 @@ int main(int argc, char** argv) {
     std::printf("%s", flags.Usage().c_str());
     return 0;
   }
+
+  const bool chrome_trace = flags.GetBool("chrome-trace");
+  const bool run_report = flags.GetBool("run-report");
+  if (chrome_trace || run_report) Telemetry::Get().set_enabled(true);
 
   const std::string dataset_name = flags.GetString("dataset");
   const Dataset data =
@@ -131,8 +140,15 @@ int main(int argc, char** argv) {
       cluster.faults.worker_crash_prob = rates[i];
       cluster.faults.executor_restart_seconds = 2.0;
 
+      Telemetry::Get().Clear();
       const TrainResult result =
           MakeTrainer(kind, config)->Train(data, cluster);
+      {
+        char stem[64];
+        std::snprintf(stem, sizeof(stem), "faults_%s_rate%.3f",
+                      SystemName(kind).c_str(), rates[i]);
+        bench::ExportRunArtifacts(result, stem, chrome_trace, run_report);
+      }
 
       SweepRow row;
       row.system = SystemName(kind);

@@ -10,14 +10,39 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/flags.h"
 #include "sim/gantt_svg.h"
 #include "data/synthetic.h"
 #include "train/trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mllibstar;
 
-  const Dataset data = GenerateSynthetic(Kdd12Spec(/*scale=*/3e-4));
+  FlagParser flags(
+      "Figure 3: gantt charts of MGD execution in MLlib, MLlib+MA and "
+      "MLlib* on a kdd12-shaped SVM workload with 8 executors.");
+  flags.AddDouble("scale", 3e-4, "synthetic dataset scale factor");
+  flags.AddInt64("steps", 3, "communication steps per run");
+  flags.AddBool("chrome-trace", false,
+                "export a Perfetto-loadable Chrome trace per variant");
+  flags.AddBool("run-report", false,
+                "export a unified RunReport JSON per variant");
+  const Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.message().c_str(),
+                 flags.Usage().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+  const bool chrome_trace = flags.GetBool("chrome-trace");
+  const bool run_report = flags.GetBool("run-report");
+  if (chrome_trace || run_report) Telemetry::Get().set_enabled(true);
+
+  const Dataset data =
+      GenerateSynthetic(Kdd12Spec(flags.GetDouble("scale")));
   const ClusterConfig cluster = ClusterConfig::Cluster1(8);
   std::printf("Figure 3 — gantt charts, kdd12-shaped SVM, 8 executors\n");
   std::printf("workload: %zu x %zu\n", data.size(), data.num_features());
@@ -27,7 +52,7 @@ int main() {
   config.base_lr = 0.2;
   config.lr_schedule = LrScheduleKind::kConstant;
   config.batch_fraction = 0.01;
-  config.max_comm_steps = 3;
+  config.max_comm_steps = static_cast<int>(flags.GetInt64("steps"));
 
   const struct {
     SystemKind kind;
@@ -39,6 +64,9 @@ int main() {
   };
 
   for (const auto& variant : variants) {
+    // Per-variant telemetry window so each report's metric series
+    // covers exactly one run.
+    Telemetry::Get().Clear();
     const TrainResult result =
         MakeTrainer(variant.kind, config)->Train(data, cluster);
     std::printf("\n%s — %d steps in %.1f simulated seconds\n",
@@ -46,11 +74,7 @@ int main() {
     std::printf("%s", result.trace.RenderAscii(96).c_str());
     const std::string stem =
         std::string("fig3_trace_") + SystemName(variant.kind);
-    std::string safe = stem;
-    for (char& c : safe) {
-      if (c == '*') c = 's';
-      if (c == '+') c = 'p';
-    }
+    const std::string safe = bench::SanitizeStem(stem);
     const Status st =
         result.trace.WriteCsv(bench::ResultsDir() + "/" + safe + ".csv");
     if (st.ok()) {
@@ -64,6 +88,7 @@ int main() {
     if (svg_st.ok()) {
       std::printf("  [gantt written to results/%s.svg]\n", safe.c_str());
     }
+    bench::ExportRunArtifacts(result, stem, chrome_trace, run_report);
   }
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/flags.h"
 #include "common/stopwatch.h"
 #include "data/synthetic.h"
@@ -76,6 +77,10 @@ int main(int argc, char** argv) {
   flags.AddInt64("steps", 8, "communication steps per run");
   flags.AddDouble("scale", 1e-3, "synthetic dataset scale factor");
   flags.AddString("out", "BENCH_hostpar.json", "JSON report path");
+  flags.AddBool("chrome-trace", false,
+                "export a Perfetto-loadable Chrome trace per run");
+  flags.AddBool("run-report", false,
+                "export a unified RunReport JSON per run");
   const Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.message().c_str(),
@@ -86,6 +91,10 @@ int main(int argc, char** argv) {
     std::printf("%s", flags.Usage().c_str());
     return 0;
   }
+
+  const bool chrome_trace = flags.GetBool("chrome-trace");
+  const bool run_report = flags.GetBool("run-report");
+  if (chrome_trace || run_report) Telemetry::Get().set_enabled(true);
 
   const std::string dataset_name = flags.GetString("dataset");
   const Dataset data =
@@ -118,6 +127,7 @@ int main(int argc, char** argv) {
       config.eval_every = config.max_comm_steps;  // eval off the hot path
       config.host_threads = threads;
 
+      Telemetry::Get().Clear();
       Stopwatch watch;
       const TrainResult result =
           MakeTrainer(SystemKind::kMllibStar, config)->Train(data, cluster);
@@ -140,6 +150,12 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(run.checksum),
                   run.bit_identical ? "" : "  MISMATCH");
       runs.push_back(run);
+      // Exports sit outside the timed window so they never skew
+      // wall_seconds.
+      char stem[64];
+      std::snprintf(stem, sizeof(stem), "hostpar_w%zu_t%zu", workers,
+                    threads);
+      bench::ExportRunArtifacts(result, stem, chrome_trace, run_report);
     }
   }
   std::printf("weights bit-identical across host_threads: %s\n",

@@ -14,6 +14,7 @@
 #include "common/stopwatch.h"
 #include "core/model.h"
 #include "serve/batch_scorer.h"
+#include "serve/metrics.h"
 #include "serve/model_registry.h"
 
 namespace mllibstar {
@@ -48,16 +49,18 @@ GlmModel MakeModel() {
 }
 
 /// Scores all requests in batches of `batch_size` on `threads` workers
-/// and returns throughput in requests/sec.
+/// and returns throughput in requests/sec. Per-request latencies land
+/// in `metrics` (reset per configuration).
 double RunConfig(const ModelRegistry& registry,
                  const std::vector<SparseVector>& requests, size_t batch_size,
-                 size_t threads) {
+                 size_t threads, ServeMetrics* metrics) {
+  metrics->Reset();
   BatchScorerConfig config;
   config.max_batch_size = batch_size;
   config.max_wait_ms = 0.0;  // deterministic: size-triggered flush only
   config.num_threads = threads;
   config.chunk_size = 64;
-  BatchScorer scorer(&registry, config);
+  BatchScorer scorer(&registry, config, metrics);
 
   Stopwatch watch;
   if (batch_size == 1) {
@@ -93,29 +96,39 @@ int main() {
   const std::vector<size_t> thread_counts = {1, 2, 4, 8};
 
   auto csv = CsvWriter::Open(bench::ResultsDir() + "/serve_bench.csv",
-                             {"batch_size", "threads", "requests_per_sec"});
+                             {"batch_size", "threads", "requests_per_sec",
+                              "p50_us", "p95_us", "p99_us"});
 
   std::printf("%-12s", "batch\\thr");
   for (size_t t : thread_counts) std::printf("%12zu", t);
   std::printf("\n");
 
+  ServeMetrics metrics;
   double baseline = 0.0;
   double best = 0.0;
   size_t best_batch = 0, best_threads = 0;
+  ServeMetricsSnapshot baseline_snap, best_snap;
   for (size_t b : batch_sizes) {
     std::printf("%-12zu", b);
     for (size_t t : thread_counts) {
-      const double rps = RunConfig(registry, requests, b, t);
-      if (b == 1 && t == 1) baseline = rps;
+      const double rps = RunConfig(registry, requests, b, t, &metrics);
+      const ServeMetricsSnapshot snap = metrics.Snapshot();
+      if (b == 1 && t == 1) {
+        baseline = rps;
+        baseline_snap = snap;
+      }
       if (rps > best) {
         best = rps;
         best_batch = b;
         best_threads = t;
+        best_snap = snap;
       }
       std::printf("%12.0f", rps);
       if (csv.ok()) {
         csv->WriteRow({std::to_string(b), std::to_string(t),
-                       std::to_string(rps)});
+                       std::to_string(rps), std::to_string(snap.p50_us),
+                       std::to_string(snap.p95_us),
+                       std::to_string(snap.p99_us)});
       }
     }
     std::printf("\n");
@@ -127,10 +140,14 @@ int main() {
   }
 
   std::printf(
-      "\nbaseline (batch=1, threads=1): %.0f req/s\n"
-      "best (batch=%zu, threads=%zu):  %.0f req/s  (%.1fx)\n",
-      baseline, best_batch, best_threads, best,
-      baseline > 0.0 ? best / baseline : 0.0);
+      "\nbaseline (batch=1, threads=1): %.0f req/s  "
+      "p50/p95/p99 = %.0f/%.0f/%.0f us\n"
+      "best (batch=%zu, threads=%zu):  %.0f req/s  (%.1fx)  "
+      "p50/p95/p99 = %.0f/%.0f/%.0f us\n",
+      baseline, baseline_snap.p50_us, baseline_snap.p95_us,
+      baseline_snap.p99_us, best_batch, best_threads, best,
+      baseline > 0.0 ? best / baseline : 0.0, best_snap.p50_us,
+      best_snap.p95_us, best_snap.p99_us);
   if (best <= baseline) {
     std::printf("WARNING: batching did not beat single-request scoring\n");
     return 1;

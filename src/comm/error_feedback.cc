@@ -1,8 +1,31 @@
 #include "comm/error_feedback.h"
 
 #include "common/logging.h"
+#include "obs/telemetry.h"
 
 namespace mllibstar {
+
+namespace {
+
+/// Byte accounting for one transmit: raw payload vs what went on the
+/// wire, per {codec, stream}. Called from worker-pool threads, so it
+/// only touches atomic counters after the registry lookup.
+void RecordTransmit(const GradientCodec& codec, const ErrorFeedback* ef,
+                    size_t stream, size_t dim, uint64_t encoded_bytes) {
+  Telemetry& obs = Telemetry::Get();
+  if (!obs.enabled()) return;
+  const std::string stream_label =
+      ef != nullptr && ef->enabled() ? std::to_string(stream) : "broadcast";
+  const MetricLabels labels = {{"codec", codec.name()},
+                               {"stream", stream_label}};
+  obs.metrics()
+      .Counter("comm.raw_bytes", labels)
+      .Add(static_cast<uint64_t>(dim) * sizeof(double));
+  obs.metrics().Counter("comm.encoded_bytes", labels).Add(encoded_bytes);
+  obs.metrics().Counter("comm.transmits", labels).Add();
+}
+
+}  // namespace
 
 ErrorFeedback::ErrorFeedback(size_t num_streams, size_t dim)
     : residuals_(num_streams, DenseVector(dim)) {}
@@ -49,13 +72,16 @@ DenseVector CodecTransmit(const GradientCodec& codec, ErrorFeedback* ef,
   // encode/decode copy (the roundtrip is bit-exact by contract, which
   // comm_test pins down).
   if (codec.lossless()) {
-    if (wire_bytes != nullptr) *wire_bytes += codec.EncodedBytes(v.dim());
+    const uint64_t encoded = codec.EncodedBytes(v.dim());
+    if (wire_bytes != nullptr) *wire_bytes += encoded;
+    RecordTransmit(codec, ef, stream, v.dim(), encoded);
     return v;
   }
   DenseVector compensated = v;
   if (ef != nullptr) ef->Compensate(stream, &compensated);
   const EncodedChunk chunk = codec.Encode(compensated);
   if (wire_bytes != nullptr) *wire_bytes += chunk.bytes;
+  RecordTransmit(codec, ef, stream, v.dim(), chunk.bytes);
   DenseVector decoded = codec.Decode(chunk);
   if (ef != nullptr) ef->Absorb(stream, compensated, decoded);
   return decoded;

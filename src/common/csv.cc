@@ -21,4 +21,17 @@ void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
 
 void CsvWriter::Flush() { out_.flush(); }
 
+std::string CsvEscapeField(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace mllibstar

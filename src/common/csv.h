@@ -34,6 +34,11 @@ class CsvWriter {
   std::ofstream out_;
 };
 
+/// RFC-4180 escaping: returns `field` unchanged when it is safe to
+/// embed bare, otherwise wraps it in double quotes with inner quotes
+/// doubled (fields containing `,`, `"`, CR, or LF).
+std::string CsvEscapeField(const std::string& field);
+
 }  // namespace mllibstar
 
 #endif  // MLLIBSTAR_COMMON_CSV_H_

@@ -1,0 +1,507 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace mllibstar {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Number(uint64_t value) {
+  return Number(static_cast<double>(value));
+}
+
+JsonValue JsonValue::Number(int64_t value) {
+  return Number(static_cast<double>(value));
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::bool_value() const {
+  MLLIBSTAR_CHECK(kind_ == Kind::kBool);
+  return bool_;
+}
+
+double JsonValue::number_value() const {
+  MLLIBSTAR_CHECK(kind_ == Kind::kNumber);
+  return number_;
+}
+
+const std::string& JsonValue::string_value() const {
+  MLLIBSTAR_CHECK(kind_ == Kind::kString);
+  return string_;
+}
+
+void JsonValue::Append(JsonValue value) {
+  MLLIBSTAR_CHECK(kind_ == Kind::kArray);
+  array_.push_back(std::move(value));
+}
+
+size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::at(size_t index) const {
+  MLLIBSTAR_CHECK(kind_ == Kind::kArray);
+  MLLIBSTAR_CHECK_LT(index, array_.size());
+  return array_[index];
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  MLLIBSTAR_CHECK(kind_ == Kind::kObject);
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::items()
+    const {
+  MLLIBSTAR_CHECK(kind_ == Kind::kObject);
+  return object_;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Numbers print as integers when they are exactly integral (counters,
+/// byte totals, step indices) and as shortest-round-trip doubles
+/// otherwise. NaN/inf have no JSON spelling and degrade to null.
+void DumpNumber(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    *out += buf;
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void DumpTo(const JsonValue& value, int indent, int depth, std::string* out) {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent) * (depth + 1), ' ')
+                 : std::string();
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent) * depth, ' ')
+                 : std::string();
+  const char* newline = indent > 0 ? "\n" : "";
+  const char* colon = indent > 0 ? ": " : ":";
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      *out += value.bool_value() ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber:
+      DumpNumber(value.number_value(), out);
+      break;
+    case JsonValue::Kind::kString:
+      *out += '"';
+      *out += JsonEscape(value.string_value());
+      *out += '"';
+      break;
+    case JsonValue::Kind::kArray: {
+      if (value.size() == 0) {
+        *out += "[]";
+        break;
+      }
+      *out += '[';
+      *out += newline;
+      for (size_t i = 0; i < value.size(); ++i) {
+        *out += pad;
+        DumpTo(value.at(i), indent, depth + 1, out);
+        if (i + 1 < value.size()) *out += ',';
+        *out += newline;
+      }
+      *out += close_pad;
+      *out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      const auto& items = value.items();
+      if (items.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += '{';
+      *out += newline;
+      for (size_t i = 0; i < items.size(); ++i) {
+        *out += pad;
+        *out += '"';
+        *out += JsonEscape(items[i].first);
+        *out += '"';
+        *out += colon;
+        DumpTo(items[i].second, indent, depth + 1, out);
+        if (i + 1 < items.size()) *out += ',';
+        *out += newline;
+      }
+      *out += close_pad;
+      *out += '}';
+      break;
+    }
+  }
+}
+
+/// Recursive-descent parser over a string_view with a position cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue value;
+    MLLIBSTAR_RETURN_NOT_OK(ParseValue(0, &value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("json: trailing characters at offset " +
+                                     std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status ParseValue(int depth, JsonValue* out) {
+    if (depth > kMaxDepth) {
+      return Status::InvalidArgument("json: nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("json: unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth, out);
+      case '[':
+        return ParseArray(depth, out);
+      case '"': {
+        std::string s;
+        MLLIBSTAR_RETURN_NOT_OK(ParseString(&s));
+        *out = JsonValue::Str(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        if (Consume("true")) {
+          *out = JsonValue::Bool(true);
+          return Status::Ok();
+        }
+        break;
+      case 'f':
+        if (Consume("false")) {
+          *out = JsonValue::Bool(false);
+          return Status::Ok();
+        }
+        break;
+      case 'n':
+        if (Consume("null")) {
+          *out = JsonValue::Null();
+          return Status::Ok();
+        }
+        break;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+    }
+    return Status::InvalidArgument("json: unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Status ParseObject(int depth, JsonValue* out) {
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::Ok();
+    }
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      MLLIBSTAR_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Status::InvalidArgument("json: expected ':' at offset " +
+                                       std::to_string(pos_));
+      }
+      ++pos_;
+      JsonValue value;
+      MLLIBSTAR_RETURN_NOT_OK(ParseValue(depth + 1, &value));
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("json: unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Status::InvalidArgument("json: expected ',' or '}' at offset " +
+                                     std::to_string(pos_));
+    }
+  }
+
+  Status ParseArray(int depth, JsonValue* out) {
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::Ok();
+    }
+    for (;;) {
+      JsonValue value;
+      MLLIBSTAR_RETURN_NOT_OK(ParseValue(depth + 1, &value));
+      out->Append(std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("json: unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Status::InvalidArgument("json: expected ',' or ']' at offset " +
+                                     std::to_string(pos_));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Status::InvalidArgument("json: expected string at offset " +
+                                     std::to_string(pos_));
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_];
+        ++pos_;
+        switch (esc) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Status::InvalidArgument("json: truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Status::InvalidArgument("json: bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode the BMP code point (surrogate pairs in
+            // exports never occur — all our strings are ASCII).
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Status::InvalidArgument("json: bad escape '\\" +
+                                           std::string(1, esc) + "'");
+        }
+        continue;
+      }
+      *out += c;
+      ++pos_;
+    }
+    return Status::InvalidArgument("json: unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == token.c_str()) {
+      return Status::InvalidArgument("json: bad number '" + token + "'");
+    }
+    *out = JsonValue::Number(value);
+    return Status::Ok();
+  }
+
+  bool Consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(*this, indent, 0, &out);
+  return out;
+}
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace mllibstar

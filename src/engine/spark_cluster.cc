@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/telemetry.h"
 
 namespace mllibstar {
 
@@ -23,7 +24,13 @@ SparkCluster::SparkCluster(const ClusterConfig& config, size_t host_threads)
 }
 
 void SparkCluster::BeginStage(const std::string& label) {
-  trace().MarkStage(Barrier(), label);
+  const SimTime at = Barrier();
+  trace().MarkStage(at, label);
+  Telemetry& obs = Telemetry::Get();
+  if (obs.enabled()) {
+    obs.metrics().Counter("engine.stages").Add();
+    obs.RecordEvent("stage", "engine", at, {{"label", label}});
+  }
 }
 
 std::vector<WorkerStats> SparkCluster::RunOnWorkers(
@@ -31,12 +38,16 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
     const std::function<WorkerStats(size_t)>& fn) {
   const size_t k = num_workers();
   std::vector<WorkerStats> stats(k);
+  ScopedSpan span("workers:" + detail, "engine");
   // Phase 1 — the real math. Each callback writes only its own slot,
   // so the tasks are independent and may run on any host schedule.
-  if (pool_ != nullptr) {
-    pool_->ParallelFor(k, [&](size_t r) { stats[r] = fn(r); });
-  } else {
-    for (size_t r = 0; r < k; ++r) stats[r] = fn(r);
+  {
+    ScopedSpan math_span("math:" + detail, "engine");
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(k, [&](size_t r) { stats[r] = fn(r); });
+    } else {
+      for (size_t r = 0; r < k; ++r) stats[r] = fn(r);
+    }
   }
   // Phase 2 — virtual time. All shared-stream draws (task failures,
   // straggler jitter, fault-plan events) and clock/trace updates happen
@@ -70,6 +81,9 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
           worker.clock + cfg.task_restart_seconds;
       trace().Record(worker.name, worker.clock, fail_at,
                      ActivityKind::kRetry, detail + "/task-retry");
+      if (span.active()) {
+        Telemetry::Get().metrics().Counter("engine.task_retries").Add();
+      }
       worker.clock = fail_at;
       sim_.ChargeCompute(&worker, work, sim_.NextRetryJitter(),
                          detail + "/retry");
@@ -110,6 +124,12 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
         p.crash_at + faults.plan().executor_restart_seconds;
     trace().Record(worker.name, p.crash_at, up_at, ActivityKind::kFault,
                    detail + "/executor-down");
+    if (span.active()) {
+      Telemetry& obs = Telemetry::Get();
+      obs.metrics().Counter("engine.executor_losses").Add();
+      obs.RecordEvent("executor-crash", "engine", p.crash_at,
+                      {{"worker", worker.name}});
+    }
     worker.clock = up_at;
     // Replacement: the earliest-available surviving worker (ties to
     // the lowest index); the restarted executor itself when alone.
@@ -169,6 +189,12 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
                             host.compute_speed * sim_.NextRetryJitter();
         const SimTime bend = bstart + bdur;
         ++faults.stats().speculative_launches;
+        if (span.active()) {
+          Telemetry::Get()
+              .metrics()
+              .Counter("engine.speculative_launches")
+              .Add();
+        }
         const SimTime win = std::min(plan[r].end, bend);
         if (bend < plan[r].end) ++faults.stats().speculative_wins;
         trace().Record(host.name, bstart, win, ActivityKind::kSpeculative,
@@ -189,6 +215,16 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
                      ActivityKind::kCompute, detail);
     }
     worker.clock = std::max(worker.clock, avail[r]);
+  }
+  if (span.active()) {
+    Telemetry::Get().metrics().Counter("engine.worker_tasks").Add(k);
+    SimTime sim_start = plan.empty() ? 0.0 : plan[0].start;
+    SimTime sim_end = sim_start;
+    for (size_t r = 0; r < k; ++r) {
+      sim_start = std::min(sim_start, plan[r].start);
+      sim_end = std::max(sim_end, sim_.worker(r).clock);
+    }
+    span.SetSimRange(sim_start, sim_end);
   }
   return stats;
 }
@@ -216,6 +252,15 @@ void SparkCluster::TreeAggregate(uint64_t bytes, size_t num_aggregators,
   const NetworkModel& net = sim_.network();
   // Level 1 moves (k - g) payloads, level 2 moves g: k total.
   total_bytes_ += bytes * k;
+  {
+    Telemetry& obs = Telemetry::Get();
+    if (obs.enabled()) {
+      obs.metrics().Counter("engine.tree_aggregates").Add();
+      obs.metrics()
+          .Counter("engine.bytes", {{"path", "tree_aggregate"}})
+          .Add(bytes * k);
+    }
+  }
 
   // Group workers round-robin onto aggregators (workers [0, g) act as
   // the intermediate aggregators themselves, like MLlib reusing
@@ -289,6 +334,15 @@ void SparkCluster::Broadcast(uint64_t bytes, BroadcastMode mode,
   SimNode& driver = sim_.driver();
   const SimTime start = driver.clock;
   total_bytes_ += bytes * k;
+  {
+    Telemetry& obs = Telemetry::Get();
+    if (obs.enabled()) {
+      obs.metrics().Counter("engine.broadcasts").Add();
+      obs.metrics()
+          .Counter("engine.bytes", {{"path", "broadcast"}})
+          .Add(bytes * k);
+    }
+  }
 
   // Degraded-link windows stretch every transfer of this broadcast
   // (they all start at the driver's send time).
@@ -346,6 +400,15 @@ void SparkCluster::ShuffleAllToAll(uint64_t bytes_per_peer,
   if (k <= 1) return;
   const NetworkModel& net = sim_.network();
   total_bytes_ += bytes_per_peer * k * (k - 1);
+  {
+    Telemetry& obs = Telemetry::Get();
+    if (obs.enabled()) {
+      obs.metrics().Counter("engine.shuffles").Add();
+      obs.metrics()
+          .Counter("engine.bytes", {{"path", "shuffle"}})
+          .Add(bytes_per_peer * k * (k - 1));
+    }
+  }
 
   // Shuffle fetch starts once all map outputs exist (stage boundary),
   // then every link moves (k-1) payloads; sends and receives overlap

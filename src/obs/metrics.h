@@ -1,0 +1,157 @@
+#ifndef MLLIBSTAR_OBS_METRICS_H_
+#define MLLIBSTAR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mllibstar {
+
+/// Metric label set: ordered (key, value) pairs. Two label sets with
+/// the same pairs in a different order identify the same time series
+/// (keys are sorted when the series is registered).
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. Add() is wait-free (one relaxed atomic add), so
+/// it is safe from worker-pool threads and serving threads alike.
+class ObsCounter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge (set-only semantics; no increments).
+class ObsGauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram over runtime-chosen ascending upper bounds,
+/// plus one overflow bucket. Record() is wait-free (one relaxed atomic
+/// increment); quantiles read a snapshot of the counters. This is the
+/// one histogram codepath in the repo: serve/LatencyHistogram wraps it
+/// and the metrics registry hands them out for arbitrary bounds.
+class ObsHistogram {
+ public:
+  /// `bounds` are inclusive per-bucket upper bounds, strictly
+  /// ascending. A value v lands in the first bucket with v <= bound;
+  /// anything above the last bound lands in the overflow bucket.
+  explicit ObsHistogram(std::vector<double> bounds);
+
+  ObsHistogram(const ObsHistogram&) = delete;
+  ObsHistogram& operator=(const ObsHistogram&) = delete;
+
+  void Record(double value);
+
+  uint64_t count() const;
+
+  /// Quantile q in (0, 1]: the inclusive upper bound of the bucket
+  /// containing the ceil(q·count)-th smallest recorded value
+  /// (infinity for the overflow bucket; 0 when empty). Resolution is
+  /// the bucket width.
+  double Quantile(double q) const;
+
+  /// Per-bucket counts, index-aligned with bounds() plus one final
+  /// overflow entry.
+  std::vector<uint64_t> BucketCounts() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  size_t num_buckets() const { return bounds_.size() + 1; }
+
+  void Reset();
+
+  /// The 1-2-5 microsecond ladder from 1 µs to 10 s that the serving
+  /// layer's latency histograms use.
+  static std::vector<double> LatencyBoundsUs();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+};
+
+/// One exported time series (see MetricsRegistry::Snapshot).
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  MetricLabels labels;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;  ///< counter / gauge reading
+  // Histogram payload (empty for counters and gauges).
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+};
+
+/// A process-level registry of labeled counters, gauges, and
+/// histograms. Registration (the name -> series lookup) takes a mutex;
+/// recording through the returned reference is lock-free, so hot paths
+/// should capture the reference once. Series live for the registry's
+/// lifetime — returned references are stable.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  ObsCounter& Counter(const std::string& name,
+                      const MetricLabels& labels = {});
+  ObsGauge& Gauge(const std::string& name, const MetricLabels& labels = {});
+  /// `bounds` is consulted only when the series does not exist yet;
+  /// later calls with the same key return the existing histogram.
+  ObsHistogram& Histogram(const std::string& name, std::vector<double> bounds,
+                          const MetricLabels& labels = {});
+
+  /// Current value of a counter if it exists; 0 otherwise (does not
+  /// create the series).
+  uint64_t CounterValue(const std::string& name,
+                        const MetricLabels& labels = {}) const;
+
+  /// Sum of every counter named `name` across all label sets.
+  uint64_t CounterTotal(const std::string& name) const;
+
+  /// Point-in-time copy of every series, ordered by canonical key
+  /// (deterministic across runs).
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Zeroes every series (the series themselves survive, so held
+  /// references stay valid).
+  void Reset();
+
+  /// Canonical series key: name{k1=v1,k2=v2} with labels sorted by key.
+  static std::string CanonicalKey(const std::string& name,
+                                  const MetricLabels& labels);
+
+ private:
+  struct Series {
+    std::string name;
+    MetricLabels labels;
+    MetricSample::Kind kind = MetricSample::Kind::kCounter;
+    std::unique_ptr<ObsCounter> counter;
+    std::unique_ptr<ObsGauge> gauge;
+    std::unique_ptr<ObsHistogram> histogram;
+  };
+
+  Series& FindOrCreate(const std::string& name, const MetricLabels& labels,
+                       MetricSample::Kind kind, std::vector<double> bounds);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_OBS_METRICS_H_

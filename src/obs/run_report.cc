@@ -1,0 +1,144 @@
+#include "obs/run_report.h"
+
+#include <fstream>
+
+#include "sim/trace_summary.h"
+
+namespace mllibstar {
+
+namespace {
+
+JsonValue NodeSummaryJson(const NodeSummary& n) {
+  JsonValue out = JsonValue::Object();
+  out.Set("compute", JsonValue::Number(n.compute));
+  out.Set("communicate", JsonValue::Number(n.communicate));
+  out.Set("aggregate", JsonValue::Number(n.aggregate));
+  out.Set("update", JsonValue::Number(n.update));
+  out.Set("wait", JsonValue::Number(n.wait));
+  out.Set("retry", JsonValue::Number(n.retry));
+  out.Set("fault", JsonValue::Number(n.fault));
+  out.Set("recompute", JsonValue::Number(n.recompute));
+  out.Set("speculative", JsonValue::Number(n.speculative));
+  out.Set("busy", JsonValue::Number(n.busy()));
+  out.Set("utilization", JsonValue::Number(n.utilization()));
+  return out;
+}
+
+JsonValue MetricSampleJson(const MetricSample& s) {
+  JsonValue out = JsonValue::Object();
+  out.Set("name", JsonValue::Str(s.name));
+  if (!s.labels.empty()) {
+    JsonValue labels = JsonValue::Object();
+    for (const auto& [k, v] : s.labels) labels.Set(k, JsonValue::Str(v));
+    out.Set("labels", std::move(labels));
+  }
+  switch (s.kind) {
+    case MetricSample::Kind::kCounter:
+      out.Set("kind", JsonValue::Str("counter"));
+      out.Set("value", JsonValue::Number(s.value));
+      break;
+    case MetricSample::Kind::kGauge:
+      out.Set("kind", JsonValue::Str("gauge"));
+      out.Set("value", JsonValue::Number(s.value));
+      break;
+    case MetricSample::Kind::kHistogram: {
+      out.Set("kind", JsonValue::Str("histogram"));
+      out.Set("count", JsonValue::Number(s.count));
+      JsonValue bounds = JsonValue::Array();
+      for (double b : s.bounds) bounds.Append(JsonValue::Number(b));
+      out.Set("bounds", std::move(bounds));
+      JsonValue buckets = JsonValue::Array();
+      for (uint64_t c : s.buckets) buckets.Append(JsonValue::Number(c));
+      out.Set("buckets", std::move(buckets));
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonValue BuildRunReport(const RunInfo& info, const Telemetry* telemetry) {
+  JsonValue report = JsonValue::Object();
+  report.Set("schema", JsonValue::Str("mllibstar.run_report.v1"));
+  report.Set("system", JsonValue::Str(info.system));
+
+  JsonValue result = JsonValue::Object();
+  result.Set("comm_steps", JsonValue::Number(static_cast<int64_t>(
+                               info.comm_steps)));
+  result.Set("sim_seconds", JsonValue::Number(info.sim_seconds));
+  result.Set("total_bytes", JsonValue::Number(info.total_bytes));
+  result.Set("total_model_updates",
+             JsonValue::Number(info.total_model_updates));
+  result.Set("diverged", JsonValue::Bool(info.diverged));
+  report.Set("result", std::move(result));
+
+  if (info.curve != nullptr) {
+    JsonValue curve = JsonValue::Object();
+    curve.Set("label", JsonValue::Str(info.curve->label()));
+    JsonValue points = JsonValue::Array();
+    for (const ConvergencePoint& p : info.curve->points()) {
+      JsonValue point = JsonValue::Object();
+      point.Set("comm_step",
+                JsonValue::Number(static_cast<int64_t>(p.comm_step)));
+      point.Set("time_sec", JsonValue::Number(p.time_sec));
+      point.Set("objective", JsonValue::Number(p.objective));
+      points.Append(std::move(point));
+    }
+    curve.Set("points", std::move(points));
+    curve.Set("final_objective",
+              JsonValue::Number(info.curve->FinalObjective()));
+    report.Set("curve", std::move(curve));
+  }
+
+  if (info.trace != nullptr) {
+    const TraceSummary summary = Summarize(*info.trace);
+    JsonValue util = JsonValue::Object();
+    util.Set("makespan", JsonValue::Number(summary.makespan));
+    util.Set("cluster", NodeSummaryJson(summary.cluster));
+    JsonValue per_node = JsonValue::Object();
+    for (const auto& [node, ns] : summary.per_node) {
+      per_node.Set(node, NodeSummaryJson(ns));
+    }
+    util.Set("per_node", std::move(per_node));
+    report.Set("utilization", std::move(util));
+  }
+
+  if (info.faults != nullptr) {
+    const FaultStats& f = *info.faults;
+    JsonValue faults = JsonValue::Object();
+    faults.Set("worker_crashes", JsonValue::Number(f.worker_crashes));
+    faults.Set("server_crashes", JsonValue::Number(f.server_crashes));
+    faults.Set("lineage_recomputes", JsonValue::Number(f.lineage_recomputes));
+    faults.Set("speculative_launches",
+               JsonValue::Number(f.speculative_launches));
+    faults.Set("speculative_wins", JsonValue::Number(f.speculative_wins));
+    faults.Set("messages_dropped", JsonValue::Number(f.messages_dropped));
+    faults.Set("ps_retries", JsonValue::Number(f.ps_retries));
+    faults.Set("stale_pushes_discarded",
+               JsonValue::Number(f.stale_pushes_discarded));
+    report.Set("faults", std::move(faults));
+  }
+
+  if (telemetry != nullptr) {
+    JsonValue metrics = JsonValue::Array();
+    for (const MetricSample& s : telemetry->metrics().Snapshot()) {
+      metrics.Append(MetricSampleJson(s));
+    }
+    report.Set("metrics", std::move(metrics));
+  }
+
+  return report;
+}
+
+Status WriteRunReportJson(const std::string& path, const RunInfo& info,
+                          const Telemetry* telemetry) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << BuildRunReport(info, telemetry).Dump(2) << '\n';
+  out.close();
+  if (!out) return Status::IoError("failed writing " + path);
+  return Status::Ok();
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,47 @@
+#ifndef MLLIBSTAR_OBS_RUN_REPORT_H_
+#define MLLIBSTAR_OBS_RUN_REPORT_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "core/convergence.h"
+#include "obs/telemetry.h"
+#include "sim/fault_plan.h"
+#include "sim/trace.h"
+
+namespace mllibstar {
+
+/// The run facts a RunReport is built from, decoupled from
+/// train/TrainResult so obs does not depend on the training layer
+/// (train/report.h provides WriteRunReport(TrainResult) which fills
+/// this in). Pointers may be null; the corresponding report sections
+/// are omitted.
+struct RunInfo {
+  std::string system;
+  int comm_steps = 0;
+  double sim_seconds = 0.0;
+  uint64_t total_bytes = 0;
+  uint64_t total_model_updates = 0;
+  bool diverged = false;
+  const ConvergenceCurve* curve = nullptr;
+  const FaultStats* faults = nullptr;
+  const TraceLog* trace = nullptr;
+};
+
+/// Builds the unified per-run report: the TrainResult headline numbers
+/// and curve, per-node utilization from the trace (via TraceSummary),
+/// fault/recovery counts, and — when `telemetry` is supplied — every
+/// metric series the run recorded (codec byte accounting, PS
+/// push/pull/backoff counters, ...) under "metrics". One file answers
+/// "where did the time and bytes go".
+JsonValue BuildRunReport(const RunInfo& info,
+                         const Telemetry* telemetry = nullptr);
+
+/// Pretty-prints BuildRunReport to `path`.
+Status WriteRunReportJson(const std::string& path, const RunInfo& info,
+                          const Telemetry* telemetry = nullptr);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_OBS_RUN_REPORT_H_

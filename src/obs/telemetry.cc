@@ -1,0 +1,151 @@
+#include "obs/telemetry.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/json.h"
+
+namespace mllibstar {
+
+namespace {
+
+/// Per-thread span nesting depth (only mutated while telemetry is
+/// enabled and a ScopedSpan is alive on this thread).
+thread_local int tls_span_depth = 0;
+
+std::atomic<uint64_t> g_next_thread_ordinal{0};
+thread_local uint64_t tls_thread_ordinal = ~uint64_t{0};
+
+}  // namespace
+
+Telemetry& Telemetry::Get() {
+  static Telemetry* instance = new Telemetry();
+  return *instance;
+}
+
+uint64_t Telemetry::HostNowUs() const {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - epoch_)
+          .count());
+}
+
+uint64_t Telemetry::ThreadOrdinal() {
+  if (tls_thread_ordinal == ~uint64_t{0}) {
+    tls_thread_ordinal =
+        g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_thread_ordinal;
+}
+
+void Telemetry::RecordSpan(SpanRecord span) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+void Telemetry::RecordEvent(EventRecord event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Telemetry::RecordEvent(
+    const std::string& name, const std::string& track, SimTime sim_ts,
+    std::vector<std::pair<std::string, std::string>> attrs) {
+  if (!enabled()) return;
+  EventRecord e;
+  e.name = name;
+  e.track = track;
+  e.host_ts_us = HostNowUs();
+  e.sim_ts = sim_ts;
+  e.attrs = std::move(attrs);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(e));
+}
+
+std::vector<SpanRecord> Telemetry::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::vector<EventRecord> Telemetry::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void Telemetry::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  events_.clear();
+  metrics_.Reset();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+Status Telemetry::WriteJsonl(const std::string& path) const {
+  std::vector<SpanRecord> spans_copy = spans();
+  std::vector<EventRecord> events_copy = events();
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  for (const SpanRecord& s : spans_copy) {
+    JsonValue line = JsonValue::Object();
+    line.Set("type", JsonValue::Str("span"));
+    line.Set("name", JsonValue::Str(s.name));
+    line.Set("track", JsonValue::Str(s.track));
+    line.Set("host_start_us", JsonValue::Number(s.host_start_us));
+    line.Set("host_end_us", JsonValue::Number(s.host_end_us));
+    if (s.sim_start >= 0.0) {
+      line.Set("sim_start", JsonValue::Number(s.sim_start));
+      line.Set("sim_end", JsonValue::Number(s.sim_end));
+    }
+    line.Set("depth", JsonValue::Number(static_cast<int64_t>(s.depth)));
+    line.Set("thread", JsonValue::Number(s.thread_id));
+    out << line.Dump() << '\n';
+  }
+  for (const EventRecord& e : events_copy) {
+    JsonValue line = JsonValue::Object();
+    line.Set("type", JsonValue::Str("event"));
+    line.Set("name", JsonValue::Str(e.name));
+    line.Set("track", JsonValue::Str(e.track));
+    line.Set("host_ts_us", JsonValue::Number(e.host_ts_us));
+    if (e.sim_ts >= 0.0) line.Set("sim_ts", JsonValue::Number(e.sim_ts));
+    if (!e.attrs.empty()) {
+      JsonValue attrs = JsonValue::Object();
+      for (const auto& [k, v] : e.attrs) attrs.Set(k, JsonValue::Str(v));
+      line.Set("attrs", std::move(attrs));
+    }
+    out << line.Dump() << '\n';
+  }
+  out.close();
+  if (!out) return Status::IoError("failed writing " + path);
+  return Status::Ok();
+}
+
+ScopedSpan::ScopedSpan(const std::string& name, const std::string& track,
+                       Telemetry& sink) {
+  if (!sink.enabled()) return;
+  sink_ = &sink;
+  active_ = true;
+  record_.name = name;
+  record_.track = track;
+  record_.host_start_us = sink.HostNowUs();
+  record_.depth = tls_span_depth++;
+  record_.thread_id = Telemetry::ThreadOrdinal();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --tls_span_depth;
+  record_.host_end_us = sink_->HostNowUs();
+  sink_->RecordSpan(std::move(record_));
+}
+
+void ScopedSpan::SetSimRange(SimTime start, SimTime end) {
+  if (!active_) return;
+  record_.sim_start = start;
+  record_.sim_end = end;
+}
+
+}  // namespace mllibstar

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/telemetry.h"
 #include "sim/network.h"
 
 namespace mllibstar {
@@ -24,6 +25,13 @@ void PsContext::HandleShardCrash(size_t s, SimTime at) {
   const SimTime up_at = at + faults.plan().server_restart_seconds;
   sim_->trace().Record(shard.name, at, up_at, ActivityKind::kFault,
                        "ps-shard-down");
+  {
+    Telemetry& obs = Telemetry::Get();
+    if (obs.enabled()) {
+      obs.metrics().Counter("ps.shard_crashes").Add();
+      obs.RecordEvent("ps-shard-crash", "ps", at, {{"shard", shard.name}});
+    }
+  }
 
   // Updates applied to this shard's model range since the last server
   // checkpoint are lost: roll the range back. With
@@ -42,6 +50,10 @@ void PsContext::HandleShardCrash(size_t s, SimTime at) {
       up_at + static_cast<double>(range_bytes) / sim_->network().bandwidth();
   sim_->trace().Record(shard.name, up_at, restore_end,
                        ActivityKind::kRecompute, "ps-restore");
+  {
+    Telemetry& obs = Telemetry::Get();
+    if (obs.enabled()) obs.metrics().Counter("ps.checkpoint_restores").Add();
+  }
   shard.clock = std::max(shard.clock, restore_end);
   shard_down_until_[s] = restore_end;
 }
@@ -62,6 +74,13 @@ SimTime PsContext::TimeTransfer(SimNode* worker, uint64_t total_bytes,
   const uint64_t shard_bytes = (total_bytes + shards - 1) / shards;
   total_bytes_ += total_bytes;
   FaultInjector& faults = sim_->faults();
+  Telemetry& obs = Telemetry::Get();
+  if (obs.enabled()) {
+    obs.metrics().Counter(is_pull ? "ps.pulls" : "ps.pushes").Add();
+    obs.metrics()
+        .Counter("ps.bytes", {{"path", is_pull ? "pull" : "push"}})
+        .Add(total_bytes);
+  }
 
   // Fire any shard crash due at this request (scripted events, or the
   // probabilistic while-serving draw). The crash rolls the shard's
@@ -91,12 +110,20 @@ SimTime PsContext::TimeTransfer(SimNode* worker, uint64_t total_bytes,
     }
     if (!blocked || attempt >= config_.max_request_retries) break;
     ++faults.stats().ps_retries;
+    if (obs.enabled()) obs.metrics().Counter("ps.retries").Add();
     const double backoff =
         std::min(config_.backoff_max_sec,
                  config_.backoff_base_sec *
                      std::ldexp(1.0, static_cast<int>(attempt))) *
         (0.5 + 0.5 * faults.NextBackoffJitter());
     const SimTime wait_until = now + config_.request_timeout_sec + backoff;
+    if (obs.enabled()) {
+      // Backoff spent waiting, in simulated microseconds (integer so a
+      // counter can accumulate it).
+      obs.metrics()
+          .Counter("ps.backoff_sim_us")
+          .Add(static_cast<uint64_t>(backoff * 1e6));
+    }
     sim_->trace().Record(worker->name, now, wait_until, ActivityKind::kRetry,
                          detail + "/retry");
     worker->clock = wait_until;

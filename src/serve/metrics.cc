@@ -8,49 +8,14 @@
 
 namespace mllibstar {
 
-void LatencyHistogram::Record(double latency_us) {
-  const auto it =
-      std::lower_bound(kBoundsUs.begin(), kBoundsUs.end(), latency_us);
-  const size_t bucket = static_cast<size_t>(it - kBoundsUs.begin());
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-}
-
-uint64_t LatencyHistogram::count() const {
-  uint64_t total = 0;
-  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
-  return total;
-}
-
-double LatencyHistogram::Quantile(double q) const {
-  const auto counts = BucketCounts();
-  uint64_t total = 0;
-  for (uint64_t c : counts) total += c;
-  if (total == 0) return 0.0;
-  const uint64_t rank =
-      std::max<uint64_t>(1, static_cast<uint64_t>(
-                                std::ceil(q * static_cast<double>(total))));
-  uint64_t cumulative = 0;
-  for (size_t i = 0; i < counts.size(); ++i) {
-    cumulative += counts[i];
-    if (cumulative >= rank) {
-      return i < kBoundsUs.size() ? kBoundsUs[i]
-                                  : std::numeric_limits<double>::infinity();
-    }
-  }
-  return std::numeric_limits<double>::infinity();
-}
-
 std::array<uint64_t, LatencyHistogram::kNumBuckets>
 LatencyHistogram::BucketCounts() const {
-  std::array<uint64_t, kNumBuckets> counts{};
-  for (size_t i = 0; i < kNumBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  const std::vector<uint64_t> counts = histogram_.BucketCounts();
+  std::array<uint64_t, kNumBuckets> out{};
+  for (size_t i = 0; i < kNumBuckets && i < counts.size(); ++i) {
+    out[i] = counts[i];
   }
-  return counts;
-}
-
-void LatencyHistogram::Reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  return out;
 }
 
 void ServeMetrics::RecordRequest(uint64_t model_version, double latency_us) {

@@ -12,11 +12,14 @@
 
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace mllibstar {
 
 /// Latency histogram with fixed bucket boundaries (a 1-2-5 ladder
-/// from 1 µs to 10 s, plus an overflow bucket). Record() is
+/// from 1 µs to 10 s, plus an overflow bucket). A thin fixed-bounds
+/// wrapper over the shared obs histogram — one histogram codepath in
+/// the repo — preserving this class's array-based API. Record() is
 /// wait-free (one atomic increment); quantiles read a snapshot of
 /// the counters.
 class LatencyHistogram {
@@ -30,24 +33,27 @@ class LatencyHistogram {
       200000, 500000, 1000000, 2000000, 5000000, 10000000};
   static constexpr size_t kNumBuckets = kBoundsUs.size() + 1;  // + overflow
 
-  void Record(double latency_us);
+  LatencyHistogram()
+      : histogram_(std::vector<double>(kBoundsUs.begin(), kBoundsUs.end())) {}
 
-  uint64_t count() const;
+  void Record(double latency_us) { histogram_.Record(latency_us); }
+
+  uint64_t count() const { return histogram_.count(); }
 
   /// Quantile q in (0, 1]: the inclusive upper bound of the bucket
   /// containing the ceil(q·count)-th smallest recorded value
   /// (infinity for the overflow bucket; 0 when empty). Resolution is
   /// the bucket width.
-  double Quantile(double q) const;
+  double Quantile(double q) const { return histogram_.Quantile(q); }
 
   /// Per-bucket counts, index-aligned with kBoundsUs plus one final
   /// overflow entry.
   std::array<uint64_t, kNumBuckets> BucketCounts() const;
 
-  void Reset();
+  void Reset() { histogram_.Reset(); }
 
  private:
-  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  ObsHistogram histogram_;
 };
 
 /// Point-in-time summary of a ServeMetrics (see Snapshot()).

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/csv.h"
 #include "common/strings.h"
 
 namespace mllibstar {
@@ -32,6 +33,30 @@ char ActivityCode(ActivityKind kind) {
   return '?';
 }
 
+const char* ActivityName(ActivityKind kind) {
+  switch (kind) {
+    case ActivityKind::kCompute:
+      return "compute";
+    case ActivityKind::kCommunicate:
+      return "communicate";
+    case ActivityKind::kAggregate:
+      return "aggregate";
+    case ActivityKind::kUpdate:
+      return "update";
+    case ActivityKind::kWait:
+      return "wait";
+    case ActivityKind::kRetry:
+      return "retry";
+    case ActivityKind::kFault:
+      return "fault";
+    case ActivityKind::kRecompute:
+      return "recompute";
+    case ActivityKind::kSpeculative:
+      return "speculative";
+  }
+  return "unknown";
+}
+
 void TraceLog::Record(const std::string& node, SimTime start, SimTime end,
                       ActivityKind kind, const std::string& detail) {
   if (end <= start) return;
@@ -53,9 +78,9 @@ Status TraceLog::WriteCsv(const std::string& path) const {
   if (!out.is_open()) return Status::IoError("cannot open: " + path);
   out << "node,start,end,kind,detail\n";
   for (const TraceEvent& e : events_) {
-    out << e.node << ',' << FormatDouble(e.start, 9) << ','
+    out << CsvEscapeField(e.node) << ',' << FormatDouble(e.start, 9) << ','
         << FormatDouble(e.end, 9) << ',' << ActivityCode(e.kind) << ','
-        << e.detail << '\n';
+        << CsvEscapeField(e.detail) << '\n';
   }
   if (!out.good()) return Status::IoError("write failed: " + path);
   return Status::Ok();
@@ -91,8 +116,10 @@ std::string TraceLog::RenderAscii(size_t width) const {
     os << std::string(name_width - node.size() + 1, ' ');
     os << '|' << row << "|\n";
   }
+  // `width - 8` underflows for width < 8 (size_t); clamp the axis
+  // padding to at least one space instead.
   os << std::string(name_width + 1, ' ') << '0'
-     << std::string(width - 8 > 0 ? width - 8 : 1, ' ')
+     << std::string(width > 8 ? width - 8 : 1, ' ')
      << FormatDouble(total, 4) << "s\n";
   os << "legend: C=compute M=communicate A=aggregate U=update .=wait "
         "R=retry X=fault L=recompute S=speculative\n";

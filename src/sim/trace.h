@@ -29,6 +29,10 @@ enum class ActivityKind {
 /// ("C", "M", "A", "U", ".", "R", "X", "L", "S").
 char ActivityCode(ActivityKind kind);
 
+/// Full lowercase name ("compute", "communicate", ...) used by the
+/// CSV/trace exporters.
+const char* ActivityName(ActivityKind kind);
+
 /// One bar of the gantt chart: `node` did `kind` during [start, end).
 struct TraceEvent {
   std::string node;

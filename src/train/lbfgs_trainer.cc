@@ -4,10 +4,12 @@
 
 #include "comm/error_feedback.h"
 #include "common/logging.h"
+#include "common/strings.h"
 #include "core/gd.h"
 #include "core/lbfgs.h"
 #include "core/owlqn.h"
 #include "data/partition.h"
+#include "obs/telemetry.h"
 
 namespace mllibstar {
 
@@ -37,6 +39,8 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
   ErrorFeedback ef = MakeErrorFeedback(codec(), config().codec, k, d);
   auto oracle = [&](const DenseVector& w, DenseVector* gradient) -> double {
     spark.BeginStage("lbfgs pass " + std::to_string(passes));
+    ScopedSpan pass_span("lbfgs pass " + std::to_string(passes), "trainer");
+    const SimTime pass_sim_start = spark.Now();
     spark.Broadcast(model_bytes, config().broadcast, "model-bcast");
     const DenseVector w_recv = CodecTransmit(codec(), nullptr, 0, w);
 
@@ -77,11 +81,24 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
     const double smooth =
         loss_sum / n + (l1 ? 0.0 : regularizer().Value(w));
     const SimTime now = spark.Barrier();
+    pass_span.SetSimRange(pass_sim_start, now);
     // The recorded curve always shows the full objective.
-    result.curve.Add(passes, now, smooth + (l1 ? regularizer().Value(w) : 0.0));
+    const double full = smooth + (l1 ? regularizer().Value(w) : 0.0);
+    result.curve.Add(passes, now, full);
+    {
+      Telemetry& obs = Telemetry::Get();
+      if (obs.enabled()) {
+        obs.RecordEvent("eval", "trainer", now,
+                        {{"system", name()},
+                         {"step", std::to_string(passes)},
+                         {"objective", FormatDouble(full, 9)}});
+        obs.metrics().Counter("train.evals", {{"system", name()}}).Add();
+      }
+    }
     return smooth;
   };
 
+  ScopedSpan run_span("train:" + name(), "trainer");
   LbfgsOptions options;
   // Each "communication step" budget unit buys one distributed pass.
   options.max_iterations = config().max_comm_steps;
@@ -142,6 +159,7 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
     solved = solver.MinimizeFrom(oracle, std::move(state), observer);
   }
 
+  run_span.SetSimRange(0.0, spark.Now());
   result.comm_steps = passes;
   result.final_weights = std::move(solved.minimizer);
   result.diverged = !std::isfinite(solved.objective);

@@ -5,8 +5,10 @@
 
 #include "comm/error_feedback.h"
 #include "common/logging.h"
+#include "common/strings.h"
 #include "core/gd.h"
 #include "data/partition.h"
+#include "obs/telemetry.h"
 
 namespace mllibstar {
 namespace {
@@ -31,6 +33,20 @@ size_t BatchSize(size_t partition_size, double fraction) {
   if (partition_size == 0) return 0;
   const double raw = fraction * static_cast<double>(partition_size);
   return std::clamp<size_t>(static_cast<size_t>(raw), 1, partition_size);
+}
+
+/// One convergence observation as a telemetry instant (host timeline)
+/// plus a per-system eval counter. Pure reporting: the objective was
+/// already computed for the curve.
+void RecordEvalEvent(const std::string& system, int step, SimTime now,
+                     double objective) {
+  Telemetry& obs = Telemetry::Get();
+  if (!obs.enabled()) return;
+  obs.RecordEvent("eval", "trainer", now,
+                  {{"system", system},
+                   {"step", std::to_string(step)},
+                   {"objective", FormatDouble(objective, 9)}});
+  obs.metrics().Counter("train.evals", {{"system", system}}).Add();
 }
 
 }  // namespace
@@ -71,8 +87,11 @@ TrainResult MllibTrainer::Train(const Dataset& data,
   result.curve.set_label(name());
   result.curve.Add(t0, 0.0, Eval(data, w));
 
+  ScopedSpan run_span("train:" + name(), "trainer");
   for (int t = t0; t < config().max_comm_steps; ++t) {
     spark.BeginStage("iteration " + std::to_string(t));
+    ScopedSpan iter_span("iteration " + std::to_string(t), "trainer");
+    const SimTime iter_sim_start = spark.Now();
 
     // (1) Driver broadcasts the current model (through the codec:
     // executors compute at the model they actually received).
@@ -121,6 +140,7 @@ TrainResult MllibTrainer::Train(const Dataset& data,
     ++result.total_model_updates;
 
     const SimTime now = spark.Barrier();
+    iter_span.SetSimRange(iter_sim_start, now);
     if (ShouldCheckpoint(config().checkpoint, t + 1)) {
       Checkpoint ck;
       ck.PutU64(static_cast<uint64_t>(CheckpointTag::kMllib));
@@ -134,6 +154,7 @@ TrainResult MllibTrainer::Train(const Dataset& data,
         t + 1 == config().max_comm_steps) {
       const double objective = Eval(data, w);
       result.curve.Add(t + 1, now, objective);
+      RecordEvalEvent(name(), t + 1, now, objective);
       result.comm_steps = t + 1;
       if (IsDiverged(objective)) {
         result.diverged = true;
@@ -144,6 +165,7 @@ TrainResult MllibTrainer::Train(const Dataset& data,
       result.comm_steps = t + 1;
     }
   }
+  run_span.SetSimRange(0.0, spark.Now());
 
   result.final_weights = std::move(w);
   result.sim_seconds = spark.Now();
@@ -198,8 +220,11 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
   result.curve.set_label(name());
   result.curve.Add(t0, 0.0, Eval(data, w));
 
+  ScopedSpan run_span("train:" + name(), "trainer");
   for (int t = t0; t < config().max_comm_steps; ++t) {
     spark.BeginStage("iteration " + std::to_string(t));
+    ScopedSpan iter_span("iteration " + std::to_string(t), "trainer");
+    const SimTime iter_sim_start = spark.Now();
 
     // (1) Driver broadcasts the current global model through the codec.
     spark.Broadcast(model_bytes, config().broadcast, "model-bcast");
@@ -246,6 +271,7 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
     spark.RunOnDriver("model-average", d);
 
     const SimTime now = spark.Barrier();
+    iter_span.SetSimRange(iter_sim_start, now);
     if (ShouldCheckpoint(config().checkpoint, t + 1)) {
       Checkpoint ck;
       ck.PutU64(static_cast<uint64_t>(CheckpointTag::kMllibMa));
@@ -259,6 +285,7 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
         t + 1 == config().max_comm_steps) {
       const double objective = Eval(data, w);
       result.curve.Add(t + 1, now, objective);
+      RecordEvalEvent(name(), t + 1, now, objective);
       result.comm_steps = t + 1;
       if (IsDiverged(objective)) {
         result.diverged = true;
@@ -269,6 +296,7 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
       result.comm_steps = t + 1;
     }
   }
+  run_span.SetSimRange(0.0, spark.Now());
 
   result.final_weights = std::move(w);
   result.sim_seconds = spark.Now();
@@ -332,8 +360,11 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
   result.curve.set_label(name());
   result.curve.Add(t0, 0.0, Eval(data, global));
 
+  ScopedSpan run_span("train:" + name(), "trainer");
   for (int t = t0; t < config().max_comm_steps; ++t) {
     spark.BeginStage("iteration " + std::to_string(t));
+    ScopedSpan iter_span("iteration " + std::to_string(t), "trainer");
+    const SimTime iter_sim_start = spark.Now();
 
     // (1) UpdateModel: local SGD passes over the whole partition,
     // host-parallel when configured (per-worker state only).
@@ -381,6 +412,7 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
     for (size_t r = 0; r < k; ++r) locals[r] = global;
 
     const SimTime now = spark.Barrier();
+    iter_span.SetSimRange(iter_sim_start, now);
     if (ShouldCheckpoint(config().checkpoint, t + 1)) {
       Checkpoint ck;
       ck.PutU64(static_cast<uint64_t>(CheckpointTag::kMllibStar));
@@ -394,6 +426,7 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
         t + 1 == config().max_comm_steps) {
       const double objective = Eval(data, global);
       result.curve.Add(t + 1, now, objective);
+      RecordEvalEvent(name(), t + 1, now, objective);
       result.comm_steps = t + 1;
       if (IsDiverged(objective)) {
         result.diverged = true;
@@ -404,6 +437,7 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
       result.comm_steps = t + 1;
     }
   }
+  run_span.SetSimRange(0.0, spark.Now());
 
   result.final_weights = std::move(global);
   result.sim_seconds = spark.Now();

@@ -10,10 +10,12 @@
 
 #include "comm/error_feedback.h"
 #include "common/logging.h"
+#include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/gd.h"
 #include "data/partition.h"
 #include "engine/spark_cluster.h"
+#include "obs/telemetry.h"
 
 namespace mllibstar {
 namespace {
@@ -163,6 +165,8 @@ TrainResult PsTrainer::Train(const Dataset& data,
 
   result.curve.set_label(name());
   result.curve.Add(resumed_round, 0.0, Eval(data, server.model()));
+
+  ScopedSpan run_span("train:" + name(), "trainer");
 
   // Runs the system-specific local computation, updating `*local` in
   // place and returning the work done (paper §III-B differences).
@@ -430,6 +434,17 @@ TrainResult PsTrainer::Train(const Dataset& data,
       }
       const int completed = round + 1;
       last_completed_round = std::max(last_completed_round, completed);
+      {
+        Telemetry& obs = Telemetry::Get();
+        if (obs.enabled()) {
+          obs.metrics()
+              .Counter("train.rounds_completed", {{"system", name()}})
+              .Add();
+          obs.RecordEvent("round-complete", "trainer", round_end[round],
+                          {{"system", name()},
+                           {"round", std::to_string(completed)}});
+        }
+      }
       // A completed BSP round is a quiescent point — every worker has
       // pushed, nothing is queued or in flight — which is the one
       // moment the whole trainer state is a handful of vectors and
@@ -454,6 +469,16 @@ TrainResult PsTrainer::Train(const Dataset& data,
       if (completed % config().eval_every == 0 || completed >= max_rounds) {
         const double objective = Eval(data, server.model());
         result.curve.Add(completed, round_end[round], objective);
+        {
+          Telemetry& obs = Telemetry::Get();
+          if (obs.enabled()) {
+            obs.RecordEvent("eval", "trainer", round_end[round],
+                            {{"system", name()},
+                             {"step", std::to_string(completed)},
+                             {"objective", FormatDouble(objective, 9)}});
+            obs.metrics().Counter("train.evals", {{"system", name()}}).Add();
+          }
+        }
         if (IsDiverged(objective)) {
           result.diverged = true;
           break;
@@ -476,6 +501,7 @@ TrainResult PsTrainer::Train(const Dataset& data,
   // schedule would already have charged them, so charge them here too
   // before reading the clocks.
   drain();
+  run_span.SetSimRange(0.0, sim.Now());
 
   result.comm_steps = std::min(last_completed_round, max_rounds);
   result.final_weights = server.model();

@@ -5,6 +5,8 @@
 
 #include "common/csv.h"
 #include "common/strings.h"
+#include "obs/run_report.h"
+#include "obs/telemetry.h"
 
 namespace mllibstar {
 
@@ -49,6 +51,21 @@ std::string ComparisonRow(const std::vector<ConvergenceCurve>& curves,
     os << "   ";
   }
   return os.str();
+}
+
+Status WriteRunReport(const TrainResult& result, const std::string& path) {
+  RunInfo info;
+  info.system = result.system;
+  info.comm_steps = result.comm_steps;
+  info.sim_seconds = result.sim_seconds;
+  info.total_bytes = result.total_bytes;
+  info.total_model_updates = result.total_model_updates;
+  info.diverged = result.diverged;
+  info.curve = &result.curve;
+  info.faults = &result.faults;
+  info.trace = &result.trace;
+  Telemetry& obs = Telemetry::Get();
+  return WriteRunReportJson(path, info, obs.enabled() ? &obs : nullptr);
 }
 
 }  // namespace mllibstar

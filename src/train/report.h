@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/convergence.h"
+#include "train/trainer.h"
 
 namespace mllibstar {
 
@@ -24,6 +25,12 @@ double TargetObjective(const std::vector<ConvergenceCurve>& curves,
 /// time-to-target (or "n/a"), suitable for printing under a header.
 std::string ComparisonRow(const std::vector<ConvergenceCurve>& curves,
                           double target);
+
+/// Writes the unified per-run RunReport JSON (obs/run_report.h) for a
+/// finished training run: headline numbers, curve, per-node
+/// utilization, fault stats, and — when telemetry was enabled during
+/// the run — every recorded metric series.
+Status WriteRunReport(const TrainResult& result, const std::string& path);
 
 }  // namespace mllibstar
 

@@ -1,0 +1,456 @@
+// Observability-layer tests: metrics registry semantics (including
+// concurrent recording), span nesting, Chrome-trace and RunReport
+// export well-formedness (each export is parsed back), and the hard
+// invariant that enabling telemetry leaves every trainer's results —
+// weights, curve, clocks, byte counts, and full trace — bit-identical,
+// including under host parallelism and fault injection. Telemetry
+// consumes no RNG; EXPECT_EQ on doubles is deliberate.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "data/synthetic.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/telemetry.h"
+#include "train/report.h"
+#include "train/trainer.h"
+
+namespace mllibstar {
+namespace {
+
+/// Restores the process-wide sink to disabled-and-empty on scope exit
+/// so obs tests cannot leak state into each other.
+struct TelemetryGuard {
+  TelemetryGuard() {
+    Telemetry::Get().set_enabled(false);
+    Telemetry::Get().Clear();
+  }
+  ~TelemetryGuard() {
+    Telemetry::Get().set_enabled(false);
+    Telemetry::Get().Clear();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, CounterGaugeHistogramBasics) {
+  MetricsRegistry registry;
+  registry.Counter("requests").Add();
+  registry.Counter("requests").Add(4);
+  EXPECT_EQ(registry.CounterValue("requests"), 5u);
+
+  registry.Gauge("queue_depth").Set(7.5);
+  ObsHistogram& h = registry.Histogram("latency", {1.0, 10.0, 100.0});
+  h.Record(0.5);
+  h.Record(50.0);
+  h.Record(1e6);  // overflow bucket
+
+  const std::vector<MetricSample> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  // Snapshot is ordered by canonical key.
+  EXPECT_EQ(snapshot[0].name, "latency");
+  EXPECT_EQ(snapshot[0].kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(snapshot[0].count, 3u);
+  ASSERT_EQ(snapshot[0].buckets.size(), 4u);
+  EXPECT_EQ(snapshot[0].buckets[0], 1u);
+  EXPECT_EQ(snapshot[0].buckets[2], 1u);
+  EXPECT_EQ(snapshot[0].buckets[3], 1u);
+  EXPECT_EQ(snapshot[1].name, "queue_depth");
+  EXPECT_EQ(snapshot[1].value, 7.5);
+  EXPECT_EQ(snapshot[2].name, "requests");
+  EXPECT_EQ(snapshot[2].value, 5.0);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry registry;
+  registry.Counter("bytes", {{"path", "push"}, {"shard", "0"}}).Add(10);
+  registry.Counter("bytes", {{"shard", "0"}, {"path", "push"}}).Add(5);
+  EXPECT_EQ(registry.CounterValue("bytes", {{"shard", "0"}, {"path", "push"}}),
+            15u);
+  EXPECT_EQ(registry.Snapshot().size(), 1u);
+}
+
+TEST(MetricsRegistryTest, CanonicalKeySortsLabels) {
+  EXPECT_EQ(MetricsRegistry::CanonicalKey("m", {}), "m");
+  EXPECT_EQ(
+      MetricsRegistry::CanonicalKey("m", {{"b", "2"}, {"a", "1"}}),
+      "m{a=1,b=2}");
+}
+
+TEST(MetricsRegistryTest, CounterTotalSumsAcrossLabelSets) {
+  MetricsRegistry registry;
+  registry.Counter("bytes", {{"path", "push"}}).Add(3);
+  registry.Counter("bytes", {{"path", "pull"}}).Add(4);
+  registry.Counter("other").Add(100);
+  EXPECT_EQ(registry.CounterTotal("bytes"), 7u);
+  EXPECT_EQ(registry.CounterValue("bytes", {{"path", "missing"}}), 0u);
+  // CounterValue on a missing series must not create it.
+  EXPECT_EQ(registry.Snapshot().size(), 3u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingLosesNothing) {
+  MetricsRegistry registry;
+  ObsHistogram& h = registry.Histogram("h", {10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &h, t] {
+      // Half the threads create the series through the registry path
+      // concurrently, the other half hammer a captured reference.
+      for (int i = 0; i < kPerThread; ++i) {
+        if (t % 2 == 0) {
+          registry.Counter("c", {{"t", "shared"}}).Add();
+        } else {
+          registry.Counter("c", {{"t", "shared"}}).Add();
+        }
+        h.Record(static_cast<double>(i % 200));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.CounterValue("c", {{"t", "shared"}}),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsReferencesValid) {
+  MetricsRegistry registry;
+  ObsCounter& c = registry.Counter("c");
+  c.Add(9);
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.Add(2);  // the reference must still point at the live series
+  EXPECT_EQ(registry.CounterValue("c"), 2u);
+}
+
+TEST(ObsHistogramTest, QuantileSemanticsMatchServe) {
+  ObsHistogram h({1.0, 2.0, 5.0});
+  EXPECT_EQ(h.Quantile(0.5), 0.0);  // empty
+  h.Record(0.5);
+  h.Record(1.5);
+  h.Record(3.0);
+  EXPECT_EQ(h.Quantile(0.01), 1.0);  // rank clamps to the first sample
+  EXPECT_EQ(h.Quantile(1.0), 5.0);
+  h.Record(100.0);  // overflow
+  EXPECT_TRUE(std::isinf(h.Quantile(1.0)));
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry spans and events
+
+TEST(TelemetryTest, DisabledSinkRecordsNothing) {
+  TelemetryGuard guard;
+  Telemetry& obs = Telemetry::Get();
+  ASSERT_FALSE(obs.enabled());
+  {
+    ScopedSpan span("noop", "test");
+    EXPECT_FALSE(span.active());
+    span.SetSimRange(0.0, 1.0);
+  }
+  obs.RecordEvent("e", "test", 1.0);
+  EXPECT_TRUE(obs.spans().empty());
+  EXPECT_TRUE(obs.events().empty());
+}
+
+TEST(TelemetryTest, SpansNestWithDepths) {
+  TelemetryGuard guard;
+  Telemetry& obs = Telemetry::Get();
+  obs.set_enabled(true);
+  {
+    ScopedSpan outer("outer", "test");
+    EXPECT_TRUE(outer.active());
+    {
+      ScopedSpan inner("inner", "test");
+      inner.SetSimRange(1.0, 2.0);
+    }
+  }
+  {
+    ScopedSpan next("next", "test");
+  }
+  const std::vector<SpanRecord> spans = obs.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Inner closes first; depths reflect nesting at open time.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].depth, 1);
+  EXPECT_EQ(spans[0].sim_start, 1.0);
+  EXPECT_EQ(spans[0].sim_end, 2.0);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].depth, 0);
+  EXPECT_LT(spans[1].sim_start, 0.0);  // no sim range attached
+  EXPECT_EQ(spans[2].name, "next");
+  EXPECT_EQ(spans[2].depth, 0);  // depth fully unwound
+  EXPECT_LE(spans[0].host_start_us, spans[0].host_end_us);
+}
+
+TEST(TelemetryTest, JsonlLinesParse) {
+  TelemetryGuard guard;
+  Telemetry& obs = Telemetry::Get();
+  obs.set_enabled(true);
+  {
+    ScopedSpan span("work \"quoted\"", "test");
+    span.SetSimRange(0.25, 0.5);
+  }
+  obs.RecordEvent("fault", "test", 1.5, {{"node", "executor1"}});
+  const std::string path = testing::TempDir() + "/telemetry.jsonl";
+  ASSERT_TRUE(obs.WriteJsonl(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  std::set<std::string> types;
+  while (std::getline(in, line)) {
+    ++lines;
+    const Result<JsonValue> parsed = JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    types.insert(parsed->Find("type")->string_value());
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_EQ(types, (std::set<std::string>{"span", "event"}));
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+
+TEST(ChromeTraceTest, ParsesBackWithTrackPerNodeAndStageMarkers) {
+  TelemetryGuard guard;
+  TraceLog trace;
+  trace.Record("driver", 0.0, 1.0, ActivityKind::kUpdate, "step");
+  trace.Record("executor1", 0.0, 2.0, ActivityKind::kCompute, "grad");
+  trace.Record("executor2", 0.5, 2.5, ActivityKind::kCommunicate,
+               "push, \"quoted\"");
+  trace.MarkStage(1.0, "stage 1");
+
+  Telemetry& obs = Telemetry::Get();
+  obs.set_enabled(true);
+  { ScopedSpan span("host work", "test"); }
+
+  const JsonValue doc = ChromeTraceJson(trace, &obs);
+  // Serialization must survive a parse round-trip.
+  const Result<JsonValue> parsed = JsonValue::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::set<std::string> sim_tracks;
+  std::set<std::string> host_tracks;
+  size_t stage_markers = 0;
+  size_t slices = 0;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = events->at(i);
+    const std::string ph = e.Find("ph")->string_value();
+    const int pid = static_cast<int>(e.Find("pid")->number_value());
+    if (ph == "M" && e.Find("name")->string_value() == "thread_name") {
+      const std::string track =
+          e.Find("args")->Find("name")->string_value();
+      (pid == 1 ? sim_tracks : host_tracks).insert(track);
+    }
+    if (ph == "i" && e.Find("cat") != nullptr &&
+        e.Find("cat")->string_value() == "stage") {
+      ++stage_markers;
+    }
+    if (ph == "X" && pid == 1) ++slices;
+  }
+  EXPECT_EQ(sim_tracks,
+            (std::set<std::string>{"driver", "executor1", "executor2"}));
+  EXPECT_EQ(host_tracks.size(), 1u);
+  EXPECT_EQ(stage_markers, 1u);
+  EXPECT_EQ(slices, 3u);
+}
+
+TEST(ChromeTraceTest, SimSecondsMapToMicroseconds) {
+  TraceLog trace;
+  trace.Record("n", 1.0, 3.0, ActivityKind::kCompute, "");
+  const JsonValue doc = ChromeTraceJson(trace);
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = events->at(i);
+    if (e.Find("ph")->string_value() != "X") continue;
+    EXPECT_EQ(e.Find("ts")->number_value(), 1e6);
+    EXPECT_EQ(e.Find("dur")->number_value(), 2e6);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RunReport export
+
+Dataset ObsData() {
+  SyntheticSpec spec;
+  spec.name = "obs";
+  spec.num_instances = 600;
+  spec.num_features = 120;
+  spec.avg_nnz = 10;
+  spec.seed = 31;
+  return GenerateSynthetic(spec);
+}
+
+/// Nonzero jitter, task failures, and executor crashes: the RNG-heavy
+/// regime where an instrumentation point that consumed randomness
+/// would be caught immediately.
+ClusterConfig FaultyCluster() {
+  ClusterConfig config = ClusterConfig::Cluster1(8);
+  config.straggler_sigma = 0.08;
+  config.task_failure_prob = 0.05;
+  config.faults.worker_crash_prob = 0.05;
+  config.faults.executor_restart_seconds = 2.0;
+  return config;
+}
+
+TrainerConfig ObsConfig(SystemKind kind) {
+  TrainerConfig config;
+  config.loss = LossKind::kLogistic;
+  config.base_lr = kind == SystemKind::kPetuum ? 0.04 : 0.3;
+  config.lr_schedule = LrScheduleKind::kInverseSqrt;
+  config.batch_fraction = 0.1;
+  config.max_comm_steps = 6;
+  config.seed = 5;
+  config.host_threads = 2;  // telemetry must also be inert off-thread
+  return config;
+}
+
+TEST(RunReportTest, RoundTripsTrainResult) {
+  TelemetryGuard guard;
+  Telemetry::Get().set_enabled(true);
+  const TrainResult result =
+      MakeTrainer(SystemKind::kMllibStar, ObsConfig(SystemKind::kMllibStar))
+          ->Train(ObsData(), FaultyCluster());
+  const std::string path = testing::TempDir() + "/run_report.json";
+  ASSERT_TRUE(WriteRunReport(result, path).ok());
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const Result<JsonValue> parsed = JsonValue::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& report = *parsed;
+
+  EXPECT_EQ(report.Find("schema")->string_value(), "mllibstar.run_report.v1");
+  EXPECT_EQ(report.Find("system")->string_value(), result.system);
+  const JsonValue* headline = report.Find("result");
+  ASSERT_NE(headline, nullptr);
+  EXPECT_EQ(headline->Find("comm_steps")->number_value(), result.comm_steps);
+  EXPECT_EQ(headline->Find("sim_seconds")->number_value(),
+            result.sim_seconds);
+  EXPECT_EQ(headline->Find("total_bytes")->number_value(),
+            static_cast<double>(result.total_bytes));
+  const JsonValue* curve = report.Find("curve");
+  ASSERT_NE(curve, nullptr);
+  EXPECT_EQ(curve->Find("points")->size(), result.curve.points().size());
+  const JsonValue* util = report.Find("utilization");
+  ASSERT_NE(util, nullptr);
+  EXPECT_GT(util->Find("per_node")->size(), 0u);
+  const JsonValue* faults = report.Find("faults");
+  ASSERT_NE(faults, nullptr);
+  EXPECT_EQ(faults->Find("worker_crashes")->number_value(),
+            static_cast<double>(result.faults.worker_crashes));
+  // Telemetry was on, so the engine/comm metric series must be there.
+  const JsonValue* metrics = report.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  std::set<std::string> names;
+  for (size_t i = 0; i < metrics->size(); ++i) {
+    names.insert(metrics->at(i).Find("name")->string_value());
+  }
+  EXPECT_TRUE(names.count("engine.worker_tasks"));
+  EXPECT_TRUE(names.count("comm.raw_bytes"));
+}
+
+TEST(RunReportTest, SectionsOmittedForNullPointers) {
+  RunInfo info;
+  info.system = "bare";
+  const JsonValue report = BuildRunReport(info);
+  EXPECT_TRUE(report.Has("result"));
+  EXPECT_FALSE(report.Has("curve"));
+  EXPECT_FALSE(report.Has("utilization"));
+  EXPECT_FALSE(report.Has("faults"));
+  EXPECT_FALSE(report.Has("metrics"));
+}
+
+// ---------------------------------------------------------------------------
+// The hard invariant: telemetry on/off is bit-identical, all systems.
+
+void ExpectBitIdentical(const TrainResult& a, const TrainResult& b) {
+  EXPECT_EQ(a.system, b.system);
+  EXPECT_EQ(a.comm_steps, b.comm_steps);
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.total_model_updates, b.total_model_updates);
+  EXPECT_EQ(a.diverged, b.diverged);
+  ASSERT_EQ(a.curve.points().size(), b.curve.points().size());
+  for (size_t i = 0; i < a.curve.points().size(); ++i) {
+    EXPECT_EQ(a.curve.points()[i].comm_step, b.curve.points()[i].comm_step);
+    EXPECT_EQ(a.curve.points()[i].time_sec, b.curve.points()[i].time_sec);
+    EXPECT_EQ(a.curve.points()[i].objective, b.curve.points()[i].objective);
+  }
+  ASSERT_EQ(a.final_weights.dim(), b.final_weights.dim());
+  for (size_t i = 0; i < a.final_weights.dim(); ++i) {
+    EXPECT_EQ(a.final_weights[i], b.final_weights[i]) << "coordinate " << i;
+  }
+  EXPECT_EQ(a.faults.worker_crashes, b.faults.worker_crashes);
+  EXPECT_EQ(a.faults.lineage_recomputes, b.faults.lineage_recomputes);
+  EXPECT_EQ(a.faults.ps_retries, b.faults.ps_retries);
+  ASSERT_EQ(a.trace.events().size(), b.trace.events().size());
+  for (size_t i = 0; i < a.trace.events().size(); ++i) {
+    const TraceEvent& ea = a.trace.events()[i];
+    const TraceEvent& eb = b.trace.events()[i];
+    EXPECT_EQ(ea.node, eb.node);
+    EXPECT_EQ(ea.start, eb.start);
+    EXPECT_EQ(ea.end, eb.end);
+    EXPECT_EQ(ea.kind, eb.kind);
+    EXPECT_EQ(ea.detail, eb.detail);
+  }
+}
+
+class TelemetryIdentityTest : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(TelemetryIdentityTest, EnablingTelemetryIsBitInvisible) {
+  TelemetryGuard guard;
+  const Dataset data = ObsData();
+  const ClusterConfig cluster = FaultyCluster();
+  const TrainerConfig config = ObsConfig(GetParam());
+
+  Telemetry::Get().set_enabled(false);
+  const TrainResult off = MakeTrainer(GetParam(), config)->Train(data, cluster);
+
+  Telemetry::Get().set_enabled(true);
+  Telemetry::Get().Clear();
+  const TrainResult on = MakeTrainer(GetParam(), config)->Train(data, cluster);
+
+  // The instrumentation actually fired...
+  EXPECT_FALSE(Telemetry::Get().spans().empty());
+  EXPECT_FALSE(Telemetry::Get().metrics().Snapshot().empty());
+  // ...and changed nothing.
+  ExpectBitIdentical(off, on);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, TelemetryIdentityTest,
+    ::testing::Values(SystemKind::kMllib, SystemKind::kMllibMa,
+                      SystemKind::kMllibStar, SystemKind::kPetuum,
+                      SystemKind::kPetuumStar, SystemKind::kAngel,
+                      SystemKind::kMllibLbfgs),
+    [](const ::testing::TestParamInfo<SystemKind>& info) {
+      std::string name = SystemName(info.param);
+      for (char& c : name) {
+        if (c == '*') {
+          c = 'S';
+        } else if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace mllibstar

@@ -144,6 +144,38 @@ TEST(TraceLogTest, CsvRoundTrip) {
   EXPECT_EQ(row, "n1,0.5,1.5,M,send");
 }
 
+TEST(TraceLogTest, CsvQuotesDetailPerRfc4180) {
+  TraceLog log;
+  log.Record("n1", 0.0, 1.0, ActivityKind::kCompute,
+             "retry 2, cause=\"timeout\"");
+  const std::string path = testing::TempDir() + "/trace_quoted.csv";
+  ASSERT_TRUE(log.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string header;
+  std::string row;
+  std::getline(in, header);
+  std::getline(in, row);
+  // The comma-and-quote detail must come out as one quoted field with
+  // doubled inner quotes, not as extra columns.
+  EXPECT_EQ(row, "n1,0,1,C,\"retry 2, cause=\"\"timeout\"\"\"");
+}
+
+TEST(TraceLogTest, TinyWidthGanttDoesNotUnderflow) {
+  TraceLog log;
+  log.Record("n", 0.0, 1.0, ActivityKind::kCompute, "c");
+  // width=4 < 8 used to underflow the size_t axis padding and attempt
+  // a ~2^64-char string.
+  const std::string gantt = log.RenderAscii(4);
+  EXPECT_LT(gantt.size(), 1000u);
+  EXPECT_NE(gantt.find("legend"), std::string::npos);
+}
+
+TEST(TraceLogTest, ActivityNames) {
+  EXPECT_STREQ(ActivityName(ActivityKind::kCompute), "compute");
+  EXPECT_STREQ(ActivityName(ActivityKind::kCommunicate), "communicate");
+  EXPECT_STREQ(ActivityName(ActivityKind::kSpeculative), "speculative");
+}
+
 TEST(TraceLogTest, StageMarks) {
   TraceLog log;
   log.MarkStage(1.0, "s1");
