@@ -3,9 +3,11 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "core/convergence.h"
 #include "obs/chrome_trace.h"
 #include "obs/telemetry.h"
@@ -32,6 +34,23 @@ inline void SaveCurves(const std::string& stem,
     std::printf("  [could not write %s: %s]\n", path.c_str(),
                 st.ToString().c_str());
   }
+}
+
+/// Writes a machine-readable bench report (the BENCH_*.json family)
+/// into results/ and logs where it went. Returns the full path, or ""
+/// on failure.
+inline std::string WriteBenchJson(const std::string& filename,
+                                  const JsonValue& doc) {
+  const std::string path = ResultsDir() + "/" + filename;
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("  [could not write %s]\n", path.c_str());
+    return "";
+  }
+  out << doc.Dump(2) << "\n";
+  out.close();
+  std::printf("  [bench report written to %s]\n", path.c_str());
+  return path;
 }
 
 /// Filesystem-safe file stem: SystemName() uses '*' and '+'.

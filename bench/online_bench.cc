@@ -1,0 +1,125 @@
+// Online-loop benchmark: continuous train → hot-swap → serve over a
+// drifting stream, with a latency spike injected mid-run to exercise
+// SLO-aware admission control.
+//
+// Prints a per-round table (deployed version, staleness, shed rate,
+// virtual-latency quantiles, online accuracy, A/B delta) and writes a
+// machine-readable report to results/BENCH_online.json covering the
+// three series the paper-style analysis wants: staleness-to-deploy,
+// p50/p95/p99 under load, and accuracy-vs-drift.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "online/online_pipeline.h"
+
+int main(int argc, char** argv) {
+  using namespace mllibstar;
+
+  FlagParser flags(
+      "Online pipeline bench: drifting stream, warm-start retraining, "
+      "hot-swap deploys, admission control under a latency spike; "
+      "writes results/BENCH_online.json.");
+  flags.AddInt64("rounds", 10, "pipeline rounds");
+  flags.AddInt64("requests", 512, "scoring requests per round");
+  flags.AddInt64("replicas", 4, "serving replicas");
+  flags.AddInt64("deploy-every", 2,
+                 "rounds between deploys (staleness accrues in between)");
+  flags.AddInt64("spike-start", 4, "first round of the latency spike");
+  flags.AddInt64("spike-end", 7, "one past the last spike round");
+  flags.AddDouble("spike-mult", 3.0, "latency multiplier during the spike");
+  flags.AddString("out", "BENCH_online.json", "report filename (in results/)");
+  const Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.message().c_str(),
+                 flags.Usage().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  OnlinePipelineConfig config;
+  config.drift.base.name = "online-drift";
+  config.drift.base.num_features = 4096;
+  config.drift.base.avg_nnz = 12;
+  config.drift.base.label_noise = 0.05;
+  config.drift.segment_batches = 6;
+  config.drift.rotation_angle = 0.35;
+  config.drift.noise_ramp_per_segment = 0.02;
+
+  config.rounds = static_cast<size_t>(flags.GetInt64("rounds"));
+  config.batches_per_round = 2;
+  config.batch_size = 96;
+  config.window_batches = 8;
+  config.steps_per_round = 4;
+  config.deploy_every = static_cast<size_t>(flags.GetInt64("deploy-every"));
+  config.requests_per_round = static_cast<size_t>(flags.GetInt64("requests"));
+
+  config.trainer.loss = LossKind::kLogistic;
+  config.trainer.base_lr = 0.4;
+  config.trainer.batch_fraction = 0.5;
+  config.cluster = ClusterConfig::Cluster1(4);
+
+  config.router.num_replicas = static_cast<size_t>(flags.GetInt64("replicas"));
+  config.spike.start_round = static_cast<size_t>(flags.GetInt64("spike-start"));
+  config.spike.end_round = static_cast<size_t>(flags.GetInt64("spike-end"));
+  config.spike.multiplier = flags.GetDouble("spike-mult");
+  config.checkpoint_path = bench::ResultsDir() + "/online_bench.ckpt";
+  config.collect_margins = false;
+
+  std::printf(
+      "online_bench: %zu rounds x %zu requests, %zu replicas, spike x%.1f "
+      "in rounds [%zu, %zu)\n\n",
+      config.rounds, config.requests_per_round, config.router.num_replicas,
+      config.spike.multiplier, config.spike.start_round,
+      config.spike.end_round);
+
+  OnlinePipeline pipeline(config);
+  Result<OnlineResult> run = pipeline.Run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const OnlineResult& result = *run;
+
+  std::printf("%5s %4s %6s %6s %5s %6s %9s %9s %8s %9s\n", "round", "ver",
+              "stale", "admit", "shed", "frac", "p50_us", "p99_us", "acc",
+              "ab_delta");
+  for (const RoundRecord& r : result.rounds) {
+    std::printf("%5zu %4llu %6zu %6zu %5zu %6.2f %9.0f %9.0f %8.3f",
+                r.round, static_cast<unsigned long long>(r.serving_version),
+                r.staleness_batches, r.admitted, r.shed, r.admit_fraction,
+                r.p50_virtual_us, r.p99_virtual_us, r.online_accuracy);
+    if (r.has_ab) {
+      std::printf(" %+9.3f", r.ab.accuracy_delta());
+    } else {
+      std::printf(" %9s", "-");
+    }
+    std::printf("%s\n", r.load_multiplier != 1.0 ? "  <spike" : "");
+  }
+  std::printf(
+      "\n%zu deploys over %zu stream batches; %llu admitted, %llu shed\n",
+      result.deploys.size(), result.final_stream_batches,
+      static_cast<unsigned long long>(result.total_admitted),
+      static_cast<unsigned long long>(result.total_shed));
+
+  JsonValue report = BuildOnlineReport(config, result);
+  report.Set("bench", JsonValue::Str("online_bench"));
+  const std::string path =
+      bench::WriteBenchJson(flags.GetString("out"), report);
+  if (path.empty()) return 1;
+
+  // The report must survive a parse round trip (CI validates the file
+  // with an external parser; catch malformed output here first).
+  const Result<JsonValue> parsed = JsonValue::Parse(report.Dump(2));
+  if (!parsed.ok() || parsed->Find("deploys") == nullptr ||
+      parsed->Find("deploys")->size() == 0) {
+    std::fprintf(stderr, "BENCH_online.json failed validation\n");
+    return 2;
+  }
+  return 0;
+}

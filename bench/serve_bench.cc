@@ -2,14 +2,17 @@
 // requests, swept over batch size × thread count.
 //
 // Prints a throughput table (requests/sec) and writes the series to
-// results/serve_bench.csv. The single-request row (batch=1, threads=1)
-// is the baseline every batched configuration is compared against.
+// results/serve_bench.csv plus a machine-readable summary to
+// results/BENCH_serve.json. The single-request row (batch=1,
+// threads=1) is the baseline every batched configuration is compared
+// against.
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/csv.h"
+#include "common/json.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/model.h"
@@ -108,11 +111,22 @@ int main() {
   double best = 0.0;
   size_t best_batch = 0, best_threads = 0;
   ServeMetricsSnapshot baseline_snap, best_snap;
+  JsonValue runs = JsonValue::Array();
   for (size_t b : batch_sizes) {
     std::printf("%-12zu", b);
     for (size_t t : thread_counts) {
       const double rps = RunConfig(registry, requests, b, t, &metrics);
       const ServeMetricsSnapshot snap = metrics.Snapshot();
+      {
+        JsonValue row = JsonValue::Object();
+        row.Set("batch_size", JsonValue::Number(static_cast<uint64_t>(b)));
+        row.Set("threads", JsonValue::Number(static_cast<uint64_t>(t)));
+        row.Set("requests_per_sec", JsonValue::Number(rps));
+        row.Set("p50_us", JsonValue::Number(snap.p50_us));
+        row.Set("p95_us", JsonValue::Number(snap.p95_us));
+        row.Set("p99_us", JsonValue::Number(snap.p99_us));
+        runs.Append(row);
+      }
       if (b == 1 && t == 1) {
         baseline = rps;
         baseline_snap = snap;
@@ -137,6 +151,26 @@ int main() {
     csv->Flush();
     std::printf("\n  [series written to %s/serve_bench.csv]\n",
                 bench::ResultsDir().c_str());
+  }
+
+  {
+    JsonValue report = JsonValue::Object();
+    report.Set("bench", JsonValue::Str("serve_bench"));
+    report.Set("dim", JsonValue::Number(static_cast<uint64_t>(kDim)));
+    report.Set("nnz_per_request",
+               JsonValue::Number(static_cast<uint64_t>(kNnzPerRequest)));
+    report.Set("num_requests",
+               JsonValue::Number(static_cast<uint64_t>(kNumRequests)));
+    report.Set("runs", runs);
+    report.Set("baseline_requests_per_sec", JsonValue::Number(baseline));
+    JsonValue top = JsonValue::Object();
+    top.Set("batch_size", JsonValue::Number(static_cast<uint64_t>(best_batch)));
+    top.Set("threads", JsonValue::Number(static_cast<uint64_t>(best_threads)));
+    top.Set("requests_per_sec", JsonValue::Number(best));
+    top.Set("speedup",
+            JsonValue::Number(baseline > 0.0 ? best / baseline : 0.0));
+    report.Set("best", top);
+    bench::WriteBenchJson("BENCH_serve.json", report);
   }
 
   std::printf(

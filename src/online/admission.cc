@@ -1,0 +1,50 @@
+#include "online/admission.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mllibstar {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config), histogram_(ObsHistogram::LatencyBoundsUs()) {
+  MLLIBSTAR_CHECK_GT(config_.p99_budget_us, 0.0);
+  MLLIBSTAR_CHECK(config_.shed_factor > 0.0 && config_.shed_factor < 1.0);
+  MLLIBSTAR_CHECK_GT(config_.recover_increment, 0.0);
+  MLLIBSTAR_CHECK(config_.min_admit_fraction > 0.0 &&
+                  config_.min_admit_fraction <= 1.0);
+}
+
+bool AdmissionController::Admit() {
+  credit_ += admit_fraction_;
+  if (credit_ >= 1.0) {
+    credit_ -= 1.0;
+    ++admitted_;
+    return true;
+  }
+  ++shed_;
+  return false;
+}
+
+void AdmissionController::Record(double latency_us) {
+  histogram_.Record(latency_us);
+}
+
+void AdmissionController::EndWindow() {
+  const uint64_t samples = histogram_.count();
+  if (samples < config_.min_window_count) {
+    histogram_.Reset();
+    return;
+  }
+  last_p99_us_ = histogram_.Quantile(0.99);
+  if (last_p99_us_ > config_.p99_budget_us) {
+    admit_fraction_ = std::max(config_.min_admit_fraction,
+                               admit_fraction_ * config_.shed_factor);
+  } else {
+    admit_fraction_ =
+        std::min(1.0, admit_fraction_ + config_.recover_increment);
+  }
+  histogram_.Reset();
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,82 @@
+#ifndef MLLIBSTAR_ONLINE_ADMISSION_H_
+#define MLLIBSTAR_ONLINE_ADMISSION_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace mllibstar {
+
+/// SLO knobs for AdmissionController.
+struct AdmissionConfig {
+  /// The latency SLO: windows whose observed p99 exceeds this budget
+  /// trigger load shedding.
+  double p99_budget_us = 2000.0;
+  /// Windows with fewer recorded samples than this make no decision
+  /// (not enough signal either way).
+  size_t min_window_count = 32;
+  /// Multiplicative decrease applied to the admit fraction on an SLO
+  /// violation (0.5 = halve the admitted load).
+  double shed_factor = 0.5;
+  /// Additive increase applied after a healthy window, until the
+  /// fraction is back at 1.0.
+  double recover_increment = 0.5;
+  /// The admit fraction never drops below this floor, so probing
+  /// traffic keeps flowing and recovery stays observable.
+  double min_admit_fraction = 0.05;
+};
+
+/// SLO-aware admission control: sheds a deterministic fraction of the
+/// offered load whenever the observed p99 latency exceeds the budget,
+/// and recovers additively once latencies are healthy again (AIMD, as
+/// in congestion control).
+///
+/// Latency samples accumulate in an obs fixed-bucket histogram; the
+/// owner closes a window with EndWindow(), which reads the window's
+/// p99, adjusts the admit fraction, and resets the histogram.
+///
+/// Determinism: Admit() spreads sheds evenly with a fractional credit
+/// accumulator (no RNG, no wall clock), so given the same sequence of
+/// Record/EndWindow calls the same requests are shed. The online
+/// pipeline feeds it virtual latencies from an explicit cost model,
+/// which is what makes whole-pipeline runs bit-reproducible across
+/// host-thread counts.
+///
+/// Not thread-safe: one controller belongs to one serving replica and
+/// is driven in request order.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Admission decision for the next request. At fraction f, an
+  /// evenly spaced f of requests are admitted (credit accumulator).
+  bool Admit();
+
+  /// Records the observed latency of one admitted request.
+  void Record(double latency_us);
+
+  /// Closes the current observation window: evaluates p99 against the
+  /// budget, sheds or recovers, and clears the histogram. Windows with
+  /// fewer than min_window_count samples leave the fraction unchanged.
+  void EndWindow();
+
+  double admit_fraction() const { return admit_fraction_; }
+  uint64_t admitted() const { return admitted_; }
+  uint64_t shed() const { return shed_; }
+  /// p99 of the most recently closed window (0 before the first).
+  double last_p99_us() const { return last_p99_us_; }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  ObsHistogram histogram_;
+  double admit_fraction_ = 1.0;
+  double credit_ = 0.0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+  double last_p99_us_ = 0.0;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_ONLINE_ADMISSION_H_

@@ -1,0 +1,341 @@
+#include "online/online_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+#include "obs/telemetry.h"
+
+namespace mllibstar {
+
+namespace {
+
+/// Exact quantile over a copy of `values` (nearest-rank). The obs
+/// histograms bucket latencies for admission control; the report wants
+/// the precise per-round number.
+double ExactQuantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+JsonValue DeployToJson(const DeployRecord& d) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("round", JsonValue::Number(static_cast<uint64_t>(d.round)));
+  obj.Set("version", JsonValue::Number(d.version));
+  obj.Set("stream_batches",
+          JsonValue::Number(static_cast<uint64_t>(d.stream_batches)));
+  obj.Set("staleness_batches",
+          JsonValue::Number(static_cast<uint64_t>(d.staleness_batches)));
+  obj.Set("train_objective", JsonValue::Number(d.train_objective));
+  return obj;
+}
+
+JsonValue RoundToJson(const RoundRecord& r) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("round", JsonValue::Number(static_cast<uint64_t>(r.round)));
+  obj.Set("segment", JsonValue::Number(static_cast<uint64_t>(r.segment)));
+  obj.Set("label_noise", JsonValue::Number(r.label_noise));
+  obj.Set("serving_version", JsonValue::Number(r.serving_version));
+  obj.Set("staleness_batches",
+          JsonValue::Number(static_cast<uint64_t>(r.staleness_batches)));
+  obj.Set("load_multiplier", JsonValue::Number(r.load_multiplier));
+  obj.Set("requests", JsonValue::Number(static_cast<uint64_t>(r.requests)));
+  obj.Set("admitted", JsonValue::Number(static_cast<uint64_t>(r.admitted)));
+  obj.Set("shed", JsonValue::Number(static_cast<uint64_t>(r.shed)));
+  obj.Set("admit_fraction", JsonValue::Number(r.admit_fraction));
+  obj.Set("p50_virtual_us", JsonValue::Number(r.p50_virtual_us));
+  obj.Set("p95_virtual_us", JsonValue::Number(r.p95_virtual_us));
+  obj.Set("p99_virtual_us", JsonValue::Number(r.p99_virtual_us));
+  obj.Set("online_accuracy", JsonValue::Number(r.online_accuracy));
+  obj.Set("train_objective", JsonValue::Number(r.train_objective));
+  if (r.has_ab) obj.Set("ab", r.ab.ToJson());
+  return obj;
+}
+
+}  // namespace
+
+JsonValue BuildOnlineReport(const OnlinePipelineConfig& config,
+                            const OnlineResult& result) {
+  JsonValue root = JsonValue::Object();
+  root.Set("system", JsonValue::Str(result.system));
+
+  JsonValue cfg = JsonValue::Object();
+  cfg.Set("rounds", JsonValue::Number(static_cast<uint64_t>(config.rounds)));
+  cfg.Set("batches_per_round",
+          JsonValue::Number(static_cast<uint64_t>(config.batches_per_round)));
+  cfg.Set("batch_size",
+          JsonValue::Number(static_cast<uint64_t>(config.batch_size)));
+  cfg.Set("window_batches",
+          JsonValue::Number(static_cast<uint64_t>(config.window_batches)));
+  cfg.Set("steps_per_round",
+          JsonValue::Number(static_cast<int64_t>(config.steps_per_round)));
+  cfg.Set("deploy_every",
+          JsonValue::Number(static_cast<uint64_t>(config.deploy_every)));
+  cfg.Set("requests_per_round",
+          JsonValue::Number(static_cast<uint64_t>(config.requests_per_round)));
+  cfg.Set("num_replicas", JsonValue::Number(static_cast<uint64_t>(
+                              config.router.num_replicas)));
+  cfg.Set("num_features", JsonValue::Number(static_cast<uint64_t>(
+                              config.drift.base.num_features)));
+  cfg.Set("segment_batches", JsonValue::Number(static_cast<uint64_t>(
+                                 config.drift.segment_batches)));
+  cfg.Set("rotation_angle", JsonValue::Number(config.drift.rotation_angle));
+  cfg.Set("p99_budget_us",
+          JsonValue::Number(config.router.admission.p99_budget_us));
+  root.Set("config", cfg);
+
+  JsonValue deploys = JsonValue::Array();
+  for (const DeployRecord& d : result.deploys) deploys.Append(DeployToJson(d));
+  root.Set("deploys", deploys);
+
+  JsonValue rounds = JsonValue::Array();
+  for (const RoundRecord& r : result.rounds) rounds.Append(RoundToJson(r));
+  root.Set("rounds", rounds);
+
+  // The accuracy-vs-drift and latency-under-load curves, also exposed
+  // as flat arrays for easy plotting.
+  JsonValue accuracy = JsonValue::Array();
+  JsonValue p99 = JsonValue::Array();
+  JsonValue staleness = JsonValue::Array();
+  for (const RoundRecord& r : result.rounds) {
+    accuracy.Append(JsonValue::Number(r.online_accuracy));
+    p99.Append(JsonValue::Number(r.p99_virtual_us));
+    staleness.Append(
+        JsonValue::Number(static_cast<uint64_t>(r.staleness_batches)));
+  }
+  root.Set("accuracy_per_round", accuracy);
+  root.Set("p99_virtual_us_per_round", p99);
+  root.Set("staleness_per_round", staleness);
+
+  root.Set("total_admitted", JsonValue::Number(result.total_admitted));
+  root.Set("total_shed", JsonValue::Number(result.total_shed));
+  root.Set("final_stream_batches", JsonValue::Number(static_cast<uint64_t>(
+                                       result.final_stream_batches)));
+  return root;
+}
+
+OnlinePipeline::OnlinePipeline(OnlinePipelineConfig config)
+    : config_(std::move(config)), router_(config_.router) {
+  MLLIBSTAR_CHECK_GT(config_.rounds, 0u);
+  MLLIBSTAR_CHECK_GT(config_.batches_per_round, 0u);
+  MLLIBSTAR_CHECK_GT(config_.batch_size, 0u);
+  MLLIBSTAR_CHECK_GT(config_.window_batches, 0u);
+  MLLIBSTAR_CHECK_GT(config_.steps_per_round, 0);
+  MLLIBSTAR_CHECK_GT(config_.deploy_every, 0u);
+  MLLIBSTAR_CHECK(!config_.checkpoint_path.empty());
+  MLLIBSTAR_CHECK_GT(config_.drift.base.num_features, 0u);
+}
+
+Dataset OnlinePipeline::WindowDataset(
+    const std::deque<std::vector<DataPoint>>& window) const {
+  Dataset data(config_.drift.base.num_features, "online-window");
+  for (const auto& batch : window) {
+    for (const DataPoint& point : batch) data.Add(point);
+  }
+  return data;
+}
+
+Result<OnlineResult> OnlinePipeline::Run() {
+  MLLIBSTAR_CHECK(!ran_);
+  ran_ = true;
+
+  // A stale snapshot from a previous process would silently warm-start
+  // round 0 from foreign weights; start from a clean slate. Probe
+  // writability here so a bad path fails as a Status instead of
+  // aborting inside the trainer's checkpoint writer mid-round.
+  std::remove(config_.checkpoint_path.c_str());
+  {
+    std::ofstream probe(config_.checkpoint_path,
+                        std::ios::binary | std::ios::trunc);
+    if (!probe) {
+      return Status::IoError("checkpoint path is not writable: " +
+                             config_.checkpoint_path);
+    }
+    probe.close();
+    std::remove(config_.checkpoint_path.c_str());
+  }
+
+  DriftSchedule drift(config_.drift);
+  Rng traffic_rng(config_.traffic_seed);
+  SplitScorer ab_scorer(&router_.registry(0));
+  std::deque<std::vector<DataPoint>> window;
+
+  OnlineResult out;
+  out.system = SystemName(config_.system);
+
+  uint64_t active_version = 0;
+  // Drift-clock position of the newest batch the active model saw.
+  size_t active_trained_through = 0;
+
+  for (size_t round = 0; round < config_.rounds; ++round) {
+    // (1) Ingest: advance the stream, age out old window batches.
+    for (size_t b = 0; b < config_.batches_per_round; ++b) {
+      window.push_back(drift.NextBatch(config_.batch_size));
+      if (window.size() > config_.window_batches) window.pop_front();
+    }
+
+    // (2) Train: continue the SAME logical run `steps_per_round` more
+    // steps on the refreshed window. The checkpoint carries the model,
+    // LR-schedule position, per-worker RNG cursors, and error-feedback
+    // residuals across rounds; only the data changes under it.
+    TrainerConfig tc = config_.trainer;
+    tc.checkpoint.path = config_.checkpoint_path;
+    tc.checkpoint.every_steps = config_.steps_per_round;
+    tc.checkpoint.resume = true;
+    tc.max_comm_steps =
+        static_cast<int>(round + 1) * config_.steps_per_round;
+    tc.eval_every = config_.steps_per_round;
+    tc.host_threads = config_.host_threads;
+    const Dataset data = WindowDataset(window);
+    TrainResult trained =
+        MakeTrainer(config_.system, tc)->Train(data, config_.cluster);
+    if (trained.diverged) {
+      return Status::Internal("online pipeline: training diverged at round " +
+                              std::to_string(round));
+    }
+    const double objective = trained.curve.FinalObjective();
+    out.final_weights = trained.final_weights;
+
+    // (3) Deploy: atomic hot-swap into every replica on the cadence.
+    bool deployed = false;
+    uint64_t outgoing_version = active_version;
+    if (round % config_.deploy_every == 0) {
+      DeployRecord record;
+      record.round = round;
+      record.stream_batches = drift.batches_emitted();
+      record.staleness_batches =
+          active_version == 0
+              ? 0
+              : drift.batches_emitted() - active_trained_through;
+      record.train_objective = objective;
+      record.version = router_.DeployAll(GlmModel(trained.final_weights),
+                                         "round-" + std::to_string(round));
+      out.deploys.push_back(record);
+      active_version = record.version;
+      active_trained_through = drift.batches_emitted();
+      deployed = true;
+    }
+
+    // (4) Serve: requests sampled from the live stream distribution on
+    // the dedicated traffic stream (ids first, then features — one
+    // fixed draw order).
+    std::vector<OnlineRequest> traffic(config_.requests_per_round);
+    for (auto& request : traffic) {
+      request.user_id = traffic_rng.NextUint64();
+    }
+    {
+      std::vector<DataPoint> points =
+          drift.SampleHoldout(config_.requests_per_round, &traffic_rng);
+      for (size_t i = 0; i < points.size(); ++i) {
+        traffic[i].true_label = points[i].label;
+        traffic[i].features = std::move(points[i].features);
+      }
+    }
+    const double load =
+        config_.spike.ActiveAt(round) ? config_.spike.multiplier : 1.0;
+
+    double fraction_sum = 0.0;
+    for (size_t r = 0; r < router_.num_replicas(); ++r) {
+      fraction_sum += router_.admission(r).admit_fraction();
+    }
+
+    const std::vector<RoutedScore> routed = router_.Route(traffic, load);
+
+    RoundRecord record;
+    record.round = round;
+    record.segment = drift.segment();
+    record.label_noise = drift.label_noise();
+    record.serving_version = active_version;
+    record.staleness_batches =
+        drift.batches_emitted() - active_trained_through;
+    record.load_multiplier = load;
+    record.requests = traffic.size();
+    record.admit_fraction =
+        fraction_sum / static_cast<double>(router_.num_replicas());
+    record.train_objective = objective;
+
+    std::vector<double> latencies;
+    size_t correct = 0;
+    for (size_t i = 0; i < routed.size(); ++i) {
+      if (!routed[i].admitted) {
+        ++record.shed;
+        continue;
+      }
+      ++record.admitted;
+      latencies.push_back(routed[i].virtual_latency_us);
+      if (routed[i].score.label == traffic[i].true_label) ++correct;
+      if (config_.collect_margins) {
+        out.margins.push_back(routed[i].score.margin);
+      }
+    }
+    record.p50_virtual_us = ExactQuantile(latencies, 0.5);
+    record.p95_virtual_us = ExactQuantile(latencies, 0.95);
+    record.p99_virtual_us = ExactQuantile(std::move(latencies), 0.99);
+    record.online_accuracy =
+        record.admitted == 0
+            ? 0.0
+            : static_cast<double>(correct) /
+                  static_cast<double>(record.admitted);
+    router_.EndWindow();
+
+    // (5) A/B: outgoing champion vs the version deployed this round,
+    // over exactly the traffic both could have served.
+    if (deployed && outgoing_version != 0) {
+      MLLIBSTAR_ASSIGN_OR_RETURN(
+          record.ab,
+          ab_scorer.Compare(outgoing_version, active_version, traffic));
+      record.has_ab = true;
+    }
+    out.rounds.push_back(std::move(record));
+  }
+
+  out.total_admitted = router_.total_admitted();
+  out.total_shed = router_.total_shed();
+  out.final_stream_batches = drift.batches_emitted();
+
+  PublishTelemetry(out);
+  std::remove(config_.checkpoint_path.c_str());
+  return out;
+}
+
+void OnlinePipeline::PublishTelemetry(const OnlineResult& result) const {
+  Telemetry& sink = Telemetry::Get();
+  if (!sink.enabled()) return;
+  MetricsRegistry& metrics = sink.metrics();
+  metrics.Gauge("online.rounds")
+      .Set(static_cast<double>(result.rounds.size()));
+  metrics.Gauge("online.deploys")
+      .Set(static_cast<double>(result.deploys.size()));
+  metrics.Counter("online.requests.admitted").Add(result.total_admitted);
+  metrics.Counter("online.requests.shed").Add(result.total_shed);
+  if (!result.rounds.empty()) {
+    const RoundRecord& last = result.rounds.back();
+    metrics.Gauge("online.final.accuracy").Set(last.online_accuracy);
+    metrics.Gauge("online.final.p99_virtual_us").Set(last.p99_virtual_us);
+  }
+  // The most recent A/B comparison: exact doubles, so a RunReport that
+  // embeds them parses back bit-identically.
+  for (auto it = result.rounds.rbegin(); it != result.rounds.rend(); ++it) {
+    if (!it->has_ab) continue;
+    metrics.Gauge("online.ab.accuracy_a").Set(it->ab.accuracy_a);
+    metrics.Gauge("online.ab.accuracy_b").Set(it->ab.accuracy_b);
+    metrics.Gauge("online.ab.accuracy_delta").Set(it->ab.accuracy_delta());
+    metrics.Gauge("online.ab.mean_abs_margin_delta")
+        .Set(it->ab.mean_abs_margin_delta);
+    break;
+  }
+  for (const DeployRecord& deploy : result.deploys) {
+    sink.RecordEvent("online.deploy", "online", -1.0,
+                     {{"version", std::to_string(deploy.version)},
+                      {"round", std::to_string(deploy.round)},
+                      {"staleness_batches",
+                       std::to_string(deploy.staleness_batches)}});
+  }
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,184 @@
+#ifndef MLLIBSTAR_ONLINE_ONLINE_PIPELINE_H_
+#define MLLIBSTAR_ONLINE_ONLINE_PIPELINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "data/synthetic.h"
+#include "online/request_router.h"
+#include "online/split_scorer.h"
+#include "sim/cluster_config.h"
+#include "train/trainer.h"
+
+namespace mllibstar {
+
+/// A serving-latency spike injected for rounds in [start_round,
+/// end_round): the cost model's latencies are scaled by `multiplier`,
+/// pushing the observed p99 over budget so admission control sheds.
+struct LatencySpike {
+  size_t start_round = static_cast<size_t>(-1);  ///< default: never fires
+  size_t end_round = 0;                          ///< exclusive
+  double multiplier = 1.0;
+
+  bool ActiveAt(size_t round) const {
+    return round >= start_round && round < end_round && multiplier != 1.0;
+  }
+};
+
+/// Continuous train → hot-swap → serve loop over a drifting stream.
+/// Each round:
+///   1. ingest  — pull `batches_per_round` mini-batches from the
+///      DriftSchedule into a sliding window of `window_batches`;
+///   2. train   — run the configured trainer `steps_per_round` more
+///      communication steps, warm-started from the previous round's
+///      checkpoint (same LR schedule position, RNG cursors, and
+///      error-feedback residuals — a genuine continuation, not a
+///      from-scratch refit);
+///   3. deploy  — every `deploy_every` rounds, DeployAll the new model
+///      into the router's replicas (atomic hot-swap per replica);
+///   4. serve   — sample `requests_per_round` requests from the LIVE
+///      stream distribution and Route them (admission control +
+///      micro-batched scoring); the spike window scales the cost model;
+///   5. compare — when a deploy happened, A/B the outgoing version
+///      against the new one over this round's traffic.
+struct OnlinePipelineConfig {
+  SystemKind system = SystemKind::kMllibStar;
+  DriftSpec drift;
+
+  size_t rounds = 8;
+  size_t batches_per_round = 2;
+  size_t batch_size = 128;
+  /// Sliding training window, in mini-batches (older batches age out).
+  size_t window_batches = 8;
+  /// Communication steps trained per round (warm-started).
+  int steps_per_round = 4;
+  /// Deploy cadence in rounds (1 = every round).
+  size_t deploy_every = 1;
+
+  size_t requests_per_round = 512;
+  /// Dedicated stream for request traffic (user ids + feature draws);
+  /// independent from the drift stream and the trainer seed.
+  uint64_t traffic_seed = 4242;
+
+  /// Base trainer hyperparameters. The pipeline overrides checkpoint
+  /// (path/cadence/resume), max_comm_steps, and host_threads.
+  TrainerConfig trainer;
+  /// Host threads for the per-round training runs. Pure wall-clock
+  /// knob: results are bit-identical for any value.
+  size_t host_threads = 1;
+  ClusterConfig cluster = ClusterConfig::Cluster1(4);
+
+  RequestRouterConfig router;
+  LatencySpike spike;
+
+  /// Warm-start snapshot file. Deleted at the start of Run() so a
+  /// stale file from an earlier run can never leak into this one.
+  std::string checkpoint_path = "online_pipeline.ckpt";
+
+  /// Keep every scored margin (arrival order, admitted requests only)
+  /// in the result for bit-exactness checks. Off for long benches.
+  bool collect_margins = true;
+};
+
+/// One model deployment.
+struct DeployRecord {
+  size_t round = 0;
+  uint64_t version = 0;
+  /// Drift-clock position (total stream batches ingested) at deploy.
+  size_t stream_batches = 0;
+  /// How many stream batches the *outgoing* model had fallen behind
+  /// when this deploy replaced it — the staleness this deploy cured.
+  size_t staleness_batches = 0;
+  /// Training objective of the deployed model on its window.
+  double train_objective = 0.0;
+};
+
+/// Per-round summary.
+struct RoundRecord {
+  size_t round = 0;
+  size_t segment = 0;          ///< drift segment serving traffic came from
+  double label_noise = 0.0;    ///< stream noise in force this round
+  uint64_t serving_version = 0;
+  /// Stream batches the serving model is behind the stream head.
+  size_t staleness_batches = 0;
+  double load_multiplier = 1.0;
+  size_t requests = 0;
+  size_t admitted = 0;
+  size_t shed = 0;
+  /// Mean in-force admit fraction across replicas during this round.
+  double admit_fraction = 1.0;
+  /// Exact quantiles over this round's admitted virtual latencies (µs).
+  double p50_virtual_us = 0.0;
+  double p95_virtual_us = 0.0;
+  double p99_virtual_us = 0.0;
+  /// Fraction of admitted requests whose predicted label matched the
+  /// stream teacher's label.
+  double online_accuracy = 0.0;
+  double train_objective = 0.0;
+  bool has_ab = false;
+  AbReport ab;  ///< outgoing (A) vs freshly deployed (B), if has_ab
+};
+
+/// Outcome of one pipeline run.
+struct OnlineResult {
+  std::string system;
+  std::vector<DeployRecord> deploys;
+  std::vector<RoundRecord> rounds;
+  /// Scored margins in arrival order, all rounds (admitted requests
+  /// only); empty unless collect_margins. Bit-identical across
+  /// host-thread settings.
+  std::vector<double> margins;
+  DenseVector final_weights;
+  uint64_t total_admitted = 0;
+  uint64_t total_shed = 0;
+  size_t final_stream_batches = 0;
+};
+
+/// JSON document for BENCH_online.json: config echo, the deploy log
+/// (staleness-to-deploy), per-round latency/accuracy/A-B series, and
+/// totals. Round-trips through JsonValue::Parse.
+JsonValue BuildOnlineReport(const OnlinePipelineConfig& config,
+                            const OnlineResult& result);
+
+/// Drives the loop above. Owns the RequestRouter so tests can inspect
+/// admission state after Run(); single-shot (one Run per pipeline).
+///
+/// Determinism: the drift stream, traffic stream, trainer, scorer, and
+/// admission control are all either seeded or cost-model-driven, so
+/// two runs with the same config — at ANY host_threads / scorer-thread
+/// setting — produce the same deployed version sequence and bit-
+/// identical scored margins.
+class OnlinePipeline {
+ public:
+  explicit OnlinePipeline(OnlinePipelineConfig config);
+
+  OnlinePipeline(const OnlinePipeline&) = delete;
+  OnlinePipeline& operator=(const OnlinePipeline&) = delete;
+
+  /// Runs the full loop. Also publishes online.* gauges/counters into
+  /// the process Telemetry registry (when enabled) so A/B deltas and
+  /// serving totals land in RunReports.
+  Result<OnlineResult> Run();
+
+  const OnlinePipelineConfig& config() const { return config_; }
+  RequestRouter& router() { return router_; }
+  const RequestRouter& router() const { return router_; }
+
+ private:
+  /// Flattens the sliding window into a Dataset for this round.
+  Dataset WindowDataset(const std::deque<std::vector<DataPoint>>& window) const;
+
+  void PublishTelemetry(const OnlineResult& result) const;
+
+  OnlinePipelineConfig config_;
+  RequestRouter router_;
+  bool ran_ = false;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_ONLINE_ONLINE_PIPELINE_H_

@@ -1,0 +1,132 @@
+#include "online/request_router.h"
+
+#include "common/logging.h"
+
+namespace mllibstar {
+
+namespace {
+
+/// splitmix64 finalizer: a cheap, well-mixed stable hash so that
+/// consecutive user ids do not all land on consecutive replicas.
+uint64_t MixUser(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+RequestRouter::RequestRouter(const RequestRouterConfig& config)
+    : config_(config) {
+  MLLIBSTAR_CHECK_GT(config.num_replicas, 0u);
+  replicas_.reserve(config.num_replicas);
+  for (size_t i = 0; i < config.num_replicas; ++i) {
+    replicas_.push_back(std::make_unique<Replica>(config));
+  }
+}
+
+uint64_t RequestRouter::DeployAll(const GlmModel& model,
+                                  const std::string& label) {
+  uint64_t version = 0;
+  for (auto& replica : replicas_) {
+    const uint64_t v = replica->registry.Deploy(model, label);
+    if (version == 0) {
+      version = v;
+    } else {
+      // Replicas only ever see DeployAll/ActivateAll, so their version
+      // sequences cannot diverge.
+      MLLIBSTAR_CHECK_EQ(v, version);
+    }
+  }
+  return version;
+}
+
+Status RequestRouter::ActivateAll(uint64_t version) {
+  for (auto& replica : replicas_) {
+    const Status status = replica->registry.Activate(version);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status RequestRouter::RollbackAll() {
+  for (auto& replica : replicas_) {
+    const Status status = replica->registry.Rollback();
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+size_t RequestRouter::ReplicaFor(uint64_t user_id) const {
+  return static_cast<size_t>(MixUser(user_id) % replicas_.size());
+}
+
+std::vector<RoutedScore> RequestRouter::Route(
+    const std::vector<OnlineRequest>& traffic, double load_multiplier) {
+  std::vector<RoutedScore> out(traffic.size());
+
+  // (1) Admission in arrival order on the owning replica. The per-
+  // replica micro-batches keep arrival order, so queue positions (and
+  // with them the cost-model latencies) are deterministic.
+  std::vector<std::vector<size_t>> admitted(replicas_.size());
+  for (size_t i = 0; i < traffic.size(); ++i) {
+    const size_t r = ReplicaFor(traffic[i].user_id);
+    out[i].replica = r;
+    out[i].admitted = replicas_[r]->admission.Admit();
+    if (out[i].admitted) admitted[r].push_back(i);
+  }
+
+  // (2) One scoring micro-batch per replica, each against a single
+  // model snapshot (BatchScorer semantics).
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    if (admitted[r].empty()) continue;
+    std::vector<SparseVector> features;
+    features.reserve(admitted[r].size());
+    for (size_t i : admitted[r]) features.push_back(traffic[i].features);
+    const auto scored = replicas_[r]->scorer->ScoreBatch(features);
+    for (size_t q = 0; q < admitted[r].size(); ++q) {
+      const size_t i = admitted[r][q];
+      const double latency_us =
+          (config_.latency.base_us +
+           config_.latency.per_nnz_us *
+               static_cast<double>(traffic[i].features.nnz()) +
+           config_.latency.per_queue_us * static_cast<double>(q)) *
+          load_multiplier;
+      out[i].virtual_latency_us = latency_us;
+      replicas_[r]->admission.Record(latency_us);
+      if (scored.ok()) out[i].score = (*scored)[q];
+    }
+  }
+  return out;
+}
+
+void RequestRouter::EndWindow() {
+  for (auto& replica : replicas_) replica->admission.EndWindow();
+}
+
+const AdmissionController& RequestRouter::admission(size_t replica) const {
+  return replicas_.at(replica)->admission;
+}
+
+ModelRegistry& RequestRouter::registry(size_t replica) {
+  return replicas_.at(replica)->registry;
+}
+
+const ServeMetrics& RequestRouter::metrics(size_t replica) const {
+  return replicas_.at(replica)->metrics;
+}
+
+uint64_t RequestRouter::total_admitted() const {
+  uint64_t total = 0;
+  for (const auto& replica : replicas_) total += replica->admission.admitted();
+  return total;
+}
+
+uint64_t RequestRouter::total_shed() const {
+  uint64_t total = 0;
+  for (const auto& replica : replicas_) total += replica->admission.shed();
+  return total;
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,137 @@
+#ifndef MLLIBSTAR_ONLINE_REQUEST_ROUTER_H_
+#define MLLIBSTAR_ONLINE_REQUEST_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/vector.h"
+#include "online/admission.h"
+#include "serve/batch_scorer.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+
+namespace mllibstar {
+
+/// One scoring request on the online path. `true_label` is the stream
+/// teacher's label (±1), carried along so the pipeline can measure
+/// online accuracy; the serving layer itself never reads it.
+struct OnlineRequest {
+  uint64_t user_id = 0;
+  SparseVector features;
+  double true_label = 0.0;
+};
+
+/// Outcome of routing one request. When `admitted` is false the
+/// request was shed by admission control and `score` is untouched.
+struct RoutedScore {
+  size_t replica = 0;
+  bool admitted = false;
+  ScoreResult score;
+  /// Deterministic cost-model latency charged to this request (µs).
+  double virtual_latency_us = 0.0;
+};
+
+/// Explicit serving cost model: the virtual latency of one admitted
+/// request is
+///   (base_us + per_nnz_us·nnz + per_queue_us·queue_position) · load,
+/// where queue_position counts the admitted requests ahead of it on
+/// the same replica within the same Route() call. Queueing makes
+/// latency grow with offered load — which is what gives admission
+/// control something real to push against — and `load` is the
+/// router-level multiplier (latency spikes are injected through it).
+/// Virtual latencies exist so that admission decisions are
+/// bit-reproducible; host wall latencies are still recorded separately
+/// in each replica's ServeMetrics.
+struct ServeLatencyModel {
+  double base_us = 100.0;
+  double per_nnz_us = 3.0;
+  double per_queue_us = 8.0;
+};
+
+struct RequestRouterConfig {
+  /// Serving replicas; users are hash-sharded across them.
+  size_t num_replicas = 4;
+  BatchScorerConfig scorer;
+  AdmissionConfig admission;
+  ServeLatencyModel latency;
+};
+
+/// Hash-sharded serving fan-out: N replicas, each a ModelRegistry +
+/// BatchScorer + ServeMetrics + AdmissionController. Requests route by
+/// a splitmix64 hash of the user id, so one user always lands on the
+/// same replica (session affinity) and load spreads evenly.
+///
+/// DeployAll() pushes a new version into every replica's registry —
+/// each deploy is an independent atomic hot-swap, so a replica's
+/// in-flight batches finish on the version they snapshotted while the
+/// fleet converges to the new one.
+///
+/// Route() processes a traffic batch in arrival order: per-request
+/// admission on the owning replica, then one micro-batch per replica
+/// scored against a single model snapshot. Scored margins are
+/// bit-identical to sequential GlmModel::Margin calls (BatchScorer
+/// invariant), and shedding/latency come from the deterministic cost
+/// model, so whole Route() outcomes are reproducible across host
+/// thread counts.
+class RequestRouter {
+ public:
+  explicit RequestRouter(const RequestRouterConfig& config);
+
+  RequestRouter(const RequestRouter&) = delete;
+  RequestRouter& operator=(const RequestRouter&) = delete;
+
+  /// Deploys `model` into every replica, returning the (common) new
+  /// version number. Replicas see deploys in the same order, so their
+  /// version sequences stay aligned.
+  uint64_t DeployAll(const GlmModel& model, const std::string& label);
+
+  /// Re-activates `version` on every replica (e.g. emergency rollback
+  /// to a known-good model).
+  Status ActivateAll(uint64_t version);
+
+  /// Walks every replica's activation history back one step.
+  Status RollbackAll();
+
+  /// Stable shard of a user id (splitmix64 finalizer mod N).
+  size_t ReplicaFor(uint64_t user_id) const;
+
+  /// Routes one traffic batch. `load_multiplier` scales the cost
+  /// model's latencies (1.0 = nominal; a latency spike is injected by
+  /// raising it). Results are index-aligned with `traffic`.
+  std::vector<RoutedScore> Route(const std::vector<OnlineRequest>& traffic,
+                                 double load_multiplier = 1.0);
+
+  /// Closes the admission window on every replica (call once per
+  /// control interval, e.g. per pipeline round).
+  void EndWindow();
+
+  size_t num_replicas() const { return replicas_.size(); }
+  const AdmissionController& admission(size_t replica) const;
+  ModelRegistry& registry(size_t replica);
+  const ServeMetrics& metrics(size_t replica) const;
+
+  uint64_t total_admitted() const;
+  uint64_t total_shed() const;
+
+ private:
+  struct Replica {
+    ModelRegistry registry;
+    ServeMetrics metrics;
+    AdmissionController admission;
+    std::unique_ptr<BatchScorer> scorer;
+
+    explicit Replica(const RequestRouterConfig& config)
+        : admission(config.admission),
+          scorer(std::make_unique<BatchScorer>(&registry, config.scorer,
+                                               &metrics)) {}
+  };
+
+  RequestRouterConfig config_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_ONLINE_REQUEST_ROUTER_H_

@@ -1,0 +1,135 @@
+#include "online/split_scorer.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mllibstar {
+
+namespace {
+
+double NumberOr(const JsonValue& obj, const std::string& key, double fallback) {
+  const JsonValue* v = obj.Find(key);
+  return (v != nullptr && v->kind() == JsonValue::Kind::kNumber)
+             ? v->number_value()
+             : fallback;
+}
+
+}  // namespace
+
+JsonValue AbReport::ToJson() const {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("version_a", JsonValue::Number(version_a));
+  obj.Set("version_b", JsonValue::Number(version_b));
+  obj.Set("requests", JsonValue::Number(requests));
+  obj.Set("accuracy_a", JsonValue::Number(accuracy_a));
+  obj.Set("accuracy_b", JsonValue::Number(accuracy_b));
+  obj.Set("accuracy_delta", JsonValue::Number(accuracy_delta()));
+  obj.Set("mean_margin_a", JsonValue::Number(mean_margin_a));
+  obj.Set("mean_margin_b", JsonValue::Number(mean_margin_b));
+  obj.Set("mean_abs_margin_delta", JsonValue::Number(mean_abs_margin_delta));
+  obj.Set("host_us_a", JsonValue::Number(host_us_a));
+  obj.Set("host_us_b", JsonValue::Number(host_us_b));
+  obj.Set("latency_delta_us", JsonValue::Number(latency_delta_us()));
+  return obj;
+}
+
+Result<AbReport> AbReport::FromJson(const JsonValue& value) {
+  if (value.kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("AbReport: expected a JSON object");
+  }
+  for (const char* key : {"version_a", "version_b", "requests", "accuracy_a",
+                          "accuracy_b", "mean_margin_a", "mean_margin_b",
+                          "mean_abs_margin_delta"}) {
+    if (!value.Has(key)) {
+      return Status::InvalidArgument(std::string("AbReport: missing field ") +
+                                     key);
+    }
+  }
+  AbReport report;
+  report.version_a =
+      static_cast<uint64_t>(NumberOr(value, "version_a", 0.0));
+  report.version_b =
+      static_cast<uint64_t>(NumberOr(value, "version_b", 0.0));
+  report.requests = static_cast<uint64_t>(NumberOr(value, "requests", 0.0));
+  report.accuracy_a = NumberOr(value, "accuracy_a", 0.0);
+  report.accuracy_b = NumberOr(value, "accuracy_b", 0.0);
+  report.mean_margin_a = NumberOr(value, "mean_margin_a", 0.0);
+  report.mean_margin_b = NumberOr(value, "mean_margin_b", 0.0);
+  report.mean_abs_margin_delta =
+      NumberOr(value, "mean_abs_margin_delta", 0.0);
+  report.host_us_a = NumberOr(value, "host_us_a", 0.0);
+  report.host_us_b = NumberOr(value, "host_us_b", 0.0);
+  return report;
+}
+
+SplitScorer::SplitScorer(const ModelRegistry* registry)
+    : registry_(registry) {
+  MLLIBSTAR_CHECK(registry_ != nullptr);
+}
+
+Result<AbReport> SplitScorer::Compare(
+    uint64_t version_a, uint64_t version_b,
+    const std::vector<OnlineRequest>& traffic) const {
+  const auto a = registry_->Version(version_a);
+  if (a == nullptr) {
+    return Status::NotFound("SplitScorer: unknown version " +
+                            std::to_string(version_a));
+  }
+  const auto b = registry_->Version(version_b);
+  if (b == nullptr) {
+    return Status::NotFound("SplitScorer: unknown version " +
+                            std::to_string(version_b));
+  }
+
+  AbReport report;
+  report.version_a = version_a;
+  report.version_b = version_b;
+  report.requests = traffic.size();
+  if (traffic.empty()) return report;
+
+  // Score each arm over the whole sample in request order. The margins
+  // are plain sequential GlmModel::Margin calls, so the report is a
+  // pure function of (model pair, traffic) — no threading, no clock in
+  // the deterministic fields.
+  using Clock = std::chrono::steady_clock;
+  double correct_a = 0.0;
+  double correct_b = 0.0;
+  double sum_margin_a = 0.0;
+  double sum_margin_b = 0.0;
+  double sum_abs_delta = 0.0;
+  std::vector<double> margins_a(traffic.size());
+
+  const auto start_a = Clock::now();
+  for (size_t i = 0; i < traffic.size(); ++i) {
+    const double m = a->model.Margin(traffic[i].features);
+    margins_a[i] = m;
+    sum_margin_a += m;
+    const double predicted = m >= 0.0 ? 1.0 : -1.0;
+    if (predicted == traffic[i].true_label) correct_a += 1.0;
+  }
+  const auto end_a = Clock::now();
+  for (size_t i = 0; i < traffic.size(); ++i) {
+    const double m = b->model.Margin(traffic[i].features);
+    sum_margin_b += m;
+    sum_abs_delta += std::abs(m - margins_a[i]);
+    const double predicted = m >= 0.0 ? 1.0 : -1.0;
+    if (predicted == traffic[i].true_label) correct_b += 1.0;
+  }
+  const auto end_b = Clock::now();
+
+  const double n = static_cast<double>(traffic.size());
+  report.accuracy_a = correct_a / n;
+  report.accuracy_b = correct_b / n;
+  report.mean_margin_a = sum_margin_a / n;
+  report.mean_margin_b = sum_margin_b / n;
+  report.mean_abs_margin_delta = sum_abs_delta / n;
+  report.host_us_a =
+      std::chrono::duration<double, std::micro>(end_a - start_a).count();
+  report.host_us_b =
+      std::chrono::duration<double, std::micro>(end_b - end_a).count();
+  return report;
+}
+
+}  // namespace mllibstar

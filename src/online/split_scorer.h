@@ -1,0 +1,63 @@
+#ifndef MLLIBSTAR_ONLINE_SPLIT_SCORER_H_
+#define MLLIBSTAR_ONLINE_SPLIT_SCORER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "online/request_router.h"
+#include "serve/model_registry.h"
+
+namespace mllibstar {
+
+/// Side-by-side comparison of two deployed model versions over one
+/// traffic sample. Version A is the champion (previously active),
+/// version B the challenger; positive deltas favor the challenger.
+struct AbReport {
+  uint64_t version_a = 0;
+  uint64_t version_b = 0;
+  uint64_t requests = 0;
+  double accuracy_a = 0.0;
+  double accuracy_b = 0.0;
+  double mean_margin_a = 0.0;
+  double mean_margin_b = 0.0;
+  /// Mean |margin_b - margin_a|: how far apart the two models score
+  /// the same traffic, independent of labels.
+  double mean_abs_margin_delta = 0.0;
+  /// Host wall time spent scoring each arm, microseconds (informational;
+  /// not part of the deterministic state).
+  double host_us_a = 0.0;
+  double host_us_b = 0.0;
+
+  double accuracy_delta() const { return accuracy_b - accuracy_a; }
+  double latency_delta_us() const { return host_us_b - host_us_a; }
+
+  /// JSON object with every field above plus the two deltas; parses
+  /// back exactly (JsonValue dumps shortest-round-trip doubles).
+  JsonValue ToJson() const;
+  static Result<AbReport> FromJson(const JsonValue& value);
+};
+
+/// Scores one traffic sample against two registry versions side by
+/// side. Margins come from the same GlmModel::Margin kernel as the
+/// serving path, in request order, so A/B results are bit-identical
+/// across runs and host-thread settings; accuracy is measured against
+/// the requests' stream teacher labels.
+class SplitScorer {
+ public:
+  /// `registry` must outlive the scorer.
+  explicit SplitScorer(const ModelRegistry* registry);
+
+  /// Compares versions `a` and `b` over `traffic`. Fails when either
+  /// version is unknown; an empty sample yields a zero-request report.
+  Result<AbReport> Compare(uint64_t version_a, uint64_t version_b,
+                           const std::vector<OnlineRequest>& traffic) const;
+
+ private:
+  const ModelRegistry* registry_;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_ONLINE_SPLIT_SCORER_H_

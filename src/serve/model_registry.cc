@@ -22,6 +22,13 @@ Result<uint64_t> ModelRegistry::DeployFromFile(const std::string& path,
   return Deploy(std::move(loaded).value(), std::move(label), path);
 }
 
+std::shared_ptr<const ServedModel> ModelRegistry::Version(
+    uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (version == 0 || version > versions_.size()) return nullptr;
+  return versions_[version - 1];
+}
+
 Status ModelRegistry::Activate(uint64_t version) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (version == 0 || version > versions_.size()) {

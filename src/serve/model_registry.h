@@ -66,6 +66,11 @@ class ModelRegistry {
     return active_.load(std::memory_order_acquire);
   }
 
+  /// Snapshot of a specific deployed version (active or not), or
+  /// nullptr when no such version exists. Lets an A/B scorer hold a
+  /// challenger next to the champion without activating it.
+  std::shared_ptr<const ServedModel> Version(uint64_t version) const;
+
   /// Makes a previously deployed version active again.
   Status Activate(uint64_t version);
 

@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/run_report.h"
+#include "obs/telemetry.h"
+#include "online/admission.h"
+#include "online/online_pipeline.h"
+#include "online/request_router.h"
+#include "online/split_scorer.h"
+
+namespace mllibstar {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+/// Small, fast pipeline config shared by the tests.
+OnlinePipelineConfig SmallConfig(const std::string& checkpoint_name) {
+  OnlinePipelineConfig config;
+  config.drift.base.num_features = 256;
+  config.drift.base.avg_nnz = 6;
+  config.drift.base.label_noise = 0.05;
+  config.drift.segment_batches = 2;
+  config.drift.rotation_angle = 0.3;
+  config.drift.noise_ramp_per_segment = 0.05;
+  config.drift.seed = 1234;
+
+  config.rounds = 4;
+  config.batches_per_round = 2;
+  config.batch_size = 32;
+  config.window_batches = 4;
+  config.steps_per_round = 2;
+  config.requests_per_round = 128;
+  config.traffic_seed = 777;
+
+  config.trainer.loss = LossKind::kLogistic;
+  config.trainer.base_lr = 0.3;
+  config.trainer.batch_fraction = 0.5;
+  config.cluster = ClusterConfig::Cluster1(4);
+
+  config.router.num_replicas = 2;
+  config.checkpoint_path = TempPath(checkpoint_name);
+  return config;
+}
+
+GlmModel FilledModel(size_t dim, double value) {
+  GlmModel model(dim);
+  for (size_t i = 0; i < dim; ++i) (*model.mutable_weights())[i] = value;
+  return model;
+}
+
+// ------------------------------------------------------- AdmissionController
+
+TEST(AdmissionControllerTest, CreditAccumulatorSpreadsSheds) {
+  AdmissionController admission(AdmissionConfig{});
+  // Fraction 1.0: everything admitted.
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(admission.Admit());
+
+  // Push one over-budget window through to halve the fraction.
+  AdmissionConfig config;
+  config.min_window_count = 4;
+  AdmissionController halved(config);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(halved.Admit());
+    halved.Record(config.p99_budget_us * 10.0);
+  }
+  halved.EndWindow();
+  EXPECT_DOUBLE_EQ(halved.admit_fraction(), 0.5);
+  // At fraction 0.5 exactly every other request is admitted.
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) admitted += halved.Admit() ? 1 : 0;
+  EXPECT_EQ(admitted, 5);
+}
+
+TEST(AdmissionControllerTest, AimdShedsThenRecovers) {
+  AdmissionConfig config;
+  config.min_window_count = 2;
+  config.shed_factor = 0.5;
+  config.recover_increment = 0.25;
+  AdmissionController admission(config);
+
+  // Two violating windows: 1.0 → 0.5 → 0.25.
+  for (int w = 0; w < 2; ++w) {
+    for (int i = 0; i < 4; ++i) {
+      admission.Admit();
+      admission.Record(config.p99_budget_us * 5.0);
+    }
+    admission.EndWindow();
+  }
+  EXPECT_DOUBLE_EQ(admission.admit_fraction(), 0.25);
+  EXPECT_GT(admission.last_p99_us(), config.p99_budget_us);
+
+  // Healthy windows recover additively and saturate at 1.0.
+  for (int w = 0; w < 4; ++w) {
+    for (int i = 0; i < 4; ++i) {
+      admission.Admit();
+      admission.Record(1.0);
+    }
+    admission.EndWindow();
+  }
+  EXPECT_DOUBLE_EQ(admission.admit_fraction(), 1.0);
+}
+
+TEST(AdmissionControllerTest, ShortWindowMakesNoDecision) {
+  AdmissionConfig config;
+  config.min_window_count = 32;
+  AdmissionController admission(config);
+  admission.Admit();
+  admission.Record(config.p99_budget_us * 100.0);
+  admission.EndWindow();  // 1 sample < 32: fraction unchanged
+  EXPECT_DOUBLE_EQ(admission.admit_fraction(), 1.0);
+}
+
+// ------------------------------------------------------------- RequestRouter
+
+TEST(RequestRouterTest, ShardingIsStableAndDeploysPropagate) {
+  RequestRouterConfig config;
+  config.num_replicas = 3;
+  RequestRouter router(config);
+  for (uint64_t user = 0; user < 50; ++user) {
+    const size_t replica = router.ReplicaFor(user);
+    EXPECT_LT(replica, 3u);
+    EXPECT_EQ(router.ReplicaFor(user), replica) << "sharding must be stable";
+  }
+
+  const uint64_t v1 = router.DeployAll(FilledModel(8, 1.0), "v1");
+  const uint64_t v2 = router.DeployAll(FilledModel(8, 2.0), "v2");
+  EXPECT_EQ(v1, 1u);
+  EXPECT_EQ(v2, 2u);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(router.registry(r).Active()->version, 2u);
+  }
+  ASSERT_TRUE(router.ActivateAll(1).ok());
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(router.registry(r).Active()->version, 1u);
+  }
+  ASSERT_TRUE(router.RollbackAll().ok());
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(router.registry(r).Active()->version, 2u);
+  }
+}
+
+TEST(RequestRouterTest, RoutedMarginsMatchDirectModelCalls) {
+  RequestRouterConfig config;
+  config.num_replicas = 2;
+  RequestRouter router(config);
+  GlmModel model(16);
+  Rng rng(5);
+  for (size_t i = 0; i < 16; ++i) {
+    (*model.mutable_weights())[i] = rng.NextGaussian();
+  }
+  router.DeployAll(model, "v1");
+
+  std::vector<OnlineRequest> traffic(40);
+  for (size_t i = 0; i < traffic.size(); ++i) {
+    traffic[i].user_id = i * 1315423911ull;
+    traffic[i].features.Push(static_cast<FeatureIndex>(i % 16),
+                             rng.NextGaussian());
+  }
+  const auto routed = router.Route(traffic);
+  ASSERT_EQ(routed.size(), traffic.size());
+  for (size_t i = 0; i < routed.size(); ++i) {
+    ASSERT_TRUE(routed[i].admitted);
+    EXPECT_EQ(routed[i].replica, router.ReplicaFor(traffic[i].user_id));
+    EXPECT_EQ(routed[i].score.margin, model.Margin(traffic[i].features));
+    EXPECT_GT(routed[i].virtual_latency_us, 0.0);
+  }
+  EXPECT_EQ(router.total_admitted(), traffic.size());
+  EXPECT_EQ(router.total_shed(), 0u);
+}
+
+// --------------------------------------------------------------- SplitScorer
+
+TEST(SplitScorerTest, IdenticalVersionsHaveZeroDelta) {
+  ModelRegistry registry;
+  registry.Deploy(FilledModel(8, 0.5), "v1");
+  registry.Deploy(FilledModel(8, 0.5), "v2");
+  SplitScorer scorer(&registry);
+
+  std::vector<OnlineRequest> traffic(20);
+  for (size_t i = 0; i < traffic.size(); ++i) {
+    traffic[i].features.Push(static_cast<FeatureIndex>(i % 8), 1.0);
+    traffic[i].true_label = 1.0;
+  }
+  const auto report = scorer.Compare(1, 2, traffic);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->requests, traffic.size());
+  EXPECT_DOUBLE_EQ(report->accuracy_delta(), 0.0);
+  EXPECT_DOUBLE_EQ(report->mean_abs_margin_delta, 0.0);
+  EXPECT_EQ(report->mean_margin_a, report->mean_margin_b);
+}
+
+TEST(SplitScorerTest, UnknownVersionIsNotFound) {
+  ModelRegistry registry;
+  registry.Deploy(FilledModel(4, 1.0), "v1");
+  SplitScorer scorer(&registry);
+  EXPECT_EQ(scorer.Compare(1, 9, {}).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(scorer.Compare(9, 1, {}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SplitScorerTest, AbReportJsonRoundTripsExactly) {
+  AbReport report;
+  report.version_a = 3;
+  report.version_b = 4;
+  report.requests = 128;
+  report.accuracy_a = 0.7265625;
+  report.accuracy_b = 0.796875;
+  report.mean_margin_a = -0.12345678901234567;
+  report.mean_margin_b = 3.3333333333333335;
+  report.mean_abs_margin_delta = 1e-17;
+  report.host_us_a = 12.25;
+  report.host_us_b = 8.5;
+
+  const auto parsed = JsonValue::Parse(report.ToJson().Dump(2));
+  ASSERT_TRUE(parsed.ok());
+  const auto back = AbReport::FromJson(*parsed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->version_a, report.version_a);
+  EXPECT_EQ(back->version_b, report.version_b);
+  EXPECT_EQ(back->requests, report.requests);
+  // %.17g serialization: every double survives bit-exactly.
+  EXPECT_EQ(back->accuracy_a, report.accuracy_a);
+  EXPECT_EQ(back->accuracy_b, report.accuracy_b);
+  EXPECT_EQ(back->mean_margin_a, report.mean_margin_a);
+  EXPECT_EQ(back->mean_margin_b, report.mean_margin_b);
+  EXPECT_EQ(back->mean_abs_margin_delta, report.mean_abs_margin_delta);
+  EXPECT_EQ(back->accuracy_delta(), report.accuracy_delta());
+}
+
+// ------------------------------------------------------------ OnlinePipeline
+
+// Acceptance (a): with fixed seeds the deployed version sequence and
+// every scored margin are bit-identical across host-thread settings —
+// in the trainers AND in the scoring fan-out.
+TEST(OnlinePipelineTest, BitIdenticalAcrossHostThreads) {
+  OnlinePipelineConfig sequential = SmallConfig("online_seq.ckpt");
+  sequential.host_threads = 1;
+  sequential.router.scorer.num_threads = 1;
+
+  OnlinePipelineConfig parallel = SmallConfig("online_par.ckpt");
+  parallel.host_threads = 8;
+  parallel.router.scorer.num_threads = 8;
+  parallel.router.scorer.chunk_size = 8;  // force multi-chunk batches
+
+  OnlinePipeline a(sequential);
+  OnlinePipeline b(parallel);
+  const auto run_a = a.Run();
+  const auto run_b = b.Run();
+  ASSERT_TRUE(run_a.ok()) << run_a.status().ToString();
+  ASSERT_TRUE(run_b.ok()) << run_b.status().ToString();
+
+  ASSERT_EQ(run_a->deploys.size(), run_b->deploys.size());
+  for (size_t i = 0; i < run_a->deploys.size(); ++i) {
+    EXPECT_EQ(run_a->deploys[i].version, run_b->deploys[i].version);
+    EXPECT_EQ(run_a->deploys[i].round, run_b->deploys[i].round);
+    EXPECT_EQ(run_a->deploys[i].staleness_batches,
+              run_b->deploys[i].staleness_batches);
+    EXPECT_EQ(run_a->deploys[i].train_objective,
+              run_b->deploys[i].train_objective);
+  }
+
+  ASSERT_FALSE(run_a->margins.empty());
+  ASSERT_EQ(run_a->margins.size(), run_b->margins.size());
+  for (size_t i = 0; i < run_a->margins.size(); ++i) {
+    EXPECT_EQ(run_a->margins[i], run_b->margins[i]) << "margin " << i;
+  }
+
+  // Admission decisions and latency stats ride on the same determinism.
+  ASSERT_EQ(run_a->rounds.size(), run_b->rounds.size());
+  for (size_t i = 0; i < run_a->rounds.size(); ++i) {
+    EXPECT_EQ(run_a->rounds[i].admitted, run_b->rounds[i].admitted);
+    EXPECT_EQ(run_a->rounds[i].shed, run_b->rounds[i].shed);
+    EXPECT_EQ(run_a->rounds[i].p99_virtual_us, run_b->rounds[i].p99_virtual_us);
+    EXPECT_EQ(run_a->rounds[i].online_accuracy,
+              run_b->rounds[i].online_accuracy);
+  }
+  EXPECT_EQ(run_a->final_weights.values(), run_b->final_weights.values());
+}
+
+// Acceptance (b): a latency spike pushes p99 over budget, admission
+// control sheds, and once the spike passes the admit fraction recovers
+// to 1.0 with no shedding in the final round.
+TEST(OnlinePipelineTest, AdmissionShedsUnderSpikeAndRecovers) {
+  OnlinePipelineConfig config = SmallConfig("online_spike.ckpt");
+  config.rounds = 8;
+  config.requests_per_round = 256;
+  config.router.num_replicas = 4;
+  config.spike.start_round = 2;
+  config.spike.end_round = 4;
+  config.spike.multiplier = 4.0;
+
+  OnlinePipeline pipeline(config);
+  const auto run = pipeline.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->rounds.size(), config.rounds);
+
+  // The spike rounds must register over-budget p99s...
+  EXPECT_GT(run->rounds[2].p99_virtual_us,
+            config.router.admission.p99_budget_us);
+  // ...causing shedding while the controller reacts...
+  size_t shed_during_reaction = 0;
+  for (size_t r = 2; r <= 4 && r < run->rounds.size(); ++r) {
+    shed_during_reaction += run->rounds[r].shed;
+  }
+  EXPECT_GT(shed_during_reaction, 0u);
+  EXPECT_GT(run->total_shed, 0u);
+
+  // ...and full recovery after it: final round sheds nothing and every
+  // replica is back to admitting everything.
+  EXPECT_EQ(run->rounds.back().shed, 0u);
+  EXPECT_DOUBLE_EQ(run->rounds.back().admit_fraction, 1.0);
+  for (size_t r = 0; r < pipeline.router().num_replicas(); ++r) {
+    EXPECT_DOUBLE_EQ(pipeline.router().admission(r).admit_fraction(), 1.0);
+  }
+}
+
+// Acceptance (c): the A/B deltas the pipeline publishes land in the
+// RunReport's metric series and survive a JSON parse round trip
+// bit-exactly.
+TEST(OnlinePipelineTest, AbDeltasRoundTripThroughRunReport) {
+  Telemetry& telemetry = Telemetry::Get();
+  telemetry.Clear();
+  telemetry.set_enabled(true);
+
+  OnlinePipelineConfig config = SmallConfig("online_report.ckpt");
+  OnlinePipeline pipeline(config);
+  const auto run = pipeline.Run();
+  telemetry.set_enabled(false);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  // Find the last A/B comparison the pipeline recorded.
+  const RoundRecord* last_ab = nullptr;
+  for (const RoundRecord& r : run->rounds) {
+    if (r.has_ab) last_ab = &r;
+  }
+  ASSERT_NE(last_ab, nullptr) << "deploy_every=1 must produce A/B rounds";
+
+  RunInfo info;
+  info.system = run->system;
+  const JsonValue report = BuildRunReport(info, &telemetry);
+  const auto parsed = JsonValue::Parse(report.Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  const JsonValue* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  double delta = 0.0, abs_margin_delta = 0.0;
+  bool found_delta = false, found_margin = false;
+  for (size_t i = 0; i < metrics->size(); ++i) {
+    const JsonValue& entry = metrics->at(i);
+    const JsonValue* name = entry.Find("name");
+    if (name == nullptr) continue;
+    if (name->string_value() == "online.ab.accuracy_delta") {
+      delta = entry.Find("value")->number_value();
+      found_delta = true;
+    }
+    if (name->string_value() == "online.ab.mean_abs_margin_delta") {
+      abs_margin_delta = entry.Find("value")->number_value();
+      found_margin = true;
+    }
+  }
+  ASSERT_TRUE(found_delta);
+  ASSERT_TRUE(found_margin);
+  // Bit-exact: the gauges went through %.17g dump + parse.
+  EXPECT_EQ(delta, last_ab->ab.accuracy_delta());
+  EXPECT_EQ(abs_margin_delta, last_ab->ab.mean_abs_margin_delta);
+
+  // The per-round A/B reports round-trip standalone too.
+  const auto ab_parsed = JsonValue::Parse(last_ab->ab.ToJson().Dump(0));
+  ASSERT_TRUE(ab_parsed.ok());
+  const auto back = AbReport::FromJson(*ab_parsed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->accuracy_delta(), last_ab->ab.accuracy_delta());
+}
+
+// Deploy cadence > 1: staleness accrues between deploys and resets on
+// each hot-swap.
+TEST(OnlinePipelineTest, StalenessAccruesBetweenDeploys) {
+  OnlinePipelineConfig config = SmallConfig("online_stale.ckpt");
+  config.rounds = 6;
+  config.deploy_every = 2;
+  OnlinePipeline pipeline(config);
+  const auto run = pipeline.Run();
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run->deploys.size(), 3u);
+  // The first deploy replaces nothing; later ones cure the staleness
+  // the serving model accumulated while training-only rounds passed.
+  EXPECT_EQ(run->deploys[0].staleness_batches, 0u);
+  for (size_t i = 1; i < run->deploys.size(); ++i) {
+    EXPECT_EQ(run->deploys[i].staleness_batches,
+              2 * config.batches_per_round);
+  }
+  for (const RoundRecord& r : run->rounds) {
+    EXPECT_EQ(r.staleness_batches,
+              (r.round % 2) * config.batches_per_round);
+  }
+}
+
+}  // namespace
+}  // namespace mllibstar

@@ -135,6 +135,91 @@ TEST(ModelRegistryTest, ActivateAndRollbackWalkHistory) {
   EXPECT_EQ(registry.Rollback().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(ModelRegistryTest, VersionAccessorReturnsAnyDeployedVersion) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Version(1), nullptr);
+  registry.Deploy(ConstantModel(2, 1.0), "v1");
+  registry.Deploy(ConstantModel(2, 2.0), "v2");
+  // Inactive versions stay addressable (A/B scoring needs the
+  // challenger without activating it).
+  const auto v1 = registry.Version(1);
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_DOUBLE_EQ(v1->model.weights()[0], 1.0);
+  EXPECT_EQ(registry.Version(2)->version, 2u);
+  EXPECT_EQ(registry.Version(0), nullptr);
+  EXPECT_EQ(registry.Version(3), nullptr);
+}
+
+TEST(ModelRegistryTest, RepeatedRollbackChainsToOldestThenFails) {
+  ModelRegistry registry;
+  for (int v = 1; v <= 5; ++v) {
+    registry.Deploy(ConstantModel(1, static_cast<double>(v)),
+                    "v" + std::to_string(v));
+  }
+  // Five deploys record four outgoing versions; the chain walks 4 → 1
+  // and then refuses to walk past the oldest.
+  for (uint64_t expected = 4; expected >= 1; --expected) {
+    ASSERT_TRUE(registry.Rollback().ok());
+    EXPECT_EQ(registry.Active()->version, expected);
+  }
+  EXPECT_EQ(registry.Rollback().code(), StatusCode::kFailedPrecondition);
+  // The failed rollback must leave the active version untouched.
+  EXPECT_EQ(registry.Active()->version, 1u);
+  EXPECT_EQ(registry.Rollback().code(), StatusCode::kFailedPrecondition);
+}
+
+// Writers hot-swap versions while reader threads hold ServedModel
+// snapshots and score against them; every model is constant so a torn
+// read would show up as a weight disagreeing with the snapshot's
+// version. Run under tsan in CI.
+TEST(ModelRegistryTest, ConcurrentDeployWhileScorersHoldSnapshots) {
+  constexpr size_t kDim = 16;
+  constexpr uint64_t kVersions = 60;
+  constexpr int kReaders = 4;
+
+  ModelRegistry registry;
+  registry.Deploy(ConstantModel(kDim, 1.0), "v1");
+
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&registry, &writer_done] {
+    for (uint64_t v = 2; v <= kVersions; ++v) {
+      registry.Deploy(ConstantModel(kDim, static_cast<double>(v)),
+                      "v" + std::to_string(v));
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    writer_done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&registry, &failures, &writer_done] {
+      SparseVector x;
+      x.Push(3, 1.0);
+      // Keep reading until the writer has raced every deploy past us.
+      for (int iter = 0; iter < 400 || !writer_done.load(); ++iter) {
+        const auto snapshot = registry.Active();
+        if (snapshot == nullptr) continue;
+        // Hold the snapshot across a scoring call: its contents must
+        // be immutable no matter how many deploys race past.
+        const double margin = snapshot->model.Margin(x);
+        if (margin != static_cast<double>(snapshot->version)) {
+          failures.fetch_add(1);
+        }
+        const auto pinned = registry.Version(snapshot->version);
+        if (pinned == nullptr || pinned->version != snapshot->version) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(registry.num_versions(), kVersions);
+}
+
 TEST(ModelRegistryTest, ActivateUnknownVersionIsNotFound) {
   ModelRegistry registry;
   registry.Deploy(ConstantModel(1, 1.0), "v1");
