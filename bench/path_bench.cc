@@ -1,0 +1,202 @@
+// Regularization-path benchmark: the same elastic-net λ grid solved
+// twice — warm-started from each previous λ's solution, and cold from
+// zeros — on one of the seven trainers. Prints the CV curve and the
+// per-solve cost table, and writes results/BENCH_path.json with the
+// full grid, the chosen λ, and the warm-vs-cold totals. Exits 2 if
+// warm starting fails to beat the cold path on total simulated time —
+// the property the subsystem exists to deliver.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "data/synthetic.h"
+#include "workloads/path_search.h"
+
+int main(int argc, char** argv) {
+  using namespace mllibstar;
+
+  FlagParser flags(
+      "Elastic-net regularization path: warm vs cold over a log λ grid; "
+      "writes results/BENCH_path.json.");
+  flags.AddString("system", "mllib-lbfgs",
+                  "trainer: mllib|mllib+ma|mllib*|petuum|petuum*|angel|"
+                  "mllib-lbfgs");
+  flags.AddInt64("lambdas", 8, "grid points");
+  flags.AddDouble("min-ratio", 1e-3, "lambda_min / lambda_max");
+  flags.AddDouble("l1-ratio", 0.5, "elastic-net mixing (1=L1, 0=L2)");
+  flags.AddInt64("folds", 3, "CV folds (1 = select on training loss)");
+  flags.AddInt64("classes", 0, "0 = binary logistic, K>=2 = softmax");
+  flags.AddInt64("instances", 600, "dataset rows");
+  flags.AddInt64("features", 120, "dataset features");
+  flags.AddInt64("max-steps", 40, "per-solve communication-step budget");
+  flags.AddInt64("workers", 8, "simulated workers");
+  flags.AddString("out", "BENCH_path.json", "report filename (in results/)");
+  const Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.message().c_str(),
+                 flags.Usage().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  const std::string system_name = flags.GetString("system");
+  SystemKind system = SystemKind::kMllibLbfgs;
+  for (SystemKind kind :
+       {SystemKind::kMllib, SystemKind::kMllibMa, SystemKind::kMllibStar,
+        SystemKind::kPetuum, SystemKind::kPetuumStar, SystemKind::kAngel,
+        SystemKind::kMllibLbfgs}) {
+    if (SystemName(kind) == system_name) system = kind;
+  }
+
+  const size_t num_classes =
+      static_cast<size_t>(flags.GetInt64("classes"));
+  Dataset data = [&] {
+    if (num_classes >= 2) {
+      MulticlassSpec spec;
+      spec.base.name = "path-mc";
+      spec.base.num_instances =
+          static_cast<size_t>(flags.GetInt64("instances"));
+      spec.base.num_features =
+          static_cast<size_t>(flags.GetInt64("features"));
+      spec.base.avg_nnz = 10;
+      spec.base.seed = 91;
+      spec.num_classes = num_classes;
+      return GenerateMulticlass(spec);
+    }
+    SyntheticSpec spec;
+    spec.name = "path-bin";
+    spec.num_instances = static_cast<size_t>(flags.GetInt64("instances"));
+    spec.num_features = static_cast<size_t>(flags.GetInt64("features"));
+    spec.avg_nnz = 10;
+    spec.seed = 91;
+    return GenerateSynthetic(spec);
+  }();
+
+  PathConfig path;
+  path.system = system;
+  path.trainer.loss = LossKind::kLogistic;
+  path.trainer.num_classes = num_classes;
+  path.trainer.base_lr = 0.5;
+  path.trainer.lr_schedule = LrScheduleKind::kConstant;
+  path.trainer.batch_fraction = 0.1;
+  path.trainer.max_comm_steps =
+      static_cast<int>(flags.GetInt64("max-steps"));
+  path.trainer.seed = 7;
+  path.n_lambdas = static_cast<size_t>(flags.GetInt64("lambdas"));
+  path.lambda_min_ratio = flags.GetDouble("min-ratio");
+  path.l1_ratio = flags.GetDouble("l1-ratio");
+  path.num_folds = static_cast<size_t>(flags.GetInt64("folds"));
+  path.stratified_folds = num_classes >= 2;
+  path.solve_rel_tolerance = 1e-4;
+  path.path_patience = 1000;  // benchmark the whole grid
+  PathConfig cold = path;
+  cold.warm_start = false;
+
+  const ClusterConfig cluster =
+      ClusterConfig::Cluster1(static_cast<size_t>(flags.GetInt64("workers")));
+
+  std::printf(
+      "path_bench: %s, %zu lambdas (min-ratio %.1e), alpha=%.2f, "
+      "%zu folds, %s %zux%zu\n\n",
+      SystemName(system).c_str(), path.n_lambdas, path.lambda_min_ratio,
+      path.l1_ratio, path.num_folds, data.name().c_str(), data.size(),
+      data.num_features());
+
+  const PathResult warm_result = RunPath(data, cluster, path);
+  const PathResult cold_result = RunPath(data, cluster, cold);
+
+  std::printf("%3s %12s %12s %10s %6s %8s %12s %12s\n", "i", "lambda",
+              "cv_loss", "objective", "nnz", "steps", "warm_sim_s",
+              "cold_sim_s");
+  double warm_sim = 0.0, cold_sim = 0.0, warm_wall = 0.0, cold_wall = 0.0;
+  for (size_t i = 0; i < warm_result.solves.size(); ++i) {
+    const PathSolve& w = warm_result.solves[i];
+    const double cold_s = i < cold_result.solves.size()
+                              ? cold_result.solves[i].sim_seconds
+                              : 0.0;
+    std::printf("%3zu %12.6g %12.6g %10.5f %6llu %8d %12.3f %12.3f%s\n", i,
+                w.lambda, w.cv_loss, w.objective,
+                static_cast<unsigned long long>(w.nnz), w.comm_steps,
+                w.sim_seconds, cold_s,
+                i == warm_result.best_index ? "  <best" : "");
+    warm_sim += w.sim_seconds;
+    warm_wall += w.wall_seconds;
+  }
+  for (const PathSolve& s : cold_result.solves) {
+    cold_sim += s.sim_seconds;
+    cold_wall += s.wall_seconds;
+  }
+  const double chosen = warm_result.solves[warm_result.best_index].lambda;
+  std::printf(
+      "\nchosen lambda %.6g (index %zu); lambda_max %.6g%s\n"
+      "warm total: %.3f sim s (%.3f wall s)\n"
+      "cold total: %.3f sim s (%.3f wall s)  ->  %.2fx sim speedup\n",
+      chosen, warm_result.best_index, warm_result.lambda_max,
+      warm_result.early_stopped ? " (early stop)" : "", warm_sim, warm_wall,
+      cold_sim, cold_wall, warm_sim > 0.0 ? cold_sim / warm_sim : 0.0);
+
+  JsonValue report = JsonValue::Object();
+  report.Set("bench", JsonValue::Str("path_bench"));
+  JsonValue config_json = JsonValue::Object();
+  config_json.Set("system", JsonValue::Str(SystemName(system)));
+  config_json.Set("n_lambdas",
+                  JsonValue::Number(static_cast<uint64_t>(path.n_lambdas)));
+  config_json.Set("lambda_min_ratio",
+                  JsonValue::Number(path.lambda_min_ratio));
+  config_json.Set("l1_ratio", JsonValue::Number(path.l1_ratio));
+  config_json.Set("num_folds",
+                  JsonValue::Number(static_cast<uint64_t>(path.num_folds)));
+  config_json.Set("num_classes",
+                  JsonValue::Number(static_cast<uint64_t>(num_classes)));
+  config_json.Set("dataset", JsonValue::Str(data.name()));
+  config_json.Set("instances",
+                  JsonValue::Number(static_cast<uint64_t>(data.size())));
+  config_json.Set(
+      "features",
+      JsonValue::Number(static_cast<uint64_t>(data.num_features())));
+  report.Set("config", std::move(config_json));
+  report.Set("lambda_max", JsonValue::Number(warm_result.lambda_max));
+  report.Set("chosen_lambda", JsonValue::Number(chosen));
+  report.Set("best_index", JsonValue::Number(
+                               static_cast<uint64_t>(warm_result.best_index)));
+  report.Set("early_stopped", JsonValue::Bool(warm_result.early_stopped));
+
+  JsonValue solves = JsonValue::Array();
+  for (const PathSolve& s : warm_result.solves) {
+    JsonValue row = JsonValue::Object();
+    row.Set("lambda", JsonValue::Number(s.lambda));
+    row.Set("cv_loss", JsonValue::Number(s.cv_loss));
+    row.Set("objective", JsonValue::Number(s.objective));
+    row.Set("nnz", JsonValue::Number(s.nnz));
+    row.Set("comm_steps",
+            JsonValue::Number(static_cast<int64_t>(s.comm_steps)));
+    row.Set("sim_seconds", JsonValue::Number(s.sim_seconds));
+    row.Set("wall_seconds", JsonValue::Number(s.wall_seconds));
+    solves.Append(std::move(row));
+  }
+  report.Set("solves", std::move(solves));
+
+  JsonValue totals = JsonValue::Object();
+  totals.Set("warm_sim_seconds", JsonValue::Number(warm_sim));
+  totals.Set("cold_sim_seconds", JsonValue::Number(cold_sim));
+  totals.Set("warm_wall_seconds", JsonValue::Number(warm_wall));
+  totals.Set("cold_wall_seconds", JsonValue::Number(cold_wall));
+  totals.Set("sim_speedup",
+             JsonValue::Number(warm_sim > 0.0 ? cold_sim / warm_sim : 0.0));
+  report.Set("totals", std::move(totals));
+
+  const std::string out = bench::WriteBenchJson(flags.GetString("out"), report);
+  if (out.empty()) return 1;
+
+  if (warm_sim >= cold_sim) {
+    std::fprintf(stderr,
+                 "warm path (%.3f sim s) did not beat cold (%.3f sim s)\n",
+                 warm_sim, cold_sim);
+    return 2;
+  }
+  return 0;
+}

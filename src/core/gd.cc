@@ -1,5 +1,6 @@
 #include "core/gd.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <unordered_set>
@@ -168,7 +169,9 @@ ComputeStats OptimizerEpochImpl(const View& v, const Loss& loss,
         }
       }
       stats.nnz_processed += n;
-    } else if (reg.kind() == RegularizerKind::kL1) {
+    } else if (reg.kind() != RegularizerKind::kNone) {
+      // L1 (and the L1 part of elastic net) has no lazy form here;
+      // fall back to the eager dense step.
       reg.ApplyGradientStep(w, lr);
       stats.nnz_processed += w->dim();
     }
@@ -231,6 +234,246 @@ std::vector<size_t> Iota(size_t n) {
   std::vector<size_t> all(n);
   std::iota(all.begin(), all.end(), size_t{0});
   return all;
+}
+
+// Turns per-class margins into softmax probabilities in place and
+// returns the cross-entropy −log p_label, all via the max-subtraction
+// trick so no margin magnitude can overflow.
+double SoftmaxInPlace(std::vector<double>* m, size_t label) {
+  const double mx = *std::max_element(m->begin(), m->end());
+  const double margin_label = (*m)[label];
+  double sum = 0.0;
+  for (double& v : *m) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  const double loss = std::log(sum) + mx - margin_label;
+  for (double& v : *m) v /= sum;
+  return loss;
+}
+
+// Reads the K per-class margins of row `idx` under an optional scalar
+// scale (the lazy-L2 representation) into `*m`.
+template <typename View>
+void SoftmaxMargins(const View& v, size_t idx, size_t num_classes,
+                    size_t num_features, double scale, const DenseVector& w,
+                    std::vector<double>* m) {
+  const size_t n = v.nnz(idx);
+  const FeatureIndex* idxs = v.indices(idx);
+  const double* vals = v.values(idx);
+  for (size_t k = 0; k < num_classes; ++k) {
+    (*m)[k] = scale * w.Dot(idxs, vals, n, k * num_features);
+  }
+}
+
+template <typename View>
+ComputeStats BatchGradientSoftmaxImpl(const View& v,
+                                      const std::vector<size_t>& batch,
+                                      size_t num_classes,
+                                      size_t num_features,
+                                      const DenseVector& w,
+                                      DenseVector* gradient,
+                                      double* loss_sum) {
+  ComputeStats stats;
+  std::vector<double> m(num_classes);
+  for (size_t idx : batch) {
+    const size_t n = v.nnz(idx);
+    const FeatureIndex* idxs = v.indices(idx);
+    const double* vals = v.values(idx);
+    SoftmaxMargins(v, idx, num_classes, num_features, 1.0, w, &m);
+    stats.nnz_processed += num_classes * n;
+    const size_t label = static_cast<size_t>(v.label(idx));
+    MLLIBSTAR_CHECK_LT(label, num_classes);
+    const double loss = SoftmaxInPlace(&m, label);
+    if (loss_sum != nullptr) *loss_sum += loss;
+    for (size_t k = 0; k < num_classes; ++k) {
+      const double coef = m[k] - (k == label ? 1.0 : 0.0);
+      if (coef != 0.0) {
+        gradient->AddScaled(idxs, vals, n, coef, k * num_features);
+        stats.nnz_processed += n;
+      }
+    }
+  }
+  return stats;
+}
+
+template <typename View>
+ComputeStats SgdEpochSoftmaxImpl(const View& v, std::vector<size_t> rows,
+                                 size_t num_classes, size_t num_features,
+                                 const Regularizer& reg, double lr,
+                                 bool lazy_regularization, Rng* rng,
+                                 DenseVector* w) {
+  ComputeStats stats;
+  if (rows.empty()) return stats;
+  rng->Shuffle(&rows);
+
+  std::vector<double> m(num_classes);
+  const bool lazy_l2 =
+      lazy_regularization && reg.kind() == RegularizerKind::kL2;
+
+  if (lazy_l2) {
+    // The ScaledVector trick inlined: one scalar scale over the whole
+    // flattened model, sparse updates divided by it, re-materialized
+    // at the same 1e-9 threshold ScaledVector uses.
+    double scale = 1.0;
+    const double shrink = 1.0 - lr * reg.lambda();
+    MLLIBSTAR_CHECK_GT(shrink, 0.0);
+    for (size_t idx : rows) {
+      const size_t n = v.nnz(idx);
+      const FeatureIndex* idxs = v.indices(idx);
+      const double* vals = v.values(idx);
+      SoftmaxMargins(v, idx, num_classes, num_features, scale, *w, &m);
+      stats.nnz_processed += num_classes * n;
+      scale *= shrink;
+      if (scale < 1e-9) {
+        w->Scale(scale);
+        scale = 1.0;
+      }
+      const size_t label = static_cast<size_t>(v.label(idx));
+      MLLIBSTAR_CHECK_LT(label, num_classes);
+      SoftmaxInPlace(&m, label);
+      for (size_t k = 0; k < num_classes; ++k) {
+        const double coef = m[k] - (k == label ? 1.0 : 0.0);
+        if (coef != 0.0) {
+          w->AddScaled(idxs, vals, n, -lr * coef / scale,
+                       k * num_features);
+          stats.nnz_processed += n;
+        }
+      }
+      ++stats.model_updates;
+    }
+    w->Scale(scale);
+    return stats;
+  }
+
+  for (size_t idx : rows) {
+    const size_t n = v.nnz(idx);
+    const FeatureIndex* idxs = v.indices(idx);
+    const double* vals = v.values(idx);
+    SoftmaxMargins(v, idx, num_classes, num_features, 1.0, *w, &m);
+    stats.nnz_processed += num_classes * n;
+    if (reg.kind() != RegularizerKind::kNone) {
+      reg.ApplyGradientStep(w, lr);
+      stats.nnz_processed += w->dim();
+    }
+    const size_t label = static_cast<size_t>(v.label(idx));
+    MLLIBSTAR_CHECK_LT(label, num_classes);
+    SoftmaxInPlace(&m, label);
+    for (size_t k = 0; k < num_classes; ++k) {
+      const double coef = m[k] - (k == label ? 1.0 : 0.0);
+      if (coef != 0.0) {
+        w->AddScaled(idxs, vals, n, -lr * coef, k * num_features);
+        stats.nnz_processed += n;
+      }
+    }
+    ++stats.model_updates;
+  }
+  return stats;
+}
+
+template <typename View>
+ComputeStats OptimizerEpochSoftmaxImpl(const View& v, size_t num_classes,
+                                       size_t num_features,
+                                       const Regularizer& reg, double lr,
+                                       LocalOptimizer* optimizer, Rng* rng,
+                                       DenseVector* w) {
+  ComputeStats stats;
+  if (v.size() == 0) return stats;
+
+  std::vector<size_t> order(v.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  rng->Shuffle(&order);
+
+  const bool lazy_l2 = reg.kind() == RegularizerKind::kL2;
+  const double shrink = 1.0 - lr * reg.lambda();
+  std::vector<uint64_t> last_touched;
+  if (lazy_l2) {
+    MLLIBSTAR_CHECK_GT(shrink, 0.0);
+    last_touched.assign(w->dim(), 0);
+  }
+
+  std::vector<double> m(num_classes);
+  std::vector<FeatureIndex> shifted;
+  uint64_t step = 0;
+  for (size_t idx : order) {
+    const size_t n = v.nnz(idx);
+    const FeatureIndex* idxs = v.indices(idx);
+    const double* vals = v.values(idx);
+    ++step;
+    if (lazy_l2) {
+      for (size_t k = 0; k < num_classes; ++k) {
+        const size_t base = k * num_features;
+        for (size_t i = 0; i < n; ++i) {
+          const size_t j = base + idxs[i];
+          const uint64_t gap = step - last_touched[j];
+          if (gap > 0) {
+            (*w)[j] *= std::pow(shrink, static_cast<double>(gap));
+            last_touched[j] = step;
+          }
+        }
+      }
+      stats.nnz_processed += num_classes * n;
+    } else if (reg.kind() != RegularizerKind::kNone) {
+      reg.ApplyGradientStep(w, lr);
+      stats.nnz_processed += w->dim();
+    }
+    SoftmaxMargins(v, idx, num_classes, num_features, 1.0, *w, &m);
+    stats.nnz_processed += num_classes * n;
+    const size_t label = static_cast<size_t>(v.label(idx));
+    MLLIBSTAR_CHECK_LT(label, num_classes);
+    SoftmaxInPlace(&m, label);
+    shifted.resize(n);
+    for (size_t k = 0; k < num_classes; ++k) {
+      const double coef = m[k] - (k == label ? 1.0 : 0.0);
+      const FeatureIndex base =
+          static_cast<FeatureIndex>(k * num_features);
+      for (size_t i = 0; i < n; ++i) shifted[i] = base + idxs[i];
+      stats.nnz_processed +=
+          optimizer->ApplyUpdate(shifted.data(), vals, n, coef, lr, w);
+    }
+    ++stats.model_updates;
+  }
+
+  if (lazy_l2) {
+    for (size_t j = 0; j < w->dim(); ++j) {
+      const uint64_t gap = step - last_touched[j];
+      if (gap > 0) {
+        (*w)[j] *= std::pow(shrink, static_cast<double>(gap));
+      }
+    }
+    stats.nnz_processed += w->dim();
+  }
+  return stats;
+}
+
+template <typename View>
+ComputeStats MiniBatchGdSoftmaxImpl(const View& v, size_t num_classes,
+                                    size_t num_features,
+                                    const Regularizer& reg, double lr,
+                                    size_t batch_size, size_t num_batches,
+                                    Rng* rng, DenseVector* w) {
+  ComputeStats stats;
+  if (v.size() == 0 || batch_size == 0) return stats;
+
+  DenseVector gradient(w->dim());
+  for (size_t b = 0; b < num_batches; ++b) {
+    const std::vector<size_t> batch = SampleBatch(v.size(), batch_size, rng);
+    gradient.SetZero();
+    const ComputeStats batch_stats = BatchGradientSoftmaxImpl(
+        v, batch, num_classes, num_features, *w, &gradient, nullptr);
+    stats += batch_stats;
+    const double inv_batch = 1.0 / static_cast<double>(batch.size());
+    if (reg.kind() != RegularizerKind::kNone) {
+      reg.ApplyGradientStep(w, lr);
+      stats.nnz_processed += w->dim();
+    }
+    w->AddScaled(gradient, -lr * inv_batch);
+    stats.nnz_processed += reg.kind() != RegularizerKind::kNone
+                               ? w->dim()
+                               : batch_stats.nnz_processed / 2;
+    ++stats.model_updates;
+  }
+  return stats;
 }
 
 }  // namespace
@@ -377,6 +620,113 @@ ComputeStats LocalMiniBatchGd(const CsrBlock& block, const Loss& loss,
                               Rng* rng, DenseVector* w) {
   return MiniBatchGdImpl(CsrView{block}, loss, reg, lr, batch_size,
                          num_batches, rng, w);
+}
+
+ComputeStats AccumulateBatchGradientSoftmax(
+    const std::vector<DataPoint>& points, const std::vector<size_t>& batch,
+    size_t num_classes, size_t num_features, const DenseVector& w,
+    DenseVector* gradient) {
+  return BatchGradientSoftmaxImpl(PointsView{points}, batch, num_classes,
+                                  num_features, w, gradient, nullptr);
+}
+
+ComputeStats AccumulateBatchGradientSoftmax(
+    const CsrBlock& block, const std::vector<size_t>& batch,
+    size_t num_classes, size_t num_features, const DenseVector& w,
+    DenseVector* gradient) {
+  return BatchGradientSoftmaxImpl(CsrView{block}, batch, num_classes,
+                                  num_features, w, gradient, nullptr);
+}
+
+ComputeStats AccumulateLossGradientSoftmax(
+    const std::vector<DataPoint>& points, size_t num_classes,
+    size_t num_features, const DenseVector& w, DenseVector* gradient,
+    double* loss_sum) {
+  return BatchGradientSoftmaxImpl(PointsView{points},
+                                  Iota(points.size()), num_classes,
+                                  num_features, w, gradient, loss_sum);
+}
+
+ComputeStats AccumulateLossGradientSoftmax(const CsrBlock& block,
+                                           size_t num_classes,
+                                           size_t num_features,
+                                           const DenseVector& w,
+                                           DenseVector* gradient,
+                                           double* loss_sum) {
+  return BatchGradientSoftmaxImpl(CsrView{block}, Iota(block.rows()),
+                                  num_classes, num_features, w, gradient,
+                                  loss_sum);
+}
+
+ComputeStats LocalSgdEpochSoftmax(const std::vector<DataPoint>& points,
+                                  size_t num_classes, size_t num_features,
+                                  const Regularizer& reg, double lr,
+                                  bool lazy_regularization, Rng* rng,
+                                  DenseVector* w) {
+  return SgdEpochSoftmaxImpl(PointsView{points}, Iota(points.size()),
+                             num_classes, num_features, reg, lr,
+                             lazy_regularization, rng, w);
+}
+
+ComputeStats LocalSgdEpochSoftmax(const CsrBlock& block, size_t num_classes,
+                                  size_t num_features, const Regularizer& reg,
+                                  double lr, bool lazy_regularization,
+                                  Rng* rng, DenseVector* w) {
+  return SgdEpochSoftmaxImpl(CsrView{block}, Iota(block.rows()),
+                             num_classes, num_features, reg, lr,
+                             lazy_regularization, rng, w);
+}
+
+ComputeStats LocalSgdEpochSoftmax(const CsrBlock& block,
+                                  const std::vector<size_t>& rows,
+                                  size_t num_classes, size_t num_features,
+                                  const Regularizer& reg, double lr,
+                                  bool lazy_regularization, Rng* rng,
+                                  DenseVector* w) {
+  return SgdEpochSoftmaxImpl(CsrView{block}, rows, num_classes,
+                             num_features, reg, lr, lazy_regularization,
+                             rng, w);
+}
+
+ComputeStats LocalOptimizerEpochSoftmax(const std::vector<DataPoint>& points,
+                                        size_t num_classes,
+                                        size_t num_features,
+                                        const Regularizer& reg, double lr,
+                                        LocalOptimizer* optimizer, Rng* rng,
+                                        DenseVector* w) {
+  return OptimizerEpochSoftmaxImpl(PointsView{points}, num_classes,
+                                   num_features, reg, lr, optimizer, rng,
+                                   w);
+}
+
+ComputeStats LocalOptimizerEpochSoftmax(const CsrBlock& block,
+                                        size_t num_classes,
+                                        size_t num_features,
+                                        const Regularizer& reg, double lr,
+                                        LocalOptimizer* optimizer, Rng* rng,
+                                        DenseVector* w) {
+  return OptimizerEpochSoftmaxImpl(CsrView{block}, num_classes,
+                                   num_features, reg, lr, optimizer, rng,
+                                   w);
+}
+
+ComputeStats LocalMiniBatchGdSoftmax(const std::vector<DataPoint>& points,
+                                     size_t num_classes, size_t num_features,
+                                     const Regularizer& reg, double lr,
+                                     size_t batch_size, size_t num_batches,
+                                     Rng* rng, DenseVector* w) {
+  return MiniBatchGdSoftmaxImpl(PointsView{points}, num_classes,
+                                num_features, reg, lr, batch_size,
+                                num_batches, rng, w);
+}
+
+ComputeStats LocalMiniBatchGdSoftmax(const CsrBlock& block,
+                                     size_t num_classes, size_t num_features,
+                                     const Regularizer& reg, double lr,
+                                     size_t batch_size, size_t num_batches,
+                                     Rng* rng, DenseVector* w) {
+  return MiniBatchGdSoftmaxImpl(CsrView{block}, num_classes, num_features,
+                                reg, lr, batch_size, num_batches, rng, w);
 }
 
 }  // namespace mllibstar

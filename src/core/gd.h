@@ -152,6 +152,83 @@ ComputeStats LocalMiniBatchGd(const CsrBlock& block, const Loss& loss,
                               size_t batch_size, size_t num_batches,
                               Rng* rng, DenseVector* w);
 
+/// Softmax (multiclass maximum-entropy) kernel family. The model is a
+/// flattened K×d vector (class k's weights at [k·d, (k+1)·d)), labels
+/// are class ids 0..K−1 stored as doubles, and the per-example
+/// gradient for class k is (p_k − 1{y=k})·x with p = softmax(margins).
+/// Like the binary kernels, each has DataPoint and CsrBlock variants
+/// instantiated from one template, so both layouts are bit-identical.
+ComputeStats AccumulateBatchGradientSoftmax(
+    const std::vector<DataPoint>& points, const std::vector<size_t>& batch,
+    size_t num_classes, size_t num_features, const DenseVector& w,
+    DenseVector* gradient);
+ComputeStats AccumulateBatchGradientSoftmax(
+    const CsrBlock& block, const std::vector<size_t>& batch,
+    size_t num_classes, size_t num_features, const DenseVector& w,
+    DenseVector* gradient);
+
+/// Fused full-partition softmax pass (the L-BFGS oracle's multiclass
+/// worker task): adds Σᵢ ∇CE(w, xᵢ, yᵢ) to `*gradient` and
+/// Σᵢ CE(w, xᵢ, yᵢ) to `*loss_sum`.
+ComputeStats AccumulateLossGradientSoftmax(
+    const std::vector<DataPoint>& points, size_t num_classes,
+    size_t num_features, const DenseVector& w, DenseVector* gradient,
+    double* loss_sum);
+ComputeStats AccumulateLossGradientSoftmax(const CsrBlock& block,
+                                           size_t num_classes,
+                                           size_t num_features,
+                                           const DenseVector& w,
+                                           DenseVector* gradient,
+                                           double* loss_sum);
+
+/// One shuffled softmax SGD pass. Lazy L2 uses a local scalar scale
+/// over the whole flattened model — the ScaledVector trick inlined, so
+/// each update costs O(K·nnz) instead of O(K·d).
+ComputeStats LocalSgdEpochSoftmax(const std::vector<DataPoint>& points,
+                                  size_t num_classes, size_t num_features,
+                                  const Regularizer& reg, double lr,
+                                  bool lazy_regularization, Rng* rng,
+                                  DenseVector* w);
+ComputeStats LocalSgdEpochSoftmax(const CsrBlock& block, size_t num_classes,
+                                  size_t num_features, const Regularizer& reg,
+                                  double lr, bool lazy_regularization,
+                                  Rng* rng, DenseVector* w);
+ComputeStats LocalSgdEpochSoftmax(const CsrBlock& block,
+                                  const std::vector<size_t>& rows,
+                                  size_t num_classes, size_t num_features,
+                                  const Regularizer& reg, double lr,
+                                  bool lazy_regularization, Rng* rng,
+                                  DenseVector* w);
+
+/// One shuffled pass of stateful-optimizer softmax updates. The
+/// optimizer must be sized for the flattened K·d model; each example
+/// applies K per-class updates through shifted index spans.
+ComputeStats LocalOptimizerEpochSoftmax(const std::vector<DataPoint>& points,
+                                        size_t num_classes,
+                                        size_t num_features,
+                                        const Regularizer& reg, double lr,
+                                        LocalOptimizer* optimizer, Rng* rng,
+                                        DenseVector* w);
+ComputeStats LocalOptimizerEpochSoftmax(const CsrBlock& block,
+                                        size_t num_classes,
+                                        size_t num_features,
+                                        const Regularizer& reg, double lr,
+                                        LocalOptimizer* optimizer, Rng* rng,
+                                        DenseVector* w);
+
+/// `num_batches` steps of local mini-batch softmax GD (the Angel-style
+/// local computation on the multiclass objective).
+ComputeStats LocalMiniBatchGdSoftmax(const std::vector<DataPoint>& points,
+                                     size_t num_classes, size_t num_features,
+                                     const Regularizer& reg, double lr,
+                                     size_t batch_size, size_t num_batches,
+                                     Rng* rng, DenseVector* w);
+ComputeStats LocalMiniBatchGdSoftmax(const CsrBlock& block,
+                                     size_t num_classes, size_t num_features,
+                                     const Regularizer& reg, double lr,
+                                     size_t batch_size, size_t num_batches,
+                                     Rng* rng, DenseVector* w);
+
 }  // namespace mllibstar
 
 #endif  // MLLIBSTAR_CORE_GD_H_

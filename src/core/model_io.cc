@@ -8,6 +8,58 @@ namespace mllibstar {
 
 namespace {
 constexpr char kMagic[] = "mllibstar-model v1";
+constexpr char kMagicV2[] = "mllibstar-model v2";
+
+// Shared body of both loaders: reads "dim <d>" plus sparse
+// "<index> <value>" lines into a vector of `expected_dim` (the v1
+// model dim, or K·d for v2). `line_number` continues the caller's
+// header count for error messages.
+Result<DenseVector> LoadWeightLines(std::ifstream& in,
+                                    const std::string& path,
+                                    int64_t expected_dim,
+                                    size_t line_number) {
+  DenseVector w(static_cast<size_t>(expected_dim));
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = StrTrim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = StrSplit(trimmed, ' ');
+    if (fields.size() != 2) {
+      return Status::InvalidArgument("bad weight line " +
+                                     std::to_string(line_number) + " in " +
+                                     path);
+    }
+    MLLIBSTAR_ASSIGN_OR_RETURN(int64_t index, ParseInt64(fields[0]));
+    MLLIBSTAR_ASSIGN_OR_RETURN(double value, ParseDouble(fields[1]));
+    if (index < 0 || index >= expected_dim) {
+      return Status::OutOfRange("weight index " + std::to_string(index) +
+                                " outside dim " +
+                                std::to_string(expected_dim));
+    }
+    w[static_cast<size_t>(index)] = value;
+  }
+  return w;
+}
+
+// Reads a "<key> <non-negative int>" header line.
+Result<int64_t> LoadHeaderCount(std::ifstream& in, const std::string& path,
+                                const std::string& key) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("missing " + key + " line in " + path);
+  }
+  const auto fields = StrSplit(StrTrim(line), ' ');
+  if (fields.size() != 2 || fields[0] != key) {
+    return Status::InvalidArgument("bad " + key + " line in " + path);
+  }
+  MLLIBSTAR_ASSIGN_OR_RETURN(int64_t count, ParseInt64(fields[1]));
+  if (count < 0) {
+    return Status::InvalidArgument("negative " + key + " in " + path);
+  }
+  return count;
+}
+
 }  // namespace
 
 Status SaveModel(const GlmModel& model, const std::string& path) {
@@ -35,38 +87,61 @@ Result<GlmModel> LoadModel(const std::string& path) {
   if (!std::getline(in, line) || StrTrim(line) != kMagic) {
     return Status::InvalidArgument("bad model header in " + path);
   }
-  if (!std::getline(in, line)) {
-    return Status::InvalidArgument("missing dim line in " + path);
-  }
-  const auto dim_fields = StrSplit(StrTrim(line), ' ');
-  if (dim_fields.size() != 2 || dim_fields[0] != "dim") {
-    return Status::InvalidArgument("bad dim line in " + path);
-  }
-  MLLIBSTAR_ASSIGN_OR_RETURN(int64_t dim, ParseInt64(dim_fields[1]));
-  if (dim < 0) return Status::InvalidArgument("negative dim in " + path);
+  MLLIBSTAR_ASSIGN_OR_RETURN(int64_t dim, LoadHeaderCount(in, path, "dim"));
+  MLLIBSTAR_ASSIGN_OR_RETURN(DenseVector w,
+                             LoadWeightLines(in, path, dim, 2));
+  return GlmModel(std::move(w));
+}
 
-  GlmModel model(static_cast<size_t>(dim));
-  DenseVector* w = model.mutable_weights();
-  size_t line_number = 2;
-  while (std::getline(in, line)) {
-    ++line_number;
-    const std::string_view trimmed = StrTrim(line);
-    if (trimmed.empty()) continue;
-    const auto fields = StrSplit(trimmed, ' ');
-    if (fields.size() != 2) {
-      return Status::InvalidArgument("bad weight line " +
-                                     std::to_string(line_number) + " in " +
-                                     path);
-    }
-    MLLIBSTAR_ASSIGN_OR_RETURN(int64_t index, ParseInt64(fields[0]));
-    MLLIBSTAR_ASSIGN_OR_RETURN(double value, ParseDouble(fields[1]));
-    if (index < 0 || index >= dim) {
-      return Status::OutOfRange("weight index " + std::to_string(index) +
-                                " outside dim " + std::to_string(dim));
-    }
-    (*w)[static_cast<size_t>(index)] = value;
+Status SaveMulticlassModel(const MulticlassGlmModel& model,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
   }
-  return model;
+  out << kMagicV2 << '\n';
+  out << "classes " << model.num_classes() << '\n';
+  out << "dim " << model.num_features() << '\n';
+  out.precision(17);
+  const DenseVector& w = model.flat_weights();
+  for (size_t i = 0; i < w.dim(); ++i) {
+    if (w[i] != 0.0) out << i << ' ' << w[i] << '\n';
+  }
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<MulticlassGlmModel> LoadMulticlassModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("bad model header in " + path);
+  }
+  const std::string_view magic = StrTrim(line);
+  if (magic == kMagic) {
+    // v1 file: a single weight vector becomes the one class block.
+    MLLIBSTAR_ASSIGN_OR_RETURN(int64_t dim,
+                               LoadHeaderCount(in, path, "dim"));
+    MLLIBSTAR_ASSIGN_OR_RETURN(DenseVector w,
+                               LoadWeightLines(in, path, dim, 2));
+    return MulticlassGlmModel(1, static_cast<size_t>(dim), std::move(w));
+  }
+  if (magic != kMagicV2) {
+    return Status::InvalidArgument("bad model header in " + path);
+  }
+  MLLIBSTAR_ASSIGN_OR_RETURN(int64_t classes,
+                             LoadHeaderCount(in, path, "classes"));
+  if (classes == 0) {
+    return Status::InvalidArgument("zero classes in " + path);
+  }
+  MLLIBSTAR_ASSIGN_OR_RETURN(int64_t dim, LoadHeaderCount(in, path, "dim"));
+  MLLIBSTAR_ASSIGN_OR_RETURN(
+      DenseVector flat, LoadWeightLines(in, path, classes * dim, 3));
+  return MulticlassGlmModel(static_cast<size_t>(classes),
+                            static_cast<size_t>(dim), std::move(flat));
 }
 
 }  // namespace mllibstar

@@ -42,6 +42,22 @@ void DenseVector::AddScaled(const FeatureIndex* indices,
   for (; i < nnz; ++i) w[indices[i]] += alpha * values[i];
 }
 
+void DenseVector::AddScaled(const FeatureIndex* indices,
+                            const double* values, size_t nnz, double alpha,
+                            size_t offset) {
+  // Mirrors the offset-0 overload exactly (same unroll, same order of
+  // operations) with the destination shifted into a class block.
+  double* __restrict w = values_.data() + offset;
+  size_t i = 0;
+  for (; i + 4 <= nnz; i += 4) {
+    w[indices[i]] += alpha * values[i];
+    w[indices[i + 1]] += alpha * values[i + 1];
+    w[indices[i + 2]] += alpha * values[i + 2];
+    w[indices[i + 3]] += alpha * values[i + 3];
+  }
+  for (; i < nnz; ++i) w[indices[i]] += alpha * values[i];
+}
+
 void DenseVector::AddScaled(const DenseVector& x, double alpha) {
   MLLIBSTAR_CHECK_EQ(dim(), x.dim());
   const size_t n = values_.size();
@@ -65,6 +81,24 @@ double DenseVector::Dot(const FeatureIndex* indices, const double* values,
   // caller goes through this one implementation, so results stay
   // deterministic and layout-independent.
   const double* __restrict w = values_.data();
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= nnz; i += 4) {
+    s0 += w[indices[i]] * values[i];
+    s1 += w[indices[i + 1]] * values[i + 1];
+    s2 += w[indices[i + 2]] * values[i + 2];
+    s3 += w[indices[i + 3]] * values[i + 3];
+  }
+  double sum = (s0 + s1) + (s2 + s3);
+  for (; i < nnz; ++i) sum += w[indices[i]] * values[i];
+  return sum;
+}
+
+double DenseVector::Dot(const FeatureIndex* indices, const double* values,
+                        size_t nnz, size_t offset) const {
+  // Same four-accumulator structure as the offset-0 overload so the
+  // per-class margins of a flattened model sum bit-identically.
+  const double* __restrict w = values_.data() + offset;
   double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
   size_t i = 0;
   for (; i + 4 <= nnz; i += 4) {

@@ -67,6 +67,14 @@ class DenseVector {
   void AddScaled(const FeatureIndex* indices, const double* values,
                  size_t nnz, double alpha);
 
+  /// Sparse axpy into the block starting at `offset`: this[offset + j]
+  /// += alpha * x[j]. A flattened K-class model stores class k's
+  /// weights at offset k·d; this lets the softmax kernels update one
+  /// class block with the same arithmetic as the offset-0 overload
+  /// (offset + indices[i] must be < dim()).
+  void AddScaled(const FeatureIndex* indices, const double* values,
+                 size_t nnz, double alpha, size_t offset);
+
   /// this += alpha * x. Dimensions must match.
   void AddScaled(const DenseVector& x, double alpha);
 
@@ -81,6 +89,13 @@ class DenseVector {
   /// bit-identical sums.
   double Dot(const FeatureIndex* indices, const double* values,
              size_t nnz) const;
+
+  /// Sparse dot against the block starting at `offset`:
+  /// Σ this[offset + indices[i]] * values[i]. Same accumulator
+  /// structure as the offset-0 overload, so margins are bit-identical
+  /// whichever class block they read.
+  double Dot(const FeatureIndex* indices, const double* values, size_t nnz,
+             size_t offset) const;
 
   /// Dot product with a dense vector of the same dimension.
   double Dot(const DenseVector& x) const;

@@ -83,6 +83,7 @@ enum class CheckpointTag : uint64_t {
   kMllibStar = 3,
   kPs = 4,
   kLbfgs = 5,
+  kPath = 6,  ///< regularization-path driver state (workloads/path_search)
 };
 
 /// True when the trainer should snapshot after completing `step`.

@@ -20,7 +20,7 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
 
   SparkCluster spark(cluster, config().host_threads);
   const size_t k = spark.num_workers();
-  const size_t d = data.num_features();
+  const size_t d = ModelDim(data);
   const uint64_t model_bytes = codec().EncodedBytes(d);
   const size_t num_agg = std::max<size_t>(
       1, config().num_aggregators != 0
@@ -52,9 +52,8 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
         spark.RunOnWorkers("loss+grad", [&](size_t r) -> WorkerStats {
           worker_gradients[r].SetZero();
           WorkerStats ws;
-          const ComputeStats stats =
-              AccumulateLossGradient(partitions[r], loss(), w_recv,
-                                     &worker_gradients[r], &ws.loss_sum);
+          const ComputeStats stats = objective().LossGradient(
+              partitions[r], w_recv, &worker_gradients[r], &ws.loss_sum);
           ws.work_units = stats.nnz_processed;
           return ws;
         });
@@ -69,21 +68,21 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
                           1.0);
     }
     gradient->Scale(1.0 / n);
-    // With L1, OWL-QN owns the penalty: the oracle returns the smooth
-    // part only (spark.ml's LBFGS/OWLQN selection). Smooth penalties
-    // fold into the oracle directly.
-    const bool l1 = config().regularizer == RegularizerKind::kL1;
-    if (!l1) regularizer().AddGradient(w, gradient);
+    // OWL-QN owns any ‖w‖₁ term (pure L1, or the L1 part of elastic
+    // net): the oracle returns the smooth part only — mean loss plus
+    // the regularizer's smooth (L2) component (spark.ml's LBFGS/OWLQN
+    // selection).
+    regularizer().AddSmoothGradient(w, gradient);
     spark.RunOnDriver("lbfgs-direction", 2 * d);
     ++passes;
     ++result.total_model_updates;
 
-    const double smooth =
-        loss_sum / n + (l1 ? 0.0 : regularizer().Value(w));
+    const double smooth = loss_sum / n + regularizer().SmoothValue(w);
     const SimTime now = spark.Barrier();
     pass_span.SetSimRange(pass_sim_start, now);
     // The recorded curve always shows the full objective.
-    const double full = smooth + (l1 ? regularizer().Value(w) : 0.0);
+    const double l1s = regularizer().l1_lambda();
+    const double full = l1s > 0.0 ? smooth + l1s * w.Norm1() : smooth;
     result.curve.Add(passes, now, full);
     {
       Telemetry& obs = Telemetry::Get();
@@ -102,22 +101,31 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
   LbfgsOptions options;
   // Each "communication step" budget unit buys one distributed pass.
   options.max_iterations = config().max_comm_steps;
+  // The path driver's per-solve stopping rule maps onto the solver's
+  // relative-improvement tolerance — this is what makes warm-started
+  // solves finish in fewer passes.
+  if (config().stop_rel_improvement.has_value()) {
+    options.objective_tolerance = *config().stop_rel_improvement;
+  }
   LbfgsResult solved;
-  if (config().regularizer == RegularizerKind::kL1) {
+  const double l1_strength = regularizer().l1_lambda();
+  if (l1_strength > 0.0) {
     // OWL-QN carries orthant/pseudo-gradient state that is not
     // serialized; checkpointing covers the smooth L-BFGS path only.
     MLLIBSTAR_CHECK(!config().checkpoint.enabled());
-    OwlqnSolver solver(options, config().lambda);
-    solved = solver.Minimize(oracle, DenseVector(d));
+    OwlqnSolver solver(options, l1_strength);
+    solved = solver.Minimize(oracle, InitialWeights(d));
   } else {
     LbfgsSolver solver(options);
     LbfgsState state;
-    state.x = DenseVector(d);
+    state.x = InitialWeights(d);
     {
       Checkpoint ck;
       if (TryResume(config().checkpoint, &ck)) {
         MLLIBSTAR_CHECK_EQ(ck.TakeU64(),
                            static_cast<uint64_t>(CheckpointTag::kLbfgs));
+        MLLIBSTAR_CHECK_EQ(ck.TakeU64(),
+                           static_cast<uint64_t>(config().num_classes));
         state.iteration = static_cast<int>(ck.TakeU64());
         state.evaluated = ck.TakeU64() != 0;
         state.objective = ck.TakeDouble();
@@ -141,6 +149,7 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
         if (!ShouldCheckpoint(config().checkpoint, st.iteration)) return;
         Checkpoint ck;
         ck.PutU64(static_cast<uint64_t>(CheckpointTag::kLbfgs));
+        ck.PutU64(static_cast<uint64_t>(config().num_classes));
         ck.PutU64(static_cast<uint64_t>(st.iteration));
         ck.PutU64(st.evaluated ? 1 : 0);
         ck.PutDouble(st.objective);

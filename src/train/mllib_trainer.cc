@@ -58,14 +58,14 @@ TrainResult MllibTrainer::Train(const Dataset& data,
 
   SparkCluster spark(cluster, config().host_threads);
   const size_t k = spark.num_workers();
-  const size_t d = data.num_features();
+  const size_t d = ModelDim(data);
   const uint64_t model_bytes = codec().EncodedBytes(d);
   const size_t num_agg = DefaultAggregators(k, config().num_aggregators);
 
   std::vector<CsrBlock> partitions = PartitionCsr(data, k);
   std::vector<Rng> rngs = WorkerRngs(config().seed, k);
 
-  DenseVector w(d);
+  DenseVector w = InitialWeights(d);
   std::vector<DenseVector> gradients(k, DenseVector(d));
   ErrorFeedback ef = MakeErrorFeedback(codec(), config().codec, k, d);
 
@@ -75,6 +75,8 @@ TrainResult MllibTrainer::Train(const Dataset& data,
     if (TryResume(config().checkpoint, &ck)) {
       MLLIBSTAR_CHECK_EQ(ck.TakeU64(),
                          static_cast<uint64_t>(CheckpointTag::kMllib));
+      MLLIBSTAR_CHECK_EQ(ck.TakeU64(),
+                         static_cast<uint64_t>(config().num_classes));
       t0 = static_cast<int>(ck.TakeU64());
       w = ck.TakeVector();
       MLLIBSTAR_CHECK_EQ(w.dim(), d);
@@ -112,8 +114,8 @@ TrainResult MllibTrainer::Train(const Dataset& data,
           const std::vector<size_t> batch =
               SampleBatch(part.rows(), bsize, &rngs[r]);
           gradients[r].SetZero();
-          const ComputeStats stats = AccumulateBatchGradient(
-              part, batch, loss(), w_recv, &gradients[r]);
+          const ComputeStats stats = objective().BatchGradient(
+              part, batch, w_recv, &gradients[r]);
           ws.work_units = stats.nnz_processed;
           ws.batch_size = batch.size();
           return ws;
@@ -144,6 +146,7 @@ TrainResult MllibTrainer::Train(const Dataset& data,
     if (ShouldCheckpoint(config().checkpoint, t + 1)) {
       Checkpoint ck;
       ck.PutU64(static_cast<uint64_t>(CheckpointTag::kMllib));
+      ck.PutU64(static_cast<uint64_t>(config().num_classes));
       ck.PutU64(static_cast<uint64_t>(t + 1));
       ck.PutVector(w);
       PutWorkerRngs(&ck, rngs);
@@ -182,14 +185,14 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
 
   SparkCluster spark(cluster, config().host_threads);
   const size_t k = spark.num_workers();
-  const size_t d = data.num_features();
+  const size_t d = ModelDim(data);
   const uint64_t model_bytes = codec().EncodedBytes(d);
   const size_t num_agg = DefaultAggregators(k, config().num_aggregators);
 
   std::vector<CsrBlock> partitions = PartitionCsr(data, k);
   std::vector<Rng> rngs = WorkerRngs(config().seed, k);
 
-  DenseVector w(d);
+  DenseVector w = InitialWeights(d);
   std::vector<DenseVector> locals(k, DenseVector(d));
   ErrorFeedback ef = MakeErrorFeedback(codec(), config().codec, k, d);
   std::vector<std::unique_ptr<LocalOptimizer>> optimizers;
@@ -208,6 +211,8 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
     if (TryResume(config().checkpoint, &ck)) {
       MLLIBSTAR_CHECK_EQ(ck.TakeU64(),
                          static_cast<uint64_t>(CheckpointTag::kMllibMa));
+      MLLIBSTAR_CHECK_EQ(ck.TakeU64(),
+                         static_cast<uint64_t>(config().num_classes));
       t0 = static_cast<int>(ck.TakeU64());
       w = ck.TakeVector();
       MLLIBSTAR_CHECK_EQ(w.dim(), d);
@@ -240,15 +245,12 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
           ComputeStats stats;
           for (size_t e = 0; e < std::max<size_t>(1, config().local_epochs);
                ++e) {
-            stats +=
-                optimizers.empty()
-                    ? LocalSgdEpoch(partitions[r], loss(), regularizer(),
-                                    lr, config().lazy_regularization,
-                                    &rngs[r], &locals[r])
-                    : LocalOptimizerEpoch(partitions[r], loss(),
-                                          regularizer(), lr,
-                                          optimizers[r].get(), &rngs[r],
-                                          &locals[r]);
+            stats += optimizers.empty()
+                         ? objective().SgdEpoch(partitions[r], lr,
+                                                &rngs[r], &locals[r])
+                         : objective().OptimizerEpoch(partitions[r], lr,
+                                                      optimizers[r].get(),
+                                                      &rngs[r], &locals[r]);
           }
           WorkerStats ws;
           ws.work_units = stats.nnz_processed;
@@ -275,6 +277,7 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
     if (ShouldCheckpoint(config().checkpoint, t + 1)) {
       Checkpoint ck;
       ck.PutU64(static_cast<uint64_t>(CheckpointTag::kMllibMa));
+      ck.PutU64(static_cast<uint64_t>(config().num_classes));
       ck.PutU64(static_cast<uint64_t>(t + 1));
       ck.PutVector(w);
       PutWorkerRngs(&ck, rngs);
@@ -313,7 +316,7 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
 
   SparkCluster spark(cluster, config().host_threads);
   const size_t k = spark.num_workers();
-  const size_t d = data.num_features();
+  const size_t d = ModelDim(data);
   // Each shuffle moves one codec-encoded model partition (~d/k
   // coordinates) per peer pair.
   const uint64_t partition_bytes = codec().EncodedBytes((d + k - 1) / k);
@@ -326,8 +329,8 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
   // all workers and concatenating equals the full average, so the
   // host-side math uses Average() directly while the engine charges
   // the two shuffles.
-  DenseVector global(d);
-  std::vector<DenseVector> locals(k, DenseVector(d));
+  DenseVector global = InitialWeights(d);
+  std::vector<DenseVector> locals(k, global);
   ErrorFeedback ef = MakeErrorFeedback(codec(), config().codec, k, d);
   std::vector<std::unique_ptr<LocalOptimizer>> optimizers;
   if (config().local_optimizer.kind != LocalOptimizerKind::kSgd) {
@@ -345,6 +348,8 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
     if (TryResume(config().checkpoint, &ck)) {
       MLLIBSTAR_CHECK_EQ(ck.TakeU64(),
                          static_cast<uint64_t>(CheckpointTag::kMllibStar));
+      MLLIBSTAR_CHECK_EQ(ck.TakeU64(),
+                         static_cast<uint64_t>(config().num_classes));
       t0 = static_cast<int>(ck.TakeU64());
       global = ck.TakeVector();
       MLLIBSTAR_CHECK_EQ(global.dim(), d);
@@ -374,15 +379,12 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
           ComputeStats stats;
           for (size_t e = 0; e < std::max<size_t>(1, config().local_epochs);
                ++e) {
-            stats +=
-                optimizers.empty()
-                    ? LocalSgdEpoch(partitions[r], loss(), regularizer(),
-                                    lr, config().lazy_regularization,
-                                    &rngs[r], &locals[r])
-                    : LocalOptimizerEpoch(partitions[r], loss(),
-                                          regularizer(), lr,
-                                          optimizers[r].get(), &rngs[r],
-                                          &locals[r]);
+            stats += optimizers.empty()
+                         ? objective().SgdEpoch(partitions[r], lr,
+                                                &rngs[r], &locals[r])
+                         : objective().OptimizerEpoch(partitions[r], lr,
+                                                      optimizers[r].get(),
+                                                      &rngs[r], &locals[r]);
           }
           WorkerStats ws;
           ws.work_units = stats.nnz_processed;
@@ -416,6 +418,7 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
     if (ShouldCheckpoint(config().checkpoint, t + 1)) {
       Checkpoint ck;
       ck.PutU64(static_cast<uint64_t>(CheckpointTag::kMllibStar));
+      ck.PutU64(static_cast<uint64_t>(config().num_classes));
       ck.PutU64(static_cast<uint64_t>(t + 1));
       ck.PutVector(global);
       PutWorkerRngs(&ck, rngs);

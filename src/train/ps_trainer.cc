@@ -56,7 +56,7 @@ TrainResult PsTrainer::Train(const Dataset& data,
   TrainResult result;
   result.system = name();
 
-  const size_t d = data.num_features();
+  const size_t d = ModelDim(data);
 
   // The aggregation scheme is what distinguishes the systems; the
   // shard count and consistency come from the config.
@@ -90,13 +90,22 @@ TrainResult PsTrainer::Train(const Dataset& data,
   rngs.reserve(k);
   for (size_t r = 0; r < k; ++r) rngs.push_back(root.Fork());
 
+  // Warm start (the λ path): seed the server model before any worker
+  // pulls, and refresh the crash-restore snapshot so a shard failure
+  // rolls back to the warm point rather than zeros.
+  if (config().init_weights.dim() != 0) {
+    *server.mutable_model() = InitialWeights(d);
+    server.CheckpointServerNow();
+  }
+
   // Per-worker and per-round progress.
   // Feature-filtered pulls: each worker only needs the coordinates its
   // partition actually references (Angel's optimization). Computed
-  // once from the static partitioning.
+  // once from the static partitioning. A softmax model carries
+  // CoordsPerFeature() (= K) model coordinates per touched feature.
   std::vector<uint64_t> pull_bytes(k, codec().EncodedBytes(d));
   if (ps.sparse_pull) {
-    std::vector<bool> touched(d);
+    std::vector<bool> touched(data.num_features());
     for (size_t r = 0; r < k; ++r) {
       std::fill(touched.begin(), touched.end(), false);
       size_t features = 0;
@@ -106,7 +115,8 @@ TrainResult PsTrainer::Train(const Dataset& data,
           ++features;
         }
       }
-      pull_bytes[r] = server.SparseBytes(features);
+      pull_bytes[r] =
+          server.SparseBytes(features * objective().CoordsPerFeature());
     }
   }
 
@@ -135,6 +145,8 @@ TrainResult PsTrainer::Train(const Dataset& data,
     if (TryResume(config().checkpoint, &ck)) {
       MLLIBSTAR_CHECK_EQ(ck.TakeU64(),
                          static_cast<uint64_t>(CheckpointTag::kPs));
+      MLLIBSTAR_CHECK_EQ(ck.TakeU64(),
+                         static_cast<uint64_t>(config().num_classes));
       resumed_round = static_cast<int>(ck.TakeU64());
       *server.mutable_model() = ck.TakeVector();
       MLLIBSTAR_CHECK_EQ(server.model().dim(), d);
@@ -186,22 +198,20 @@ TrainResult PsTrainer::Train(const Dataset& data,
           // identical math to copying the rows out, without the copy.
           const std::vector<size_t> batch =
               SampleBatch(part.rows(), bsize, &rngs[r]);
-          stats = LocalSgdEpoch(part, batch, loss(), regularizer(), lr,
-                                config().lazy_regularization, &rngs[r],
-                                local);
+          stats = objective().SgdEpoch(part, batch, lr, &rngs[r], local);
         } else {
           // Nonzero regularization: one batch-GD update per step
           // (dense regularizer updates are too expensive per point).
-          stats = LocalMiniBatchGd(part, loss(), regularizer(), lr, bsize,
-                                   /*num_batches=*/1, &rngs[r], local);
+          stats = objective().MiniBatchGd(part, lr, bsize,
+                                          /*num_batches=*/1, &rngs[r], local);
         }
         break;
       }
       case Mode::kAngel: {
         // One epoch of batch GD locally, communicating once.
         const size_t num_batches = (part.rows() + bsize - 1) / bsize;
-        stats = LocalMiniBatchGd(part, loss(), regularizer(), lr, bsize,
-                                 num_batches, &rngs[r], local);
+        stats = objective().MiniBatchGd(part, lr, bsize, num_batches,
+                                        &rngs[r], local);
         if (config().angel_allocation_overhead) {
           // Allocating and collecting a dense gradient buffer per
           // batch (paper §V-B2's memory/GC overhead).
@@ -454,6 +464,7 @@ TrainResult PsTrainer::Train(const Dataset& data,
           ShouldCheckpoint(config().checkpoint, completed)) {
         Checkpoint ck;
         ck.PutU64(static_cast<uint64_t>(CheckpointTag::kPs));
+        ck.PutU64(static_cast<uint64_t>(config().num_classes));
         ck.PutU64(static_cast<uint64_t>(completed));
         ck.PutVector(server.model());
         PutWorkerRngs(&ck, rngs);

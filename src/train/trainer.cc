@@ -1,7 +1,9 @@
 #include "train/trainer.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
 #include "train/lbfgs_trainer.h"
 #include "train/mllib_trainer.h"
 #include "train/ps_trainer.h"
@@ -32,21 +34,42 @@ Trainer::Trainer(TrainerConfig config)
     : config_(std::move(config)),
       codec_(MakeCodec(config_.codec)),
       loss_(MakeLoss(config_.loss)),
-      reg_(MakeRegularizer(config_.regularizer, config_.lambda)),
+      reg_(MakeRegularizer(config_.regularizer, config_.lambda,
+                           config_.l1_ratio)),
+      objective_(config_.num_classes >= 2
+                     ? MakeSoftmaxObjective(config_.num_classes, reg_.get(),
+                                            config_.lazy_regularization)
+                     : MakeBinaryObjective(loss_.get(), reg_.get(),
+                                           config_.lazy_regularization)),
       schedule_(config_.lr_schedule, config_.base_lr) {}
 
-double Trainer::Eval(const Dataset& data, const DenseVector& w) const {
-  return Objective(data.points(), *loss_, *reg_, w);
+DenseVector Trainer::InitialWeights(size_t dim) const {
+  if (config_.init_weights.dim() == 0) return DenseVector(dim);
+  MLLIBSTAR_CHECK_EQ(config_.init_weights.dim(), dim);
+  return config_.init_weights;
 }
 
-bool Trainer::ShouldStop(int step, SimTime now, double objective) const {
+double Trainer::Eval(const Dataset& data, const DenseVector& w) const {
+  return objective_->MeanPointLoss(data.points(), w) + reg_->Value(w);
+}
+
+bool Trainer::ShouldStop(int step, SimTime now, double objective) {
   if (step >= config_.max_comm_steps) return true;
   if (now >= config_.max_sim_seconds) return true;
   if (config_.target_objective.has_value() &&
       objective <= *config_.target_objective) {
     return true;
   }
-  return IsDiverged(objective);
+  if (IsDiverged(objective)) return true;
+  if (config_.stop_rel_improvement.has_value()) {
+    if (prev_eval_.has_value()) {
+      const double rel = (*prev_eval_ - objective) /
+                         std::max(1.0, std::fabs(*prev_eval_));
+      if (rel < *config_.stop_rel_improvement) return true;
+    }
+    prev_eval_ = objective;
+  }
+  return false;
 }
 
 bool Trainer::IsDiverged(double objective) {

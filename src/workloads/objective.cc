@@ -1,0 +1,156 @@
+#include "workloads/objective.h"
+
+#include "common/logging.h"
+#include "core/model.h"
+
+namespace mllibstar {
+namespace {
+
+class BinaryObjective final : public GlmObjective {
+ public:
+  BinaryObjective(const Loss* loss, const Regularizer* reg,
+                  bool lazy_regularization)
+      : loss_(loss), reg_(reg), lazy_(lazy_regularization) {}
+
+  size_t num_classes() const override { return 0; }
+
+  ComputeStats BatchGradient(const CsrBlock& block,
+                             const std::vector<size_t>& batch,
+                             const DenseVector& w,
+                             DenseVector* gradient) const override {
+    return AccumulateBatchGradient(block, batch, *loss_, w, gradient);
+  }
+
+  ComputeStats LossGradient(const CsrBlock& block, const DenseVector& w,
+                            DenseVector* gradient,
+                            double* loss_sum) const override {
+    return AccumulateLossGradient(block, *loss_, w, gradient, loss_sum);
+  }
+
+  ComputeStats SgdEpoch(const CsrBlock& block, double lr, Rng* rng,
+                        DenseVector* w) const override {
+    return LocalSgdEpoch(block, *loss_, *reg_, lr, lazy_, rng, w);
+  }
+
+  ComputeStats SgdEpoch(const CsrBlock& block,
+                        const std::vector<size_t>& rows, double lr,
+                        Rng* rng, DenseVector* w) const override {
+    return LocalSgdEpoch(block, rows, *loss_, *reg_, lr, lazy_, rng, w);
+  }
+
+  ComputeStats OptimizerEpoch(const CsrBlock& block, double lr,
+                              LocalOptimizer* optimizer, Rng* rng,
+                              DenseVector* w) const override {
+    return LocalOptimizerEpoch(block, *loss_, *reg_, lr, optimizer, rng, w);
+  }
+
+  ComputeStats MiniBatchGd(const CsrBlock& block, double lr,
+                           size_t batch_size, size_t num_batches, Rng* rng,
+                           DenseVector* w) const override {
+    return LocalMiniBatchGd(block, *loss_, *reg_, lr, batch_size,
+                            num_batches, rng, w);
+  }
+
+  double MeanPointLoss(const std::vector<DataPoint>& points,
+                       const DenseVector& w) const override {
+    return MeanLoss(points, *loss_, w);
+  }
+
+  std::string name() const override { return "binary/" + loss_->name(); }
+
+ private:
+  const Loss* loss_;
+  const Regularizer* reg_;
+  bool lazy_;
+};
+
+class SoftmaxObjective final : public GlmObjective {
+ public:
+  SoftmaxObjective(size_t num_classes, const Regularizer* reg,
+                   bool lazy_regularization)
+      : num_classes_(num_classes), reg_(reg), lazy_(lazy_regularization) {
+    MLLIBSTAR_CHECK_GE(num_classes_, 2u);
+  }
+
+  size_t num_classes() const override { return num_classes_; }
+
+  ComputeStats BatchGradient(const CsrBlock& block,
+                             const std::vector<size_t>& batch,
+                             const DenseVector& w,
+                             DenseVector* gradient) const override {
+    return AccumulateBatchGradientSoftmax(
+        block, batch, num_classes_, Features(w), w, gradient);
+  }
+
+  ComputeStats LossGradient(const CsrBlock& block, const DenseVector& w,
+                            DenseVector* gradient,
+                            double* loss_sum) const override {
+    return AccumulateLossGradientSoftmax(block, num_classes_, Features(w),
+                                         w, gradient, loss_sum);
+  }
+
+  ComputeStats SgdEpoch(const CsrBlock& block, double lr, Rng* rng,
+                        DenseVector* w) const override {
+    return LocalSgdEpochSoftmax(block, num_classes_, Features(*w), *reg_,
+                                lr, lazy_, rng, w);
+  }
+
+  ComputeStats SgdEpoch(const CsrBlock& block,
+                        const std::vector<size_t>& rows, double lr,
+                        Rng* rng, DenseVector* w) const override {
+    return LocalSgdEpochSoftmax(block, rows, num_classes_, Features(*w),
+                                *reg_, lr, lazy_, rng, w);
+  }
+
+  ComputeStats OptimizerEpoch(const CsrBlock& block, double lr,
+                              LocalOptimizer* optimizer, Rng* rng,
+                              DenseVector* w) const override {
+    return LocalOptimizerEpochSoftmax(block, num_classes_, Features(*w),
+                                      *reg_, lr, optimizer, rng, w);
+  }
+
+  ComputeStats MiniBatchGd(const CsrBlock& block, double lr,
+                           size_t batch_size, size_t num_batches, Rng* rng,
+                           DenseVector* w) const override {
+    return LocalMiniBatchGdSoftmax(block, num_classes_, Features(*w), *reg_,
+                                   lr, batch_size, num_batches, rng, w);
+  }
+
+  double MeanPointLoss(const std::vector<DataPoint>& points,
+                       const DenseVector& w) const override {
+    return MeanSoftmaxLoss(points, num_classes_, Features(w), w);
+  }
+
+  std::string name() const override {
+    return "softmax" + std::to_string(num_classes_);
+  }
+
+ private:
+  // The per-class feature count, recovered from the flattened model so
+  // the objective stays stateless about the dataset.
+  size_t Features(const DenseVector& w) const {
+    MLLIBSTAR_CHECK_EQ(w.dim() % num_classes_, 0u);
+    return w.dim() / num_classes_;
+  }
+
+  size_t num_classes_;
+  const Regularizer* reg_;
+  bool lazy_;
+};
+
+}  // namespace
+
+std::unique_ptr<GlmObjective> MakeBinaryObjective(const Loss* loss,
+                                                  const Regularizer* reg,
+                                                  bool lazy_regularization) {
+  return std::make_unique<BinaryObjective>(loss, reg, lazy_regularization);
+}
+
+std::unique_ptr<GlmObjective> MakeSoftmaxObjective(size_t num_classes,
+                                                   const Regularizer* reg,
+                                                   bool lazy_regularization) {
+  return std::make_unique<SoftmaxObjective>(num_classes, reg,
+                                            lazy_regularization);
+}
+
+}  // namespace mllibstar

@@ -1,0 +1,103 @@
+#ifndef MLLIBSTAR_WORKLOADS_OBJECTIVE_H_
+#define MLLIBSTAR_WORKLOADS_OBJECTIVE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/csr_block.h"
+#include "core/datapoint.h"
+#include "core/gd.h"
+#include "core/local_optimizer.h"
+#include "core/loss.h"
+#include "core/regularizer.h"
+#include "core/vector.h"
+
+namespace mllibstar {
+
+/// One training objective viewed through the kernel calls the seven
+/// distributed trainers make. The binary implementation delegates
+/// verbatim to the scalar-margin kernels in core/gd (same arguments,
+/// same FP operations — existing runs stay bit-identical); the softmax
+/// implementation routes the identical call sites to the multiclass
+/// kernels over a flattened K×d model. Trainers hold exactly one of
+/// these, so a workload change never touches trainer control flow,
+/// communication, scheduling, or fault handling.
+class GlmObjective {
+ public:
+  virtual ~GlmObjective() = default;
+
+  /// 0 for the binary margin objective, K ≥ 2 for softmax.
+  virtual size_t num_classes() const = 0;
+
+  /// Model coordinates per data feature: 1 for binary, K for softmax.
+  /// The PS sparse-pull byte accounting scales by this.
+  size_t CoordsPerFeature() const {
+    const size_t k = num_classes();
+    return k == 0 ? 1 : k;
+  }
+
+  /// Flattened model dimension for a d-feature dataset (d or K·d).
+  size_t ModelDim(size_t num_features) const {
+    return CoordsPerFeature() * num_features;
+  }
+
+  /// grad += Σ_{i ∈ batch} ∇l(w, xᵢ, yᵢ) — the SendGradient worker
+  /// task (Algorithm 2).
+  virtual ComputeStats BatchGradient(const CsrBlock& block,
+                                     const std::vector<size_t>& batch,
+                                     const DenseVector& w,
+                                     DenseVector* gradient) const = 0;
+
+  /// Fused full-partition loss + gradient — the L-BFGS oracle's
+  /// worker task.
+  virtual ComputeStats LossGradient(const CsrBlock& block,
+                                    const DenseVector& w,
+                                    DenseVector* gradient,
+                                    double* loss_sum) const = 0;
+
+  /// One shuffled local SGD pass (the SendModel local computation).
+  virtual ComputeStats SgdEpoch(const CsrBlock& block, double lr, Rng* rng,
+                                DenseVector* w) const = 0;
+
+  /// Subset variant over `rows` of `block` (a sampled mini-batch).
+  virtual ComputeStats SgdEpoch(const CsrBlock& block,
+                                const std::vector<size_t>& rows, double lr,
+                                Rng* rng, DenseVector* w) const = 0;
+
+  /// One shuffled pass through a stateful local optimizer (sized for
+  /// ModelDim coordinates).
+  virtual ComputeStats OptimizerEpoch(const CsrBlock& block, double lr,
+                                      LocalOptimizer* optimizer, Rng* rng,
+                                      DenseVector* w) const = 0;
+
+  /// `num_batches` local mini-batch GD steps (Petuum/Angel style).
+  virtual ComputeStats MiniBatchGd(const CsrBlock& block, double lr,
+                                   size_t batch_size, size_t num_batches,
+                                   Rng* rng, DenseVector* w) const = 0;
+
+  /// Mean pointwise loss (1/n) Σ l(w, xᵢ, yᵢ), without the
+  /// regularizer — the data term of the evaluated objective.
+  virtual double MeanPointLoss(const std::vector<DataPoint>& points,
+                               const DenseVector& w) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The binary margin objective over `loss` + `reg` (borrowed, not
+/// owned; must outlive the objective). Pure delegation to the
+/// existing core/gd kernels — bit-identical to calling them directly.
+std::unique_ptr<GlmObjective> MakeBinaryObjective(const Loss* loss,
+                                                  const Regularizer* reg,
+                                                  bool lazy_regularization);
+
+/// Softmax cross-entropy over `num_classes` classes (labels are class
+/// ids 0..K−1) with `reg` applied to the flattened K×d model.
+std::unique_ptr<GlmObjective> MakeSoftmaxObjective(size_t num_classes,
+                                                   const Regularizer* reg,
+                                                   bool lazy_regularization);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_WORKLOADS_OBJECTIVE_H_

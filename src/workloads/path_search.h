@@ -1,0 +1,116 @@
+#ifndef MLLIBSTAR_WORKLOADS_PATH_SEARCH_H_
+#define MLLIBSTAR_WORKLOADS_PATH_SEARCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/vector.h"
+#include "data/dataset.h"
+#include "sim/cluster_config.h"
+#include "train/checkpoint.h"
+#include "train/trainer.h"
+
+namespace mllibstar {
+
+/// A warm-started elastic-net regularization path (h2o4gpu-style): a
+/// descending log grid of n_lambdas penalties from a data-derived
+/// λ_max down to λ_max·lambda_min_ratio, each solved by one of the
+/// seven trainers, warm-starting every solve from the previous λ's
+/// solution. Optional deterministic k-fold cross-validation picks the
+/// λ with the lowest held-out loss; a flat tail in that metric stops
+/// the path early.
+struct PathConfig {
+  /// Which of the seven systems runs each solve.
+  SystemKind system = SystemKind::kMllibLbfgs;
+  /// Per-solve template. `regularizer`, `lambda`, `l1_ratio`,
+  /// `stop_rel_improvement`, `init_weights` and `checkpoint` are
+  /// overwritten by the driver for every solve; everything else
+  /// (loss/num_classes, lr, budgets, codec, faults, host_threads,
+  /// seed) passes through unchanged.
+  TrainerConfig trainer;
+
+  size_t n_lambdas = 16;
+  /// λ_min = λ_max · lambda_min_ratio (glmnet's default shape).
+  double lambda_min_ratio = 1e-3;
+  /// Elastic-net mixing α: 1 = pure L1 (OWL-QN under mllib-lbfgs),
+  /// 0 = pure L2, otherwise kElasticNet.
+  double l1_ratio = 0.5;
+  /// 0 derives λ_max = max|∇L(0)|/n / max(α, 1e-3) from the data —
+  /// the smallest penalty whose L1 part zeroes the model entirely.
+  double lambda_max = 0.0;
+
+  /// 1 trains on the full data only (selection by training loss);
+  /// k > 1 adds deterministic k-fold CV with per-fold warm starts.
+  size_t num_folds = 1;
+  /// Use StratifiedKFold (per-class round-robin) instead of KFold.
+  bool stratified_folds = false;
+
+  /// Seed each solve from the previous λ's solution. Off = every
+  /// solve trains from zeros (the cold baseline path_bench compares).
+  bool warm_start = true;
+  /// Per-solve relative-improvement stop (TrainerConfig::
+  /// stop_rel_improvement); what makes warm solves cheap.
+  double solve_rel_tolerance = 1e-3;
+
+  /// Stop the path once the selection metric has not improved on the
+  /// best seen by this relative margin for `path_patience` consecutive
+  /// λ values.
+  double path_rel_improvement = 1e-3;
+  int path_patience = 3;
+
+  /// Path-level snapshots (CheckpointTag::kPath): completed solves,
+  /// the warm models and the early-stop cursor. Resuming mid-path
+  /// reproduces the remaining solves bit-identically.
+  CheckpointConfig checkpoint;
+  /// Stop this invocation after completing that many solves (0 = run
+  /// the whole grid). With checkpointing enabled, a later resume
+  /// continues where this run left off — the incremental/interrupted
+  /// execution mode.
+  size_t max_solves = 0;
+};
+
+/// One completed λ solve.
+struct PathSolve {
+  double lambda = 0.0;
+  /// Mean held-out unregularized loss over the folds (num_folds > 1),
+  /// or the full-data mean training loss otherwise — the selection
+  /// metric.
+  double cv_loss = 0.0;
+  /// Final full-data objective (mean loss + Ω) of the kept weights.
+  double objective = 0.0;
+  uint64_t nnz = 0;
+  int comm_steps = 0;
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+  DenseVector weights;
+};
+
+struct PathResult {
+  std::vector<double> lambdas;   ///< the full grid, descending
+  std::vector<PathSolve> solves; ///< completed prefix of the grid
+  size_t best_index = 0;         ///< into solves (lowest cv_loss)
+  double lambda_max = 0.0;
+  bool early_stopped = false;
+};
+
+/// λ_max = max_j |∇L(0)_j| / n / max(l1_ratio, 1e-3): at this penalty
+/// the soft threshold kills every coordinate of the first step, so the
+/// all-zeros model is optimal and the grid starts from genuine
+/// sparsity. Uses the workload implied by `config` (binary loss or
+/// softmax).
+double DeriveLambdaMax(const Dataset& data, const TrainerConfig& config,
+                       double l1_ratio);
+
+/// Descending log-spaced grid: λ_i = λ_max · min_ratio^(i/(n−1)).
+std::vector<double> LambdaGrid(double lambda_max, double min_ratio,
+                               size_t n);
+
+/// Runs the path. Deterministic given the config: one config yields
+/// one bit-exact PathResult (wall_seconds excepted), whether run in
+/// one shot or checkpoint-resumed at any solve boundary.
+PathResult RunPath(const Dataset& data, const ClusterConfig& cluster,
+                   const PathConfig& config);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_WORKLOADS_PATH_SEARCH_H_
