@@ -1,0 +1,69 @@
+#ifndef MLLIBSTAR_COMMON_ALIGNED_H_
+#define MLLIBSTAR_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace mllibstar {
+
+/// Allocation alignment for the kernel-facing arrays (one cache line,
+/// and the widest vector load any dispatch level performs).
+inline constexpr size_t kKernelAlignment = 64;
+
+/// Minimal std::allocator replacement that over-aligns every
+/// allocation to `Alignment` bytes via C++17 aligned operator new.
+/// Used for the CsrBlock arrays so vector loads never straddle a
+/// cache line and aligned-load kernels are always legal.
+template <typename T, size_t Alignment = kKernelAlignment>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// A std::vector whose buffer starts on a 64-byte boundary.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// True if `p` sits on an `alignment`-byte boundary (empty buffers —
+/// null data() — count as aligned).
+inline bool IsAligned(const void* p, size_t alignment = kKernelAlignment) {
+  return (reinterpret_cast<uintptr_t>(p) & (alignment - 1)) == 0;
+}
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_COMMON_ALIGNED_H_

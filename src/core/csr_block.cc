@@ -1,6 +1,24 @@
 #include "core/csr_block.h"
 
+#include "common/logging.h"
+
 namespace mllibstar {
+
+void CsrBlock::Finalize() {
+  values_f32.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    values_f32[i] = static_cast<float>(values[i]);
+  }
+#ifndef NDEBUG
+  // The aligned allocator makes these structurally true; the asserts
+  // catch a block assembled with the wrong container type.
+  MLLIBSTAR_CHECK(IsAligned(offsets.data()));
+  MLLIBSTAR_CHECK(IsAligned(indices.data()));
+  MLLIBSTAR_CHECK(IsAligned(values.data()));
+  MLLIBSTAR_CHECK(IsAligned(values_f32.data()));
+  MLLIBSTAR_CHECK(IsAligned(labels.data()));
+#endif
+}
 
 CsrBlock CsrBlock::FromPoints(const std::vector<DataPoint>& points) {
   CsrBlock block;
@@ -22,6 +40,7 @@ CsrBlock CsrBlock::FromPoints(const std::vector<DataPoint>& points) {
     block.labels.push_back(p.label);
     block.offsets.push_back(block.indices.size());
   }
+  block.Finalize();
   return block;
 }
 

@@ -5,13 +5,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "core/datapoint.h"
 #include "core/vector.h"
 
 namespace mllibstar {
 
 /// A partition of labeled examples packed into one contiguous CSR
-/// block: four flat arrays instead of two heap vectors per point.
+/// block: flat arrays instead of two heap vectors per point.
 ///
 /// The `vector<DataPoint>` layout scatters every example's indices and
 /// values across the heap (one SparseVector = two separately allocated
@@ -21,11 +22,19 @@ namespace mllibstar {
 /// Rows keep their order, indices within a row keep their order, so
 /// every kernel that walks a CsrBlock performs bit-for-bit the same
 /// floating-point operations as its per-DataPoint twin.
+///
+/// All arrays are 64-byte aligned (`AlignedVector`) so the SIMD
+/// kernels' vector loads never straddle a cache line, and the packers
+/// additionally fill `values_f32` — a float32 copy of `values` that
+/// the mixed-precision compute path (`ComputePrecision::kF32`) reads
+/// instead of the f64 array. The f64 arrays are untouched by that
+/// mode, so the default path stays bit-exact.
 struct CsrBlock {
-  std::vector<uint64_t> offsets;      ///< rows()+1 entries; offsets[0] == 0
-  std::vector<FeatureIndex> indices;  ///< column ids, row-major
-  std::vector<double> values;         ///< parallel to `indices`
-  std::vector<double> labels;         ///< one per row
+  AlignedVector<uint64_t> offsets;      ///< rows()+1 entries; offsets[0] == 0
+  AlignedVector<FeatureIndex> indices;  ///< column ids, row-major
+  AlignedVector<double> values;         ///< parallel to `indices`
+  AlignedVector<float> values_f32;      ///< f32 copy of `values` (see above)
+  AlignedVector<double> labels;         ///< one per row
 
   size_t rows() const { return labels.size(); }
   size_t nnz() const { return indices.size(); }
@@ -37,6 +46,18 @@ struct CsrBlock {
   const double* row_values(size_t i) const {
     return values.data() + offsets[i];
   }
+  /// Row view over the f32 value copy; Finalize() must have run.
+  const float* row_values_f32(size_t i) const {
+    return values_f32.data() + offsets[i];
+  }
+
+  /// True once Finalize() has built the f32 copy (always the case for
+  /// blocks produced by FromPoints / PartitionCsr).
+  bool has_f32() const { return values_f32.size() == values.size(); }
+
+  /// Builds `values_f32` from `values` and (debug builds) asserts the
+  /// 64-byte alignment invariant. Every packer must call this last.
+  void Finalize();
 
   /// Packs `points` (row order preserved). One pass to size, one to
   /// fill; no per-row allocation.

@@ -39,6 +39,30 @@ struct CsrView {
   double label(size_t i) const { return block.label(i); }
 };
 
+// Mixed-precision view: identical to CsrView except `values` returns
+// the block's float32 copy, so the same kernel templates instantiate
+// with f32 value reads (overload resolution picks the f32 Dot /
+// AddScaled entry points on DenseVector/ScaledVector) while every
+// margin, derivative, and accumulator stays f64. Control flow and RNG
+// consumption are untouched, which keeps the f32 path deterministic
+// and host_threads-invariant like the f64 one.
+struct CsrF32View {
+  const CsrBlock& block;
+  size_t size() const { return block.rows(); }
+  const FeatureIndex* indices(size_t i) const {
+    return block.row_indices(i);
+  }
+  const float* values(size_t i) const { return block.row_values_f32(i); }
+  size_t nnz(size_t i) const { return block.row_nnz(i); }
+  double label(size_t i) const { return block.label(i); }
+};
+
+CsrF32View F32View(const CsrBlock& block) {
+  MLLIBSTAR_CHECK(block.has_f32())
+      << "CsrBlock::Finalize() must run before the f32 kernels";
+  return CsrF32View{block};
+}
+
 template <typename View>
 ComputeStats BatchGradientImpl(const View& v,
                                const std::vector<size_t>& batch,
@@ -260,7 +284,7 @@ void SoftmaxMargins(const View& v, size_t idx, size_t num_classes,
                     std::vector<double>* m) {
   const size_t n = v.nnz(idx);
   const FeatureIndex* idxs = v.indices(idx);
-  const double* vals = v.values(idx);
+  const auto* vals = v.values(idx);  // const double* or const float*
   for (size_t k = 0; k < num_classes; ++k) {
     (*m)[k] = scale * w.Dot(idxs, vals, n, k * num_features);
   }
@@ -279,7 +303,7 @@ ComputeStats BatchGradientSoftmaxImpl(const View& v,
   for (size_t idx : batch) {
     const size_t n = v.nnz(idx);
     const FeatureIndex* idxs = v.indices(idx);
-    const double* vals = v.values(idx);
+    const auto* vals = v.values(idx);
     SoftmaxMargins(v, idx, num_classes, num_features, 1.0, w, &m);
     stats.nnz_processed += num_classes * n;
     const size_t label = static_cast<size_t>(v.label(idx));
@@ -321,7 +345,7 @@ ComputeStats SgdEpochSoftmaxImpl(const View& v, std::vector<size_t> rows,
     for (size_t idx : rows) {
       const size_t n = v.nnz(idx);
       const FeatureIndex* idxs = v.indices(idx);
-      const double* vals = v.values(idx);
+      const auto* vals = v.values(idx);
       SoftmaxMargins(v, idx, num_classes, num_features, scale, *w, &m);
       stats.nnz_processed += num_classes * n;
       scale *= shrink;
@@ -349,7 +373,7 @@ ComputeStats SgdEpochSoftmaxImpl(const View& v, std::vector<size_t> rows,
   for (size_t idx : rows) {
     const size_t n = v.nnz(idx);
     const FeatureIndex* idxs = v.indices(idx);
-    const double* vals = v.values(idx);
+    const auto* vals = v.values(idx);
     SoftmaxMargins(v, idx, num_classes, num_features, 1.0, *w, &m);
     stats.nnz_processed += num_classes * n;
     if (reg.kind() != RegularizerKind::kNone) {
@@ -553,6 +577,12 @@ void ScaledVector::AddScaled(const FeatureIndex* indices,
   v_.AddScaled(indices, values, nnz, alpha / scale_);
 }
 
+void ScaledVector::AddScaled(const FeatureIndex* indices,
+                             const float* values, size_t nnz,
+                             double alpha) {
+  v_.AddScaled(indices, values, nnz, alpha / scale_);
+}
+
 DenseVector ScaledVector::ToDense() const {
   DenseVector result = v_;
   result.Scale(scale_);
@@ -726,6 +756,105 @@ ComputeStats LocalMiniBatchGdSoftmax(const CsrBlock& block,
                                      size_t batch_size, size_t num_batches,
                                      Rng* rng, DenseVector* w) {
   return MiniBatchGdSoftmaxImpl(CsrView{block}, num_classes, num_features,
+                                reg, lr, batch_size, num_batches, rng, w);
+}
+
+// ---- Mixed-precision (f32 storage) entry points ------------------------
+// Same templates instantiated with CsrF32View, so shuffles, sampling,
+// and update structure are identical to the f64 path; only the feature
+// value reads narrow. LocalOptimizerEpoch* has no F32 variant: the
+// stateful LocalOptimizer interface takes f64 value spans, and callers
+// (GlmObjective) fall back to the f64 kernels there.
+
+ComputeStats AccumulateBatchGradientF32(const CsrBlock& block,
+                                        const std::vector<size_t>& batch,
+                                        const Loss& loss,
+                                        const DenseVector& w,
+                                        DenseVector* gradient) {
+  return BatchGradientImpl(F32View(block), batch, loss, w, gradient);
+}
+
+ComputeStats AccumulateLossGradientF32(const CsrBlock& block,
+                                       const Loss& loss,
+                                       const DenseVector& w,
+                                       DenseVector* gradient,
+                                       double* loss_sum) {
+  return LossGradientImpl(F32View(block), loss, w, gradient, loss_sum);
+}
+
+ComputeStats LocalSgdEpochF32(const CsrBlock& block, const Loss& loss,
+                              const Regularizer& reg, double lr,
+                              bool lazy_regularization, Rng* rng,
+                              DenseVector* w) {
+  return SgdEpochImpl(F32View(block), Iota(block.rows()), loss, reg, lr,
+                      lazy_regularization, rng, w);
+}
+
+ComputeStats LocalSgdEpochF32(const CsrBlock& block,
+                              const std::vector<size_t>& rows,
+                              const Loss& loss, const Regularizer& reg,
+                              double lr, bool lazy_regularization, Rng* rng,
+                              DenseVector* w) {
+  return SgdEpochImpl(F32View(block), rows, loss, reg, lr,
+                      lazy_regularization, rng, w);
+}
+
+ComputeStats LocalMiniBatchGdF32(const CsrBlock& block, const Loss& loss,
+                                 const Regularizer& reg, double lr,
+                                 size_t batch_size, size_t num_batches,
+                                 Rng* rng, DenseVector* w) {
+  return MiniBatchGdImpl(F32View(block), loss, reg, lr, batch_size,
+                         num_batches, rng, w);
+}
+
+ComputeStats AccumulateBatchGradientSoftmaxF32(
+    const CsrBlock& block, const std::vector<size_t>& batch,
+    size_t num_classes, size_t num_features, const DenseVector& w,
+    DenseVector* gradient) {
+  return BatchGradientSoftmaxImpl(F32View(block), batch, num_classes,
+                                  num_features, w, gradient, nullptr);
+}
+
+ComputeStats AccumulateLossGradientSoftmaxF32(const CsrBlock& block,
+                                              size_t num_classes,
+                                              size_t num_features,
+                                              const DenseVector& w,
+                                              DenseVector* gradient,
+                                              double* loss_sum) {
+  return BatchGradientSoftmaxImpl(F32View(block), Iota(block.rows()),
+                                  num_classes, num_features, w, gradient,
+                                  loss_sum);
+}
+
+ComputeStats LocalSgdEpochSoftmaxF32(const CsrBlock& block,
+                                     size_t num_classes, size_t num_features,
+                                     const Regularizer& reg, double lr,
+                                     bool lazy_regularization, Rng* rng,
+                                     DenseVector* w) {
+  return SgdEpochSoftmaxImpl(F32View(block), Iota(block.rows()),
+                             num_classes, num_features, reg, lr,
+                             lazy_regularization, rng, w);
+}
+
+ComputeStats LocalSgdEpochSoftmaxF32(const CsrBlock& block,
+                                     const std::vector<size_t>& rows,
+                                     size_t num_classes, size_t num_features,
+                                     const Regularizer& reg, double lr,
+                                     bool lazy_regularization, Rng* rng,
+                                     DenseVector* w) {
+  return SgdEpochSoftmaxImpl(F32View(block), rows, num_classes,
+                             num_features, reg, lr, lazy_regularization,
+                             rng, w);
+}
+
+ComputeStats LocalMiniBatchGdSoftmaxF32(const CsrBlock& block,
+                                        size_t num_classes,
+                                        size_t num_features,
+                                        const Regularizer& reg, double lr,
+                                        size_t batch_size,
+                                        size_t num_batches, Rng* rng,
+                                        DenseVector* w) {
+  return MiniBatchGdSoftmaxImpl(F32View(block), num_classes, num_features,
                                 reg, lr, batch_size, num_batches, rng, w);
 }
 

@@ -34,6 +34,13 @@ struct ComputeStats {
 /// the same floating-point operations over the packed layout; the
 /// trainers use the CSR versions, the DataPoint versions remain for
 /// ad-hoc callers and as the reference the tests compare against.
+/// Kernels suffixed `F32` are the mixed-precision twins: they read the
+/// CsrBlock's float32 value copy (`values_f32`, built by Finalize())
+/// while labels, model reads, margins, and every accumulation stay
+/// f64. They are instantiated from the same layout-view templates, so
+/// control flow and RNG consumption are identical to the f64 path —
+/// only the value precision differs, bounded by the documented
+/// accuracy budget (DESIGN §13).
 ComputeStats AccumulateBatchGradient(const std::vector<DataPoint>& points,
                                      const std::vector<size_t>& batch,
                                      const Loss& loss, const DenseVector& w,
@@ -42,6 +49,11 @@ ComputeStats AccumulateBatchGradient(const CsrBlock& block,
                                      const std::vector<size_t>& batch,
                                      const Loss& loss, const DenseVector& w,
                                      DenseVector* gradient);
+ComputeStats AccumulateBatchGradientF32(const CsrBlock& block,
+                                        const std::vector<size_t>& batch,
+                                        const Loss& loss,
+                                        const DenseVector& w,
+                                        DenseVector* gradient);
 
 /// Fused full-partition pass: margin → loss value + derivative → axpy
 /// per row, adding Σ_i ∇l(w·xᵢ, yᵢ) to `*gradient` and Σ_i l(w·xᵢ, yᵢ)
@@ -54,6 +66,10 @@ ComputeStats AccumulateLossGradient(const std::vector<DataPoint>& points,
 ComputeStats AccumulateLossGradient(const CsrBlock& block, const Loss& loss,
                                     const DenseVector& w,
                                     DenseVector* gradient, double* loss_sum);
+ComputeStats AccumulateLossGradientF32(const CsrBlock& block,
+                                       const Loss& loss, const DenseVector& w,
+                                       DenseVector* gradient,
+                                       double* loss_sum);
 
 /// Samples `batch_size` indices from [0, n) without replacement when
 /// batch_size < n (otherwise returns all indices, i.e. full GD).
@@ -80,6 +96,10 @@ class ScaledVector {
              size_t nnz) const {
     return scale_ * v_.Dot(indices, values, nnz);
   }
+  double Dot(const FeatureIndex* indices, const float* values,
+             size_t nnz) const {
+    return scale_ * v_.Dot(indices, values, nnz);
+  }
 
   /// w ← factor · w in O(1).
   void Shrink(double factor);
@@ -87,6 +107,8 @@ class ScaledVector {
   /// w ← w + alpha · x (sparse, O(nnz(x))).
   void AddScaled(const SparseVector& x, double alpha);
   void AddScaled(const FeatureIndex* indices, const double* values,
+                 size_t nnz, double alpha);
+  void AddScaled(const FeatureIndex* indices, const float* values,
                  size_t nnz, double alpha);
 
   /// Materializes the plain dense weights (O(d)).
@@ -124,6 +146,15 @@ ComputeStats LocalSgdEpoch(const CsrBlock& block,
                            const Regularizer& reg, double lr,
                            bool lazy_regularization, Rng* rng,
                            DenseVector* w);
+ComputeStats LocalSgdEpochF32(const CsrBlock& block, const Loss& loss,
+                              const Regularizer& reg, double lr,
+                              bool lazy_regularization, Rng* rng,
+                              DenseVector* w);
+ComputeStats LocalSgdEpochF32(const CsrBlock& block,
+                              const std::vector<size_t>& rows,
+                              const Loss& loss, const Regularizer& reg,
+                              double lr, bool lazy_regularization, Rng* rng,
+                              DenseVector* w);
 
 /// One shuffled pass of per-point updates applied through a stateful
 /// LocalOptimizer (momentum/Adagrad/Adam variants of the SendModel
@@ -151,6 +182,10 @@ ComputeStats LocalMiniBatchGd(const CsrBlock& block, const Loss& loss,
                               const Regularizer& reg, double lr,
                               size_t batch_size, size_t num_batches,
                               Rng* rng, DenseVector* w);
+ComputeStats LocalMiniBatchGdF32(const CsrBlock& block, const Loss& loss,
+                                 const Regularizer& reg, double lr,
+                                 size_t batch_size, size_t num_batches,
+                                 Rng* rng, DenseVector* w);
 
 /// Softmax (multiclass maximum-entropy) kernel family. The model is a
 /// flattened K×d vector (class k's weights at [k·d, (k+1)·d)), labels
@@ -163,6 +198,10 @@ ComputeStats AccumulateBatchGradientSoftmax(
     size_t num_classes, size_t num_features, const DenseVector& w,
     DenseVector* gradient);
 ComputeStats AccumulateBatchGradientSoftmax(
+    const CsrBlock& block, const std::vector<size_t>& batch,
+    size_t num_classes, size_t num_features, const DenseVector& w,
+    DenseVector* gradient);
+ComputeStats AccumulateBatchGradientSoftmaxF32(
     const CsrBlock& block, const std::vector<size_t>& batch,
     size_t num_classes, size_t num_features, const DenseVector& w,
     DenseVector* gradient);
@@ -180,6 +219,12 @@ ComputeStats AccumulateLossGradientSoftmax(const CsrBlock& block,
                                            const DenseVector& w,
                                            DenseVector* gradient,
                                            double* loss_sum);
+ComputeStats AccumulateLossGradientSoftmaxF32(const CsrBlock& block,
+                                              size_t num_classes,
+                                              size_t num_features,
+                                              const DenseVector& w,
+                                              DenseVector* gradient,
+                                              double* loss_sum);
 
 /// One shuffled softmax SGD pass. Lazy L2 uses a local scalar scale
 /// over the whole flattened model — the ScaledVector trick inlined, so
@@ -199,6 +244,17 @@ ComputeStats LocalSgdEpochSoftmax(const CsrBlock& block,
                                   const Regularizer& reg, double lr,
                                   bool lazy_regularization, Rng* rng,
                                   DenseVector* w);
+ComputeStats LocalSgdEpochSoftmaxF32(const CsrBlock& block,
+                                     size_t num_classes, size_t num_features,
+                                     const Regularizer& reg, double lr,
+                                     bool lazy_regularization, Rng* rng,
+                                     DenseVector* w);
+ComputeStats LocalSgdEpochSoftmaxF32(const CsrBlock& block,
+                                     const std::vector<size_t>& rows,
+                                     size_t num_classes, size_t num_features,
+                                     const Regularizer& reg, double lr,
+                                     bool lazy_regularization, Rng* rng,
+                                     DenseVector* w);
 
 /// One shuffled pass of stateful-optimizer softmax updates. The
 /// optimizer must be sized for the flattened K·d model; each example
@@ -228,6 +284,13 @@ ComputeStats LocalMiniBatchGdSoftmax(const CsrBlock& block,
                                      const Regularizer& reg, double lr,
                                      size_t batch_size, size_t num_batches,
                                      Rng* rng, DenseVector* w);
+ComputeStats LocalMiniBatchGdSoftmaxF32(const CsrBlock& block,
+                                        size_t num_classes,
+                                        size_t num_features,
+                                        const Regularizer& reg, double lr,
+                                        size_t batch_size,
+                                        size_t num_batches, Rng* rng,
+                                        DenseVector* w);
 
 }  // namespace mllibstar
 

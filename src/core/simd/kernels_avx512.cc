@@ -1,0 +1,76 @@
+// AVX-512 tier: accelerates ONLY the tolerance-checked f32 kernels.
+//
+// The f64 bit-exactness contract pins every tier to the scalar
+// reference's four-accumulator structure, and an 8-lane accumulator
+// cannot reproduce that association — so this tier's dispatch table
+// reuses the AVX2 f64 (and dense) kernels verbatim and upgrades just
+// the f32 sparse kernels, whose rounding is tolerance-checked rather
+// than bit-pinned. The 8-wide vgatherdpd amortizes to a clear win on
+// long cache-resident rows but loses to packed scalar loads on short
+// ones, so the dot keeps an nnz threshold and falls back to the AVX2
+// form below it.
+//
+// This TU is the only one built with -mavx512f; it must never be
+// entered on a CPU without AVX-512F (the dispatch probe guarantees
+// that).
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "core/simd/kernels.h"
+
+namespace mllibstar {
+namespace simd {
+namespace {
+
+// Below this row length the 8-wide gather's fixed costs (index-vector
+// setup, 8-lane reduction) outweigh its bandwidth win.
+constexpr size_t kWideDotMinNnz = 32;
+
+}  // namespace
+
+double SparseDotF32Avx512(const double* __restrict w,
+                          const FeatureIndex* __restrict idx,
+                          const float* __restrict val, size_t nnz) {
+  if (nnz < kWideDotMinNnz) return SparseDotF32Avx2(w, idx, val, nnz);
+  __m512d acc = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= nnz; i += 8) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    const __m512d v = _mm512_cvtps_pd(_mm256_loadu_ps(val + i));
+    acc = _mm512_fmadd_pd(_mm512_i32gather_pd(vi, w, 8), v, acc);
+  }
+  double sum = _mm512_reduce_add_pd(acc);
+  for (; i < nnz; ++i) sum += w[idx[i]] * static_cast<double>(val[i]);
+  return sum;
+}
+
+void SparseAxpyF32Avx512(double* __restrict w,
+                         const FeatureIndex* __restrict idx,
+                         const float* __restrict val, size_t nnz,
+                         double alpha) {
+  // 8-wide widen+multiply, scalar scatter stores (hardware scatter
+  // measured slower than scalar read-modify-writes on current cores).
+  const __m512d a = _mm512_set1_pd(alpha);
+  alignas(64) double p[8];
+  size_t i = 0;
+  for (; i + 8 <= nnz; i += 8) {
+    const __m512d v = _mm512_cvtps_pd(_mm256_loadu_ps(val + i));
+    _mm512_store_pd(p, _mm512_mul_pd(a, v));
+    w[idx[i]] += p[0];
+    w[idx[i + 1]] += p[1];
+    w[idx[i + 2]] += p[2];
+    w[idx[i + 3]] += p[3];
+    w[idx[i + 4]] += p[4];
+    w[idx[i + 5]] += p[5];
+    w[idx[i + 6]] += p[6];
+    w[idx[i + 7]] += p[7];
+  }
+  for (; i < nnz; ++i) w[idx[i]] += alpha * static_cast<double>(val[i]);
+}
+
+}  // namespace simd
+}  // namespace mllibstar
+
+#endif  // x86-64

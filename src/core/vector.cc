@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "core/simd/dispatch.h"
 
 namespace mllibstar {
 
@@ -23,47 +24,48 @@ void DenseVector::SetZero() {
   std::fill(values_.begin(), values_.end(), 0.0);
 }
 
+// Every dot/axpy below routes through the runtime-dispatched kernel
+// table (core/simd/dispatch.h). The scalar tier is the pre-SIMD code
+// of this file moved verbatim, and the vector tiers reproduce its f64
+// arithmetic bit-for-bit, so which tier runs can never change a
+// simulated result — only how fast it is produced.
+
 void DenseVector::AddScaled(const SparseVector& x, double alpha) {
   AddScaled(x.indices.data(), x.values.data(), x.nnz(), alpha);
 }
 
 void DenseVector::AddScaled(const FeatureIndex* indices,
                             const double* values, size_t nnz, double alpha) {
-  // Each coordinate updates independently, so unrolling cannot change
-  // the result; it only breaks the loop-carried address dependence.
-  double* __restrict w = values_.data();
-  size_t i = 0;
-  for (; i + 4 <= nnz; i += 4) {
-    w[indices[i]] += alpha * values[i];
-    w[indices[i + 1]] += alpha * values[i + 1];
-    w[indices[i + 2]] += alpha * values[i + 2];
-    w[indices[i + 3]] += alpha * values[i + 3];
-  }
-  for (; i < nnz; ++i) w[indices[i]] += alpha * values[i];
+  simd::Kernels().sparse_axpy_f64(values_.data(), indices, values, nnz,
+                                  alpha);
+}
+
+void DenseVector::AddScaled(const FeatureIndex* indices,
+                            const float* values, size_t nnz, double alpha) {
+  simd::Kernels().sparse_axpy_f32(values_.data(), indices, values, nnz,
+                                  alpha);
 }
 
 void DenseVector::AddScaled(const FeatureIndex* indices,
                             const double* values, size_t nnz, double alpha,
                             size_t offset) {
-  // Mirrors the offset-0 overload exactly (same unroll, same order of
-  // operations) with the destination shifted into a class block.
-  double* __restrict w = values_.data() + offset;
-  size_t i = 0;
-  for (; i + 4 <= nnz; i += 4) {
-    w[indices[i]] += alpha * values[i];
-    w[indices[i + 1]] += alpha * values[i + 1];
-    w[indices[i + 2]] += alpha * values[i + 2];
-    w[indices[i + 3]] += alpha * values[i + 3];
-  }
-  for (; i < nnz; ++i) w[indices[i]] += alpha * values[i];
+  // Same kernel as the offset-0 overload with the destination shifted
+  // into a class block (offset + indices[i] must be < dim()).
+  simd::Kernels().sparse_axpy_f64(values_.data() + offset, indices, values,
+                                  nnz, alpha);
+}
+
+void DenseVector::AddScaled(const FeatureIndex* indices,
+                            const float* values, size_t nnz, double alpha,
+                            size_t offset) {
+  simd::Kernels().sparse_axpy_f32(values_.data() + offset, indices, values,
+                                  nnz, alpha);
 }
 
 void DenseVector::AddScaled(const DenseVector& x, double alpha) {
   MLLIBSTAR_CHECK_EQ(dim(), x.dim());
-  const size_t n = values_.size();
-  double* __restrict w = values_.data();
-  const double* __restrict xs = x.data();
-  for (size_t i = 0; i < n; ++i) w[i] += alpha * xs[i];
+  simd::Kernels().dense_axpy(values_.data(), x.data(), values_.size(),
+                             alpha);
 }
 
 void DenseVector::Scale(double alpha) {
@@ -76,63 +78,42 @@ double DenseVector::Dot(const SparseVector& x) const {
 
 double DenseVector::Dot(const FeatureIndex* indices, const double* values,
                         size_t nnz) const {
-  // Four independent accumulators hide the gather latency. The
-  // summation order differs from a single running sum, but every
-  // caller goes through this one implementation, so results stay
-  // deterministic and layout-independent.
-  const double* __restrict w = values_.data();
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= nnz; i += 4) {
-    s0 += w[indices[i]] * values[i];
-    s1 += w[indices[i + 1]] * values[i + 1];
-    s2 += w[indices[i + 2]] * values[i + 2];
-    s3 += w[indices[i + 3]] * values[i + 3];
-  }
-  double sum = (s0 + s1) + (s2 + s3);
-  for (; i < nnz; ++i) sum += w[indices[i]] * values[i];
-  return sum;
+  return simd::Kernels().sparse_dot_f64(values_.data(), indices, values,
+                                        nnz);
+}
+
+double DenseVector::Dot(const FeatureIndex* indices, const float* values,
+                        size_t nnz) const {
+  return simd::Kernels().sparse_dot_f32(values_.data(), indices, values,
+                                        nnz);
 }
 
 double DenseVector::Dot(const FeatureIndex* indices, const double* values,
                         size_t nnz, size_t offset) const {
-  // Same four-accumulator structure as the offset-0 overload so the
-  // per-class margins of a flattened model sum bit-identically.
-  const double* __restrict w = values_.data() + offset;
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= nnz; i += 4) {
-    s0 += w[indices[i]] * values[i];
-    s1 += w[indices[i + 1]] * values[i + 1];
-    s2 += w[indices[i + 2]] * values[i + 2];
-    s3 += w[indices[i + 3]] * values[i + 3];
-  }
-  double sum = (s0 + s1) + (s2 + s3);
-  for (; i < nnz; ++i) sum += w[indices[i]] * values[i];
-  return sum;
+  // Same accumulator structure as the offset-0 overload, so margins
+  // are bit-identical whichever class block they read.
+  return simd::Kernels().sparse_dot_f64(values_.data() + offset, indices,
+                                        values, nnz);
+}
+
+double DenseVector::Dot(const FeatureIndex* indices, const float* values,
+                        size_t nnz, size_t offset) const {
+  return simd::Kernels().sparse_dot_f32(values_.data() + offset, indices,
+                                        values, nnz);
 }
 
 double DenseVector::Dot(const DenseVector& x) const {
   MLLIBSTAR_CHECK_EQ(dim(), x.dim());
-  const size_t n = values_.size();
-  const double* __restrict a = values_.data();
-  const double* __restrict b = x.data();
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
-  }
-  double sum = (s0 + s1) + (s2 + s3);
-  for (; i < n; ++i) sum += a[i] * b[i];
-  return sum;
+  return simd::Kernels().dense_dot(values_.data(), x.data(),
+                                   values_.size());
 }
 
 double DenseVector::Norm2() const { return std::sqrt(SquaredNorm()); }
 
 double DenseVector::SquaredNorm() const {
+  // Deliberately not the dense_dot kernel: this has always been a
+  // single running sum and changing the association would move every
+  // L2 regularizer value.
   double sum = 0.0;
   for (double v : values_) sum += v * v;
   return sum;

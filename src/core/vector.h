@@ -63,8 +63,15 @@ class DenseVector {
 
   /// Sparse axpy over a raw span (a CsrBlock row view). The
   /// SparseVector overload delegates here, so both layouts perform the
-  /// identical arithmetic.
+  /// identical arithmetic. Routed through the runtime-dispatched SIMD
+  /// kernel table (core/simd) — every dispatch level is bit-identical
+  /// for f64 operands.
   void AddScaled(const FeatureIndex* indices, const double* values,
+                 size_t nnz, double alpha);
+
+  /// Mixed-precision sparse axpy: f32 values widened per element, f64
+  /// destination and arithmetic (the CsrBlock f32 compute path).
+  void AddScaled(const FeatureIndex* indices, const float* values,
                  size_t nnz, double alpha);
 
   /// Sparse axpy into the block starting at `offset`: this[offset + j]
@@ -73,6 +80,10 @@ class DenseVector {
   /// class block with the same arithmetic as the offset-0 overload
   /// (offset + indices[i] must be < dim()).
   void AddScaled(const FeatureIndex* indices, const double* values,
+                 size_t nnz, double alpha, size_t offset);
+
+  /// Mixed-precision class-block sparse axpy.
+  void AddScaled(const FeatureIndex* indices, const float* values,
                  size_t nnz, double alpha, size_t offset);
 
   /// this += alpha * x. Dimensions must match.
@@ -86,8 +97,13 @@ class DenseVector {
 
   /// Sparse dot over a raw span (a CsrBlock row view). The
   /// SparseVector overload delegates here, so both layouts produce
-  /// bit-identical sums.
+  /// bit-identical sums. Routed through the SIMD kernel table.
   double Dot(const FeatureIndex* indices, const double* values,
+             size_t nnz) const;
+
+  /// Mixed-precision sparse dot: f32 values, f64 model reads and
+  /// accumulators.
+  double Dot(const FeatureIndex* indices, const float* values,
              size_t nnz) const;
 
   /// Sparse dot against the block starting at `offset`:
@@ -95,6 +111,10 @@ class DenseVector {
   /// structure as the offset-0 overload, so margins are bit-identical
   /// whichever class block they read.
   double Dot(const FeatureIndex* indices, const double* values, size_t nnz,
+             size_t offset) const;
+
+  /// Mixed-precision class-block sparse dot.
+  double Dot(const FeatureIndex* indices, const float* values, size_t nnz,
              size_t offset) const;
 
   /// Dot product with a dense vector of the same dimension.

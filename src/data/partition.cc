@@ -61,6 +61,8 @@ std::vector<CsrBlock> PartitionCsr(const Dataset& dataset, size_t k) {
     b.offsets.push_back(b.indices.size());
     b.labels.push_back(p.label);
   }
+  // Build each block's f32 value copy and check alignment.
+  for (CsrBlock& b : parts) b.Finalize();
   return parts;
 }
 

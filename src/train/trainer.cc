@@ -38,9 +38,11 @@ Trainer::Trainer(TrainerConfig config)
                            config_.l1_ratio)),
       objective_(config_.num_classes >= 2
                      ? MakeSoftmaxObjective(config_.num_classes, reg_.get(),
-                                            config_.lazy_regularization)
+                                            config_.lazy_regularization,
+                                            config_.compute_precision)
                      : MakeBinaryObjective(loss_.get(), reg_.get(),
-                                           config_.lazy_regularization)),
+                                           config_.lazy_regularization,
+                                           config_.compute_precision)),
       schedule_(config_.lr_schedule, config_.base_lr) {}
 
 DenseVector Trainer::InitialWeights(size_t dim) const {

@@ -65,6 +65,13 @@ struct TrainerConfig {
   size_t local_epochs = 1;
   /// Use the Bottou lazy/sparse trick for L2 in local SGD.
   bool lazy_regularization = true;
+  /// Feature-value precision of the training kernels. kF64 (default)
+  /// reproduces every existing run bit-for-bit; kF32 reads the CSR
+  /// blocks' float32 value copy (model, margins, and all accumulators
+  /// stay f64) for roughly half the value-stream memory traffic, with
+  /// drift bounded by the budget in DESIGN §13. Evaluation is always
+  /// f64, so recorded loss curves expose any f32 drift.
+  ComputePrecision compute_precision = ComputePrecision::kF64;
   /// Update rule for the SendModel trainers' local passes (kSgd
   /// reproduces the paper; the adaptive rules are extensions).
   LocalOptimizerConfig local_optimizer;

@@ -9,8 +9,11 @@ namespace {
 class BinaryObjective final : public GlmObjective {
  public:
   BinaryObjective(const Loss* loss, const Regularizer* reg,
-                  bool lazy_regularization)
-      : loss_(loss), reg_(reg), lazy_(lazy_regularization) {}
+                  bool lazy_regularization, ComputePrecision precision)
+      : loss_(loss),
+        reg_(reg),
+        lazy_(lazy_regularization),
+        f32_(precision == ComputePrecision::kF32) {}
 
   size_t num_classes() const override { return 0; }
 
@@ -18,41 +21,56 @@ class BinaryObjective final : public GlmObjective {
                              const std::vector<size_t>& batch,
                              const DenseVector& w,
                              DenseVector* gradient) const override {
-    return AccumulateBatchGradient(block, batch, *loss_, w, gradient);
+    return f32_ ? AccumulateBatchGradientF32(block, batch, *loss_, w,
+                                             gradient)
+                : AccumulateBatchGradient(block, batch, *loss_, w, gradient);
   }
 
   ComputeStats LossGradient(const CsrBlock& block, const DenseVector& w,
                             DenseVector* gradient,
                             double* loss_sum) const override {
-    return AccumulateLossGradient(block, *loss_, w, gradient, loss_sum);
+    return f32_ ? AccumulateLossGradientF32(block, *loss_, w, gradient,
+                                            loss_sum)
+                : AccumulateLossGradient(block, *loss_, w, gradient,
+                                         loss_sum);
   }
 
   ComputeStats SgdEpoch(const CsrBlock& block, double lr, Rng* rng,
                         DenseVector* w) const override {
-    return LocalSgdEpoch(block, *loss_, *reg_, lr, lazy_, rng, w);
+    return f32_ ? LocalSgdEpochF32(block, *loss_, *reg_, lr, lazy_, rng, w)
+                : LocalSgdEpoch(block, *loss_, *reg_, lr, lazy_, rng, w);
   }
 
   ComputeStats SgdEpoch(const CsrBlock& block,
                         const std::vector<size_t>& rows, double lr,
                         Rng* rng, DenseVector* w) const override {
-    return LocalSgdEpoch(block, rows, *loss_, *reg_, lr, lazy_, rng, w);
+    return f32_
+               ? LocalSgdEpochF32(block, rows, *loss_, *reg_, lr, lazy_,
+                                  rng, w)
+               : LocalSgdEpoch(block, rows, *loss_, *reg_, lr, lazy_, rng,
+                               w);
   }
 
   ComputeStats OptimizerEpoch(const CsrBlock& block, double lr,
                               LocalOptimizer* optimizer, Rng* rng,
                               DenseVector* w) const override {
+    // Always f64: LocalOptimizer::ApplyUpdate consumes f64 value spans.
     return LocalOptimizerEpoch(block, *loss_, *reg_, lr, optimizer, rng, w);
   }
 
   ComputeStats MiniBatchGd(const CsrBlock& block, double lr,
                            size_t batch_size, size_t num_batches, Rng* rng,
                            DenseVector* w) const override {
-    return LocalMiniBatchGd(block, *loss_, *reg_, lr, batch_size,
-                            num_batches, rng, w);
+    return f32_ ? LocalMiniBatchGdF32(block, *loss_, *reg_, lr, batch_size,
+                                      num_batches, rng, w)
+                : LocalMiniBatchGd(block, *loss_, *reg_, lr, batch_size,
+                                   num_batches, rng, w);
   }
 
   double MeanPointLoss(const std::vector<DataPoint>& points,
                        const DenseVector& w) const override {
+    // Evaluation stays f64 regardless of compute precision so the
+    // recorded loss curves expose any f32 training drift.
     return MeanLoss(points, *loss_, w);
   }
 
@@ -62,13 +80,17 @@ class BinaryObjective final : public GlmObjective {
   const Loss* loss_;
   const Regularizer* reg_;
   bool lazy_;
+  bool f32_;
 };
 
 class SoftmaxObjective final : public GlmObjective {
  public:
   SoftmaxObjective(size_t num_classes, const Regularizer* reg,
-                   bool lazy_regularization)
-      : num_classes_(num_classes), reg_(reg), lazy_(lazy_regularization) {
+                   bool lazy_regularization, ComputePrecision precision)
+      : num_classes_(num_classes),
+        reg_(reg),
+        lazy_(lazy_regularization),
+        f32_(precision == ComputePrecision::kF32) {
     MLLIBSTAR_CHECK_GE(num_classes_, 2u);
   }
 
@@ -78,33 +100,46 @@ class SoftmaxObjective final : public GlmObjective {
                              const std::vector<size_t>& batch,
                              const DenseVector& w,
                              DenseVector* gradient) const override {
-    return AccumulateBatchGradientSoftmax(
-        block, batch, num_classes_, Features(w), w, gradient);
+    return f32_ ? AccumulateBatchGradientSoftmaxF32(
+                      block, batch, num_classes_, Features(w), w, gradient)
+                : AccumulateBatchGradientSoftmax(
+                      block, batch, num_classes_, Features(w), w, gradient);
   }
 
   ComputeStats LossGradient(const CsrBlock& block, const DenseVector& w,
                             DenseVector* gradient,
                             double* loss_sum) const override {
-    return AccumulateLossGradientSoftmax(block, num_classes_, Features(w),
-                                         w, gradient, loss_sum);
+    return f32_ ? AccumulateLossGradientSoftmaxF32(block, num_classes_,
+                                                   Features(w), w, gradient,
+                                                   loss_sum)
+                : AccumulateLossGradientSoftmax(block, num_classes_,
+                                                Features(w), w, gradient,
+                                                loss_sum);
   }
 
   ComputeStats SgdEpoch(const CsrBlock& block, double lr, Rng* rng,
                         DenseVector* w) const override {
-    return LocalSgdEpochSoftmax(block, num_classes_, Features(*w), *reg_,
-                                lr, lazy_, rng, w);
+    return f32_ ? LocalSgdEpochSoftmaxF32(block, num_classes_, Features(*w),
+                                          *reg_, lr, lazy_, rng, w)
+                : LocalSgdEpochSoftmax(block, num_classes_, Features(*w),
+                                       *reg_, lr, lazy_, rng, w);
   }
 
   ComputeStats SgdEpoch(const CsrBlock& block,
                         const std::vector<size_t>& rows, double lr,
                         Rng* rng, DenseVector* w) const override {
-    return LocalSgdEpochSoftmax(block, rows, num_classes_, Features(*w),
-                                *reg_, lr, lazy_, rng, w);
+    return f32_ ? LocalSgdEpochSoftmaxF32(block, rows, num_classes_,
+                                          Features(*w), *reg_, lr, lazy_,
+                                          rng, w)
+                : LocalSgdEpochSoftmax(block, rows, num_classes_,
+                                       Features(*w), *reg_, lr, lazy_, rng,
+                                       w);
   }
 
   ComputeStats OptimizerEpoch(const CsrBlock& block, double lr,
                               LocalOptimizer* optimizer, Rng* rng,
                               DenseVector* w) const override {
+    // Always f64: LocalOptimizer::ApplyUpdate consumes f64 value spans.
     return LocalOptimizerEpochSoftmax(block, num_classes_, Features(*w),
                                       *reg_, lr, optimizer, rng, w);
   }
@@ -112,8 +147,13 @@ class SoftmaxObjective final : public GlmObjective {
   ComputeStats MiniBatchGd(const CsrBlock& block, double lr,
                            size_t batch_size, size_t num_batches, Rng* rng,
                            DenseVector* w) const override {
-    return LocalMiniBatchGdSoftmax(block, num_classes_, Features(*w), *reg_,
-                                   lr, batch_size, num_batches, rng, w);
+    return f32_ ? LocalMiniBatchGdSoftmaxF32(block, num_classes_,
+                                             Features(*w), *reg_, lr,
+                                             batch_size, num_batches, rng,
+                                             w)
+                : LocalMiniBatchGdSoftmax(block, num_classes_, Features(*w),
+                                          *reg_, lr, batch_size,
+                                          num_batches, rng, w);
   }
 
   double MeanPointLoss(const std::vector<DataPoint>& points,
@@ -136,21 +176,23 @@ class SoftmaxObjective final : public GlmObjective {
   size_t num_classes_;
   const Regularizer* reg_;
   bool lazy_;
+  bool f32_;
 };
 
 }  // namespace
 
-std::unique_ptr<GlmObjective> MakeBinaryObjective(const Loss* loss,
-                                                  const Regularizer* reg,
-                                                  bool lazy_regularization) {
-  return std::make_unique<BinaryObjective>(loss, reg, lazy_regularization);
+std::unique_ptr<GlmObjective> MakeBinaryObjective(
+    const Loss* loss, const Regularizer* reg, bool lazy_regularization,
+    ComputePrecision precision) {
+  return std::make_unique<BinaryObjective>(loss, reg, lazy_regularization,
+                                           precision);
 }
 
-std::unique_ptr<GlmObjective> MakeSoftmaxObjective(size_t num_classes,
-                                                   const Regularizer* reg,
-                                                   bool lazy_regularization) {
+std::unique_ptr<GlmObjective> MakeSoftmaxObjective(
+    size_t num_classes, const Regularizer* reg, bool lazy_regularization,
+    ComputePrecision precision) {
   return std::make_unique<SoftmaxObjective>(num_classes, reg,
-                                            lazy_regularization);
+                                            lazy_regularization, precision);
 }
 
 }  // namespace mllibstar

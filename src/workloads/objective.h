@@ -12,6 +12,7 @@
 #include "core/local_optimizer.h"
 #include "core/loss.h"
 #include "core/regularizer.h"
+#include "core/simd/dispatch.h"
 #include "core/vector.h"
 
 namespace mllibstar {
@@ -86,17 +87,23 @@ class GlmObjective {
 };
 
 /// The binary margin objective over `loss` + `reg` (borrowed, not
-/// owned; must outlive the objective). Pure delegation to the
-/// existing core/gd kernels — bit-identical to calling them directly.
-std::unique_ptr<GlmObjective> MakeBinaryObjective(const Loss* loss,
-                                                  const Regularizer* reg,
-                                                  bool lazy_regularization);
+/// owned; must outlive the objective). With the default
+/// ComputePrecision::kF64 this is pure delegation to the existing
+/// core/gd kernels — bit-identical to calling them directly. With
+/// kF32 the kernel calls route to the mixed-precision `*F32` twins
+/// (f32 feature-value reads, f64 accumulation; DESIGN §13), except
+/// OptimizerEpoch which stays f64 because the stateful LocalOptimizer
+/// interface takes f64 value spans.
+std::unique_ptr<GlmObjective> MakeBinaryObjective(
+    const Loss* loss, const Regularizer* reg, bool lazy_regularization,
+    ComputePrecision precision = ComputePrecision::kF64);
 
 /// Softmax cross-entropy over `num_classes` classes (labels are class
-/// ids 0..K−1) with `reg` applied to the flattened K×d model.
-std::unique_ptr<GlmObjective> MakeSoftmaxObjective(size_t num_classes,
-                                                   const Regularizer* reg,
-                                                   bool lazy_regularization);
+/// ids 0..K−1) with `reg` applied to the flattened K×d model. The
+/// `precision` knob behaves as for MakeBinaryObjective.
+std::unique_ptr<GlmObjective> MakeSoftmaxObjective(
+    size_t num_classes, const Regularizer* reg, bool lazy_regularization,
+    ComputePrecision precision = ComputePrecision::kF64);
 
 }  // namespace mllibstar
 
