@@ -2,9 +2,10 @@
 // failed task from its cached partition (lineage recovery); under BSP
 // every retry extends the whole stage, so the slowdown grows faster
 // than the failure rate — another face of the straggler problem in
-// Figure 6's discussion.
+// Figure 6's discussion. Emits results/BENCH_ablation_fault.json.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "data/synthetic.h"
 #include "train/trainer.h"
 
@@ -19,6 +20,7 @@ int main() {
   std::printf("%-14s %12s %12s %12s\n", "failure-prob", "sim-time(s)",
               "slowdown", "best-obj");
 
+  JsonValue runs = JsonValue::Array();
   double baseline = 0.0;
   for (double prob : {0.0, 0.01, 0.05, 0.15}) {
     ClusterConfig cluster = ClusterConfig::Cluster1(8);
@@ -36,10 +38,23 @@ int main() {
     std::printf("%-14.2f %12.2f %11.2fx %12.4f\n", prob,
                 result.sim_seconds, result.sim_seconds / baseline,
                 result.curve.BestObjective());
+
+    JsonValue entry = JsonValue::Object();
+    entry.Set("failure_prob", JsonValue::Number(prob));
+    entry.Set("sim_seconds", JsonValue::Number(result.sim_seconds));
+    entry.Set("slowdown", JsonValue::Number(result.sim_seconds / baseline));
+    entry.Set("best_objective", JsonValue::Number(result.curve.BestObjective()));
+    runs.Append(std::move(entry));
   }
   std::printf(
       "\nExpected shape: identical objectives (retries recompute the "
       "same result) with superlinear time growth — each stage runs at "
       "the pace of its unluckiest worker.\n");
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", JsonValue::Str("ablation_fault"));
+  doc.Set("system", JsonValue::Str("mllib*"));
+  doc.Set("runs", std::move(runs));
+  bench::WriteBenchJson("BENCH_ablation_fault.json", doc);
   return 0;
 }

@@ -85,7 +85,8 @@ int main(int argc, char** argv) {
   flags.AddInt64("steps", 10, "communication steps per run");
   flags.AddString("rates", "0,0.02,0.05,0.1",
                   "worker crash probabilities to sweep");
-  flags.AddString("out", "BENCH_faults.json", "JSON report path");
+  flags.AddString("out", "BENCH_faults.json",
+                  "JSON report filename (written under results/)");
   flags.AddBool("chrome-trace", false,
                 "export a Perfetto-loadable Chrome trace per run");
   flags.AddBool("run-report", false,
@@ -195,36 +196,31 @@ int main(int argc, char** argv) {
   std::printf("checksums consistent: %s\n",
               all_ok ? "yes" : "NO — determinism violated");
 
-  const std::string out_path = flags.GetString("out");
-  FILE* out = std::fopen(out_path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", JsonValue::Str("fault_sweep"));
+  doc.Set("dataset", JsonValue::Str(dataset_name));
+  doc.Set("comm_steps", JsonValue::Number(static_cast<int64_t>(steps)));
+  doc.Set("checksums_consistent", JsonValue::Bool(all_ok));
+  JsonValue runs = JsonValue::Array();
+  for (const SweepRow& row : rows) {
+    char checksum[32];
+    std::snprintf(checksum, sizeof(checksum), "%#llx",
+                  static_cast<unsigned long long>(row.checksum));
+    JsonValue entry = JsonValue::Object();
+    entry.Set("system", JsonValue::Str(row.system));
+    entry.Set("crash_rate", JsonValue::Number(row.crash_rate));
+    entry.Set("sim_seconds", JsonValue::Number(row.sim_seconds));
+    entry.Set("time_to_target", JsonValue::Number(row.time_to_target));
+    entry.Set("objective", JsonValue::Number(row.objective));
+    entry.Set("worker_crashes", JsonValue::Number(row.worker_crashes));
+    entry.Set("lineage_recomputes", JsonValue::Number(row.lineage_recomputes));
+    entry.Set("weights_checksum", JsonValue::Str(checksum));
+    entry.Set("checksum_ok", JsonValue::Bool(row.checksum_ok));
+    runs.Append(std::move(entry));
   }
-  std::fprintf(out, "{\n  \"bench\": \"fault_sweep\",\n");
-  std::fprintf(out, "  \"dataset\": \"%s\",\n", dataset_name.c_str());
-  std::fprintf(out, "  \"comm_steps\": %d,\n", steps);
-  std::fprintf(out, "  \"checksums_consistent\": %s,\n",
-               all_ok ? "true" : "false");
-  std::fprintf(out, "  \"runs\": [\n");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const SweepRow& row = rows[i];
-    std::fprintf(
-        out,
-        "    {\"system\": \"%s\", \"crash_rate\": %.4f, "
-        "\"sim_seconds\": %.6f, \"time_to_target\": %.6f, "
-        "\"objective\": %.8f, \"worker_crashes\": %llu, "
-        "\"lineage_recomputes\": %llu, \"weights_checksum\": \"%#llx\", "
-        "\"checksum_ok\": %s}%s\n",
-        row.system.c_str(), row.crash_rate, row.sim_seconds,
-        row.time_to_target, row.objective,
-        static_cast<unsigned long long>(row.worker_crashes),
-        static_cast<unsigned long long>(row.lineage_recomputes),
-        static_cast<unsigned long long>(row.checksum),
-        row.checksum_ok ? "true" : "false", i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("wrote %s\n", out_path.c_str());
+  doc.Set("runs", std::move(runs));
+  const std::string written =
+      bench::WriteBenchJson(flags.GetString("out"), doc);
+  if (written.empty()) return 1;
   return all_ok ? 0 : 2;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <thread>
 
 #include "common/logging.h"
@@ -21,10 +22,198 @@ SparkCluster::SparkCluster(const ClusterConfig& config, size_t host_threads)
     pool_ = std::make_unique<ThreadPool>(
         std::min(host_threads_, sim_.num_workers()));
   }
+  const size_t k = sim_.num_workers();
+  assign_.resize(k);
+  for (size_t r = 0; r < k; ++r) assign_[r] = r;
+  needs_rebuild_.assign(k, false);
+  admit_time_.assign(k, 0.0);
+  pending_catchup_.assign(k, false);
+  // Partitions of initially pending slots (joiner pool) start on the
+  // least-loaded initial members; they are warm there (no rebuild).
+  const MembershipTracker& membership = sim_.membership();
+  if (membership.num_active() < k) {
+    MLLIBSTAR_CHECK_GT(membership.num_active(), 0u);
+    std::vector<size_t> load(k, 0);
+    for (size_t r = 0; r < k; ++r) {
+      if (membership.IsActive(r)) load[r] = 1;
+    }
+    for (size_t r = 0; r < k; ++r) {
+      if (membership.IsActive(r)) continue;
+      size_t host = k;
+      for (size_t h = 0; h < k; ++h) {
+        if (!membership.IsActive(h)) continue;
+        if (host == k || load[h] < load[host]) host = h;
+      }
+      assign_[r] = host;
+      ++load[host];
+    }
+  }
+}
+
+std::vector<size_t> SparkCluster::ActiveWorkers() const {
+  std::vector<size_t> active;
+  active.reserve(sim_.num_workers());
+  for (size_t w = 0; w < sim_.num_workers(); ++w) {
+    if (sim_.membership().IsActive(w)) active.push_back(w);
+  }
+  return active;
+}
+
+void SparkCluster::ApplyChurn(SimTime at) {
+  MembershipTracker& membership = sim_.membership();
+  if (!membership.enabled()) return;
+  const size_t k = sim_.num_workers();
+  Telemetry& obs = Telemetry::Get();
+  for (const MembershipEvent& ev : membership.AdvanceTo(at)) {
+    switch (ev.kind) {
+      case MembershipEvent::Kind::kLeave: {
+        SimNode& gone = sim_.worker(ev.node);
+        trace().Record(gone.name, ev.at, ev.suspect_at,
+                       ActivityKind::kMembershipLeave, "membership/leave");
+        trace().Record(gone.name, ev.suspect_at, ev.detected_at,
+                       ActivityKind::kMembershipSuspect,
+                       "membership/suspected");
+        // The departed executor's partitions migrate to the
+        // least-loaded survivors and must be lineage-rebuilt there.
+        MLLIBSTAR_CHECK_GT(membership.num_active(), 0u);
+        std::vector<size_t> load(k, 0);
+        for (size_t r = 0; r < k; ++r) {
+          if (membership.IsActive(assign_[r])) ++load[assign_[r]];
+        }
+        for (size_t r = 0; r < k; ++r) {
+          if (assign_[r] != ev.node) continue;
+          size_t host = k;
+          for (size_t h = 0; h < k; ++h) {
+            if (!membership.IsActive(h)) continue;
+            if (host == k || load[h] < load[host]) host = h;
+          }
+          assign_[r] = host;
+          ++load[host];
+          needs_rebuild_[r] = true;
+          ++membership.stats().partitions_migrated;
+        }
+        pending_catchup_[ev.node] = false;
+        if (obs.enabled()) {
+          obs.metrics().Counter("membership.leaves").Add();
+          obs.RecordEvent("membership-leave", "membership", ev.detected_at,
+                          {{"worker", gone.name}});
+        }
+        break;
+      }
+      case MembershipEvent::Kind::kJoin:
+      case MembershipEvent::Kind::kRejoin: {
+        const bool rejoin = ev.kind == MembershipEvent::Kind::kRejoin;
+        SimNode& joiner = sim_.worker(ev.node);
+        trace().Record(joiner.name, ev.at, ev.detected_at,
+                       rejoin ? ActivityKind::kMembershipRejoin
+                              : ActivityKind::kMembershipJoin,
+                       rejoin ? "membership/rejoin" : "membership/join");
+        joiner.clock = std::max(joiner.clock, ev.detected_at);
+        admit_time_[ev.node] = ev.detected_at;
+        pending_catchup_[ev.node] = true;
+        // Rebalance: pull partitions off the most-loaded hosts until
+        // the joiner carries its fair share; each moved partition is
+        // cold on the joiner and rebuilds via lineage.
+        std::vector<size_t> load(k, 0);
+        for (size_t r = 0; r < k; ++r) ++load[assign_[r]];
+        const size_t fair = k / membership.num_active();
+        while (load[ev.node] < fair) {
+          size_t donor = k;
+          for (size_t h = 0; h < k; ++h) {
+            if (h == ev.node) continue;
+            if (donor == k || load[h] > load[donor]) donor = h;
+          }
+          if (donor == k || load[donor] <= load[ev.node] + 1) break;
+          size_t moved = k;
+          for (size_t r = k; r-- > 0;) {
+            if (assign_[r] == donor) {
+              moved = r;
+              break;
+            }
+          }
+          if (moved == k) break;
+          assign_[moved] = ev.node;
+          --load[donor];
+          ++load[ev.node];
+          needs_rebuild_[moved] = true;
+          ++membership.stats().partitions_migrated;
+        }
+        if (obs.enabled()) {
+          obs.metrics()
+              .Counter(rejoin ? "membership.rejoins" : "membership.joins")
+              .Add();
+          obs.RecordEvent(rejoin ? "membership-rejoin" : "membership-join",
+                          "membership", ev.detected_at,
+                          {{"worker", joiner.name}});
+        }
+        break;
+      }
+      case MembershipEvent::Kind::kServerLeave:
+        // Spark runs have no PS shards; the PS trainer consumes these
+        // from its own event loop.
+        break;
+    }
+  }
+}
+
+namespace {
+
+uint64_t ElasticDoubleWord(double value) {
+  uint64_t word = 0;
+  static_assert(sizeof(word) == sizeof(value), "word width");
+  std::memcpy(&word, &value, sizeof(word));
+  return word;
+}
+
+double ElasticWordDouble(uint64_t word) {
+  double value = 0.0;
+  std::memcpy(&value, &word, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+std::vector<uint64_t> SparkCluster::SaveElasticWords() const {
+  std::vector<uint64_t> words;
+  const std::vector<uint64_t> mwords = sim_.membership().SaveWords();
+  words.push_back(mwords.size());
+  words.insert(words.end(), mwords.begin(), mwords.end());
+  for (size_t h : assign_) words.push_back(h);
+  for (bool b : needs_rebuild_) words.push_back(b ? 1 : 0);
+  for (SimTime t : admit_time_) words.push_back(ElasticDoubleWord(t));
+  for (bool b : pending_catchup_) words.push_back(b ? 1 : 0);
+  return words;
+}
+
+void SparkCluster::RestoreElasticWords(const std::vector<uint64_t>& words) {
+  size_t i = 0;
+  auto take = [&]() {
+    MLLIBSTAR_CHECK(i < words.size());
+    return words[i++];
+  };
+  std::vector<uint64_t> mwords(take());
+  for (uint64_t& w : mwords) w = take();
+  sim_.membership().RestoreWords(mwords);
+  for (size_t& h : assign_) h = take();
+  for (size_t r = 0; r < needs_rebuild_.size(); ++r) {
+    needs_rebuild_[r] = take() != 0;
+  }
+  for (SimTime& t : admit_time_) t = ElasticWordDouble(take());
+  for (size_t r = 0; r < pending_catchup_.size(); ++r) {
+    pending_catchup_[r] = take() != 0;
+  }
+  MLLIBSTAR_CHECK(i == words.size());
 }
 
 void SparkCluster::BeginStage(const std::string& label) {
-  const SimTime at = Barrier();
+  SimTime at = Barrier();
+  if (sim_.membership().enabled()) {
+    ApplyChurn(at);
+    // Joiners sync up to the stage boundary; departed executors no
+    // longer hold the barrier back. A churn-free stage re-barriers at
+    // the same instant, recording nothing.
+    at = Barrier();
+  }
   trace().MarkStage(at, label);
   Telemetry& obs = Telemetry::Get();
   if (obs.enabled()) {
@@ -57,7 +246,11 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
   // host-side math from phase 1 stays the ground truth, which is what
   // makes the bit-identity tests possible.
   FaultInjector& faults = sim_.faults();
+  MembershipTracker& membership = sim_.membership();
   const ClusterConfig& cfg = sim_.config();
+  if (membership.enabled() && membership.num_active() < k) {
+    ++membership.stats().degraded_rounds;
+  }
 
   struct TaskPlan {
     SimTime start = 0.0;
@@ -66,16 +259,41 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
     uint64_t work = 0;
     bool crashed = false;
     SimTime crash_at = 0.0;
+    size_t host = 0;
   };
   std::vector<TaskPlan> plan(k);
+
+  // host_free[h]: when executor h is next free to run another
+  // partition, host recovery, or take backup work. With a full fleet
+  // every executor hosts exactly its own partition and this matches
+  // the per-task availability of the fixed-membership engine.
+  std::vector<SimTime> host_free(k);
+  std::vector<bool> host_crashed(k, false);
+  for (size_t h = 0; h < k; ++h) host_free[h] = sim_.worker(h).clock;
 
   // Pass A — sequential draws. Task-failure retries (Spark lineage
   // recovery: a failed task re-executes from its cached partition after
   // a scheduling delay) commit immediately; the primary attempt is only
-  // planned, so later passes can truncate or extend it.
+  // planned, so later passes can truncate or extend it. Partitions run
+  // on their assigned host; a migrated partition pays its lineage
+  // rebuild (jittered from the membership stream, so churn never
+  // shifts the jitter/failure streams) before its first task.
   for (size_t r = 0; r < k; ++r) {
     const uint64_t work = stats[r].work_units;
-    SimNode& worker = sim_.worker(r);
+    const size_t h = assign_[r];
+    SimNode& worker = sim_.worker(h);
+    worker.clock = host_free[h];
+    if (needs_rebuild_[r]) {
+      const double rebuild_dur =
+          static_cast<double>(work) *
+          faults.plan().lineage_recompute_factor / worker.compute_speed *
+          membership.NextRecoveryJitter(cfg.straggler_sigma);
+      trace().Record(worker.name, worker.clock, worker.clock + rebuild_dur,
+                     ActivityKind::kRecompute, detail + "/churn-rebuild");
+      ++faults.stats().lineage_recomputes;
+      worker.clock += rebuild_dur;
+      needs_rebuild_[r] = false;
+    }
     while (sim_.NextTaskFailure()) {
       const SimTime fail_at =
           worker.clock + cfg.task_restart_seconds;
@@ -90,21 +308,17 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
     }
     TaskPlan& p = plan[r];
     p.work = work;
+    p.host = h;
     p.start = worker.clock;
     p.dur = static_cast<double>(work) / worker.compute_speed *
             sim_.NextJitter();
     p.end = p.start + p.dur;
-    p.crashed = faults.WorkerCrashes(r, p.start, p.end, &p.crash_at);
-  }
-
-  // avail[r]: when worker r is next free to host recovery or backup
-  // work (its own task end, or its restart time after a crash).
-  std::vector<SimTime> avail(k);
-  for (size_t r = 0; r < k; ++r) {
-    avail[r] = plan[r].crashed
-                   ? plan[r].crash_at +
-                         faults.plan().executor_restart_seconds
-                   : plan[r].end;
+    p.crashed = faults.WorkerCrashes(h, p.start, p.end, &p.crash_at);
+    host_free[h] = p.crashed ? p.crash_at +
+                                   faults.plan().executor_restart_seconds
+                             : p.end;
+    if (p.crashed) host_crashed[h] = true;
+    worker.clock = p.start;
   }
 
   // Pass B — executor loss. The partial result dies with the executor;
@@ -115,7 +329,7 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
   for (size_t r = 0; r < k; ++r) {
     if (!plan[r].crashed) continue;
     const TaskPlan& p = plan[r];
-    SimNode& worker = sim_.worker(r);
+    SimNode& worker = sim_.worker(p.host);
     if (p.crash_at > p.start) {
       trace().Record(worker.name, p.start, p.crash_at,
                      ActivityKind::kCompute, detail + "/lost");
@@ -131,15 +345,17 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
                       {{"worker", worker.name}});
     }
     worker.clock = up_at;
-    // Replacement: the earliest-available surviving worker (ties to
-    // the lowest index); the restarted executor itself when alone.
-    size_t repl = r;
-    for (size_t r2 = 0; r2 < k; ++r2) {
-      if (r2 == r || plan[r2].crashed) continue;
-      if (repl == r || avail[r2] < avail[repl]) repl = r2;
+    // Replacement: the earliest-available surviving participating
+    // executor (ties to the lowest index); the restarted executor
+    // itself when alone.
+    size_t repl = p.host;
+    for (size_t h2 = 0; h2 < k; ++h2) {
+      if (h2 == p.host || host_crashed[h2]) continue;
+      if (!membership.IsActive(h2)) continue;
+      if (repl == p.host || host_free[h2] < host_free[repl]) repl = h2;
     }
     SimNode& host = sim_.worker(repl);
-    const SimTime t0 = std::max(avail[repl], p.crash_at);
+    const SimTime t0 = std::max(host_free[repl], p.crash_at);
     const double rebuild_dur =
         static_cast<double>(p.work) *
         faults.plan().lineage_recompute_factor / host.compute_speed *
@@ -152,7 +368,7 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
     trace().Record(host.name, t0 + rebuild_dur,
                    t0 + rebuild_dur + rerun_dur, ActivityKind::kCompute,
                    detail + "/rerun");
-    avail[repl] = t0 + rebuild_dur + rerun_dur;
+    host_free[repl] = t0 + rebuild_dur + rerun_dur;
   }
 
   // Pass C — speculative execution (spark.speculation). Once a task
@@ -173,16 +389,19 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
       const double threshold = cfg.speculation_multiplier * durs[qi];
       for (size_t r = 0; r < k; ++r) {
         if (plan[r].crashed || plan[r].dur <= threshold) continue;
-        size_t helper = r;
-        for (size_t r2 = 0; r2 < k; ++r2) {
-          if (r2 == r) continue;
-          if (helper == r || avail[r2] < avail[helper]) helper = r2;
+        size_t helper = plan[r].host;
+        for (size_t h2 = 0; h2 < k; ++h2) {
+          if (h2 == plan[r].host) continue;
+          if (!membership.IsActive(h2)) continue;
+          if (helper == plan[r].host || host_free[h2] < host_free[helper]) {
+            helper = h2;
+          }
         }
-        if (helper == r) continue;
+        if (helper == plan[r].host) continue;
         // The scheduler only notices the straggler once it exceeds
         // the threshold.
         const SimTime bstart =
-            std::max(avail[helper], plan[r].start + threshold);
+            std::max(host_free[helper], plan[r].start + threshold);
         if (bstart >= plan[r].end) continue;
         SimNode& host = sim_.worker(helper);
         const double bdur = static_cast<double>(plan[r].work) /
@@ -199,22 +418,37 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
         if (bend < plan[r].end) ++faults.stats().speculative_wins;
         trace().Record(host.name, bstart, win, ActivityKind::kSpeculative,
                        detail + "/speculative");
+        // Only roll the straggler's host back if this partition was
+        // the one pinning its availability (always true with a full
+        // fleet, where each host runs exactly one partition).
+        if (host_free[plan[r].host] == plan[r].end) {
+          host_free[plan[r].host] = win;
+        }
         plan[r].end = win;
-        avail[r] = win;
-        avail[helper] = std::max(avail[helper], win);
+        host_free[helper] = std::max(host_free[helper], win);
       }
     }
   }
 
   // Pass D — commit the (possibly truncated) primary bars and final
-  // clocks.
+  // clocks, and close out joiner catch-up latencies (admission to
+  // first completed task).
   for (size_t r = 0; r < k; ++r) {
-    SimNode& worker = sim_.worker(r);
+    SimNode& worker = sim_.worker(plan[r].host);
     if (!plan[r].crashed) {
       trace().Record(worker.name, plan[r].start, plan[r].end,
                      ActivityKind::kCompute, detail);
+      if (pending_catchup_[plan[r].host]) {
+        membership.stats().catchup_latency_sum +=
+            plan[r].end - admit_time_[plan[r].host];
+        ++membership.stats().catchup_count;
+        pending_catchup_[plan[r].host] = false;
+      }
     }
-    worker.clock = std::max(worker.clock, avail[r]);
+  }
+  for (size_t h = 0; h < k; ++h) {
+    SimNode& worker = sim_.worker(h);
+    worker.clock = std::max(worker.clock, host_free[h]);
   }
   if (span.active()) {
     Telemetry::Get().metrics().Counter("engine.worker_tasks").Add(k);
@@ -247,33 +481,37 @@ void SparkCluster::RunOnDriver(const std::string& detail,
 void SparkCluster::TreeAggregate(uint64_t bytes, size_t num_aggregators,
                                  uint64_t merge_work_units,
                                  const std::string& detail) {
-  const size_t k = num_workers();
-  num_aggregators = std::clamp<size_t>(num_aggregators, 1, k);
+  // Only the participating executors take part; with a full fleet the
+  // active list is the identity and nothing changes.
+  const std::vector<size_t> active = ActiveWorkers();
+  const size_t a = active.size();
+  if (a == 0) return;
+  num_aggregators = std::clamp<size_t>(num_aggregators, 1, a);
   const NetworkModel& net = sim_.network();
-  // Level 1 moves (k - g) payloads, level 2 moves g: k total.
-  total_bytes_ += bytes * k;
+  // Level 1 moves (a - g) payloads, level 2 moves g: a total.
+  total_bytes_ += bytes * a;
   {
     Telemetry& obs = Telemetry::Get();
     if (obs.enabled()) {
       obs.metrics().Counter("engine.tree_aggregates").Add();
       obs.metrics()
           .Counter("engine.bytes", {{"path", "tree_aggregate"}})
-          .Add(bytes * k);
+          .Add(bytes * a);
     }
   }
 
-  // Group workers round-robin onto aggregators (workers [0, g) act as
-  // the intermediate aggregators themselves, like MLlib reusing
-  // executors). Transfers starting inside a degraded-link fault window
-  // are stretched by the window's factor.
+  // Group workers round-robin onto aggregators (the first g active
+  // workers act as the intermediate aggregators themselves, like MLlib
+  // reusing executors). Transfers starting inside a degraded-link
+  // fault window are stretched by the window's factor.
   for (size_t g = 0; g < num_aggregators; ++g) {
-    SimNode& agg = sim_.worker(g);
+    SimNode& agg = sim_.worker(active[g]);
     // Senders in this group, excluding the aggregator itself.
     size_t senders = 0;
     SimTime last_sender_ready = agg.clock;
-    for (size_t r = g; r < k; r += num_aggregators) {
-      if (r == g) continue;
-      SimNode& sender = sim_.worker(r);
+    for (size_t pos = g; pos < a; pos += num_aggregators) {
+      if (pos == g) continue;
+      SimNode& sender = sim_.worker(active[pos]);
       const SimTime send_end =
           sender.clock +
           net.TransferTime(bytes) * sim_.LinkFactor(sender.clock);
@@ -306,7 +544,7 @@ void SparkCluster::TreeAggregate(uint64_t bytes, size_t num_aggregators,
   SimNode& driver = sim_.driver();
   SimTime last_ready = driver.clock;
   for (size_t g = 0; g < num_aggregators; ++g) {
-    SimNode& agg = sim_.worker(g);
+    SimNode& agg = sim_.worker(active[g]);
     const SimTime send_end =
         agg.clock + net.TransferTime(bytes) * sim_.LinkFactor(agg.clock);
     trace().Record(agg.name, agg.clock, send_end, ActivityKind::kCommunicate,
@@ -329,18 +567,20 @@ void SparkCluster::TreeAggregate(uint64_t bytes, size_t num_aggregators,
 
 void SparkCluster::Broadcast(uint64_t bytes, BroadcastMode mode,
                              const std::string& detail) {
-  const size_t k = num_workers();
+  const std::vector<size_t> active = ActiveWorkers();
+  const size_t a = active.size();
+  if (a == 0) return;
   const NetworkModel& net = sim_.network();
   SimNode& driver = sim_.driver();
   const SimTime start = driver.clock;
-  total_bytes_ += bytes * k;
+  total_bytes_ += bytes * a;
   {
     Telemetry& obs = Telemetry::Get();
     if (obs.enabled()) {
       obs.metrics().Counter("engine.broadcasts").Add();
       obs.metrics()
           .Counter("engine.bytes", {{"path", "broadcast"}})
-          .Add(bytes * k);
+          .Add(bytes * a);
     }
   }
 
@@ -350,13 +590,13 @@ void SparkCluster::Broadcast(uint64_t bytes, BroadcastMode mode,
 
   switch (mode) {
     case BroadcastMode::kDriverSequential: {
-      // The driver's outbound link pushes k copies back-to-back;
-      // worker i's copy lands after i+1 payloads.
-      for (size_t r = 0; r < k; ++r) {
-        SimNode& w = sim_.worker(r);
+      // The driver's outbound link pushes a copies back-to-back;
+      // the i-th participating worker's copy lands after i+1 payloads.
+      for (size_t pos = 0; pos < a; ++pos) {
+        SimNode& w = sim_.worker(active[pos]);
         const SimTime arrive =
             start + net.latency() +
-            static_cast<double>(bytes) * static_cast<double>(r + 1) /
+            static_cast<double>(bytes) * static_cast<double>(pos + 1) /
                 net.bandwidth() * link;
         const SimTime recv_start = std::max(w.clock, start);
         const SimTime recv_end = std::max(arrive, recv_start);
@@ -365,20 +605,20 @@ void SparkCluster::Broadcast(uint64_t bytes, BroadcastMode mode,
         w.clock = recv_end;
       }
       const SimTime send_end =
-          start + net.SerializedTransferTime(bytes, k) * link;
+          start + net.SerializedTransferTime(bytes, a) * link;
       trace().Record(driver.name, start, send_end,
                      ActivityKind::kCommunicate, detail + "/send");
       driver.clock = send_end;
       break;
     }
     case BroadcastMode::kTorrent: {
-      // Doubling rounds: after ceil(log2(k+1)) rounds every node has
+      // Doubling rounds: after ceil(log2(a+1)) rounds every node has
       // the payload; each round costs one point-to-point transfer.
       const double rounds =
-          std::ceil(std::log2(static_cast<double>(k) + 1.0));
+          std::ceil(std::log2(static_cast<double>(a) + 1.0));
       const SimTime done = start + rounds * net.TransferTime(bytes) * link;
-      for (size_t r = 0; r < k; ++r) {
-        SimNode& w = sim_.worker(r);
+      for (size_t pos = 0; pos < a; ++pos) {
+        SimNode& w = sim_.worker(active[pos]);
         const SimTime recv_start = std::max(w.clock, start);
         const SimTime recv_end = std::max(done, recv_start);
         trace().Record(w.name, recv_start, recv_end,
@@ -396,29 +636,30 @@ void SparkCluster::Broadcast(uint64_t bytes, BroadcastMode mode,
 
 void SparkCluster::ShuffleAllToAll(uint64_t bytes_per_peer,
                                    const std::string& detail) {
-  const size_t k = num_workers();
-  if (k <= 1) return;
+  const std::vector<size_t> active = ActiveWorkers();
+  const size_t a = active.size();
+  if (a <= 1) return;
   const NetworkModel& net = sim_.network();
-  total_bytes_ += bytes_per_peer * k * (k - 1);
+  total_bytes_ += bytes_per_peer * a * (a - 1);
   {
     Telemetry& obs = Telemetry::Get();
     if (obs.enabled()) {
       obs.metrics().Counter("engine.shuffles").Add();
       obs.metrics()
           .Counter("engine.bytes", {{"path", "shuffle"}})
-          .Add(bytes_per_peer * k * (k - 1));
+          .Add(bytes_per_peer * a * (a - 1));
     }
   }
 
   // Shuffle fetch starts once all map outputs exist (stage boundary),
-  // then every link moves (k-1) payloads; sends and receives overlap
+  // then every link moves (a-1) payloads; sends and receives overlap
   // on full-duplex links.
   const SimTime start = sim_.MaxWorkerClock();
   const SimTime end =
-      start + net.SerializedTransferTime(bytes_per_peer, k - 1) *
+      start + net.SerializedTransferTime(bytes_per_peer, a - 1) *
                   sim_.LinkFactor(start);
-  for (size_t r = 0; r < k; ++r) {
-    SimNode& w = sim_.worker(r);
+  for (size_t pos = 0; pos < a; ++pos) {
+    SimNode& w = sim_.worker(active[pos]);
     if (w.clock < start) {
       trace().Record(w.name, w.clock, start, ActivityKind::kWait,
                      detail + "/fetch-wait");

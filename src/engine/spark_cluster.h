@@ -64,7 +64,11 @@ class SparkCluster {
   size_t host_threads() const { return host_threads_; }
 
   /// Marks the start of a new Spark stage (the red vertical lines in
-  /// Figure 3) at the current barrier time.
+  /// Figure 3) at the current barrier time. Stage boundaries are where
+  /// the driver acts on the failure detector: detected leaves migrate
+  /// the departed executor's partitions onto survivors (lineage
+  /// rebuild charged on first touch), admitted joiners get partitions
+  /// rebalanced onto them.
   void BeginStage(const std::string& label);
 
   /// Runs `fn(worker_index)` for every worker — host-parallel when the
@@ -116,11 +120,47 @@ class SparkCluster {
   /// Byte accounting hook for the typed ShuffleExchange (engine/shuffle.h).
   void AddShuffledBytes(uint64_t bytes) { total_bytes_ += bytes; }
 
+  /// Which executor currently hosts partition r. Identity when the
+  /// fleet is full and no churn has happened.
+  size_t PartitionHost(size_t r) const { return assign_[r]; }
+
+  /// The failure detector / churn state (lives in the SimCluster).
+  const MembershipTracker& membership() const { return sim_.membership(); }
+
+  /// The full elastic state — membership tracker cursor plus the
+  /// engine's partition hosting, rebuild flags and joiner catch-up
+  /// windows — as checkpoint words. Restoring makes a resumed run
+  /// replay the remaining churn bit-identically, even mid-suspicion
+  /// or with migrations pending their first lineage rebuild.
+  std::vector<uint64_t> SaveElasticWords() const;
+  void RestoreElasticWords(const std::vector<uint64_t>& words);
+
  private:
+  /// Fires every membership transition detected by `at` and applies
+  /// it: leaves migrate partitions to survivors, joins rebalance
+  /// partitions onto the joiner. Records membership trace bars and obs
+  /// events.
+  void ApplyChurn(SimTime at);
+
+  /// Indices of currently participating workers, ascending.
+  std::vector<size_t> ActiveWorkers() const;
+
   SimCluster sim_;
   uint64_t total_bytes_ = 0;
   size_t host_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;  ///< created when host_threads_ > 1
+
+  /// Partition -> hosting executor. The partition count is fixed at
+  /// num_workers for the whole run (so the host-side math never
+  /// changes under churn); only the hosting changes.
+  std::vector<size_t> assign_;
+  /// Partition must be lineage-rebuilt on its (new) host before its
+  /// next task (set when a partition migrates).
+  std::vector<bool> needs_rebuild_;
+  /// Per-executor joiner catch-up tracking: admission time, and
+  /// whether the first post-admission task end is still pending.
+  std::vector<SimTime> admit_time_;
+  std::vector<bool> pending_catchup_;
 };
 
 }  // namespace mllibstar

@@ -14,7 +14,8 @@ PsContext::PsContext(SimCluster* sim, size_t dim, const PsConfig& config,
     : sim_(sim), config_(config),
       codec_(codec != nullptr ? codec : &PassthroughCodec()), model_(dim),
       average_accumulator_(dim),
-      shard_down_until_(config.num_shards, 0.0), ckpt_model_(dim) {
+      shard_down_until_(config.num_shards, 0.0),
+      shard_left_(config.num_shards, false), ckpt_model_(dim) {
   MLLIBSTAR_CHECK_EQ(sim->num_servers(), config.num_shards);
   MLLIBSTAR_CHECK_GT(config.num_shards, 0u);
 }
@@ -58,6 +59,59 @@ void PsContext::HandleShardCrash(size_t s, SimTime at) {
   shard_down_until_[s] = restore_end;
 }
 
+size_t PsContext::ServingShard(size_t s) const {
+  size_t serve = s;
+  for (size_t hops = 0; hops < config_.num_shards; ++hops) {
+    if (!shard_left_[serve]) return serve;
+    serve = (serve + 1) % config_.num_shards;
+  }
+  return s;  // unreachable: at least one shard is always alive
+}
+
+void PsContext::OnServerLeft(const MembershipEvent& ev) {
+  const size_t s = ev.node;
+  MLLIBSTAR_CHECK_LT(s, config_.num_shards);
+  if (shard_left_[s]) return;
+  size_t alive = 0;
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    if (!shard_left_[i]) ++alive;
+  }
+  if (alive <= 1) return;  // refusing to evict the last shard
+
+  SimNode& gone = sim_->server(s);
+  sim_->trace().Record(gone.name, ev.at, ev.suspect_at,
+                       ActivityKind::kMembershipLeave, "membership/leave");
+  sim_->trace().Record(gone.name, ev.suspect_at, ev.detected_at,
+                       ActivityKind::kMembershipSuspect,
+                       "membership/suspected");
+  shard_left_[s] = true;
+
+  // The departed shard's range re-reads from the checkpoint store onto
+  // its successor, which serves both ranges from then on.
+  const size_t successor = ServingShard((s + 1) % config_.num_shards);
+  const size_t dim = model_.dim();
+  const size_t per = (dim + config_.num_shards - 1) / config_.num_shards;
+  const size_t lo = std::min(dim, s * per);
+  const size_t hi = std::min(dim, lo + per);
+  const uint64_t range_bytes = codec_->EncodedBytes(hi - lo);
+  SimNode& succ = sim_->server(successor);
+  const SimTime start = std::max(ev.detected_at, succ.clock);
+  const SimTime end =
+      start + static_cast<double>(range_bytes) / sim_->network().bandwidth();
+  sim_->trace().Record(succ.name, start, end, ActivityKind::kRecompute,
+                       "ps-shard-migrate");
+  succ.clock = std::max(succ.clock, end);
+  ++sim_->membership().stats().shard_migrations;
+  Telemetry& obs = Telemetry::Get();
+  if (obs.enabled()) {
+    obs.metrics().Counter("membership.server_leaves").Add();
+    obs.metrics().Counter("membership.shard_migrations").Add();
+    obs.RecordEvent("membership-server-leave", "membership", ev.detected_at,
+                    {{"shard", gone.name},
+                     {"successor", succ.name}});
+  }
+}
+
 void PsContext::MaybeServerCheckpoint() {
   if (config_.server_checkpoint_every_sec <= 0.0 ||
       last_push_end_ - last_ckpt_time_ >=
@@ -87,6 +141,7 @@ SimTime PsContext::TimeTransfer(SimNode* worker, uint64_t total_bytes,
   // range back to its checkpoint and makes it unavailable until the
   // restore completes.
   for (size_t s = 0; s < shards; ++s) {
+    if (shard_left_[s]) continue;  // departed shards can no longer crash
     SimTime crash_at = 0.0;
     if (faults.ServerCrashDue(s, worker->clock, &crash_at)) {
       HandleShardCrash(s, std::max(crash_at, shard_down_until_[s]));
@@ -106,7 +161,7 @@ SimTime PsContext::TimeTransfer(SimNode* worker, uint64_t total_bytes,
     const SimTime now = worker->clock;
     bool blocked = faults.NextMessageDrop(now);
     for (size_t s = 0; !blocked && s < shards; ++s) {
-      if (shard_down_until_[s] > now) blocked = true;
+      if (shard_down_until_[ServingShard(s)] > now) blocked = true;
     }
     if (!blocked || attempt >= config_.max_request_retries) break;
     ++faults.stats().ps_retries;
@@ -133,10 +188,12 @@ SimTime PsContext::TimeTransfer(SimNode* worker, uint64_t total_bytes,
   const SimTime request_time = worker->clock;
 
   // Each shard serves its slice; a shard's link serializes requests
-  // from different workers (tracked by the shard's clock).
+  // from different workers (tracked by the shard's clock). A departed
+  // shard's slice is served by its migration successor, whose link
+  // then serializes the doubled load.
   SimTime last_shard_done = 0.0;
   for (size_t s = 0; s < shards; ++s) {
-    SimNode& shard = sim_->server(s);
+    SimNode& shard = sim_->server(ServingShard(s));
     const SimTime start = std::max(request_time + net.latency(), shard.clock);
     const SimTime end =
         start + static_cast<double>(shard_bytes) / net.bandwidth() *

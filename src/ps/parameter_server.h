@@ -136,6 +136,23 @@ class PsContext {
   /// to a stale one).
   void CheckpointServerNow() { ckpt_model_ = model_; }
 
+  /// Permanent departure of shard `ev.node` (a membership
+  /// kServerLeave event): its model range migrates to the next alive
+  /// shard, which then serves redirected pulls/pushes for both ranges
+  /// (its link serializes the doubled slices — graceful degradation,
+  /// not a stall). Ignored if it would leave zero alive shards.
+  /// Numerics never change: the model is host-side and global.
+  void OnServerLeft(const MembershipEvent& ev);
+
+  /// The shard actually serving shard `s`'s range (s itself, or the
+  /// departed shard's migration successor).
+  size_t ServingShard(size_t s) const;
+
+  /// Quiet resume hook: marks shard `s` as departed without charging
+  /// the migration again (the checkpointed membership view says it
+  /// happened before the snapshot was taken).
+  void MarkServerLeft(size_t s) { shard_left_[s] = true; }
+
  private:
   SimTime TimeTransfer(SimNode* worker, uint64_t total_bytes, bool is_pull,
                        const std::string& detail);
@@ -159,6 +176,9 @@ class PsContext {
   /// Per-shard time until which the shard is unavailable (crash +
   /// restore in progress).
   std::vector<SimTime> shard_down_until_;
+  /// Shards evicted by the failure detector; their ranges are served
+  /// by the next alive shard.
+  std::vector<bool> shard_left_;
   /// Last server-side snapshot of the model (crash rollback target).
   DenseVector ckpt_model_;
   SimTime last_ckpt_time_ = 0.0;

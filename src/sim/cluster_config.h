@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/fault_plan.h"
+#include "sim/membership.h"
 
 namespace mllibstar {
 
@@ -42,6 +43,12 @@ struct ClusterConfig {
   /// degradation, message drops). Empty by default — fault-free runs
   /// consume nothing from the fault RNG stream.
   FaultPlan faults;
+
+  /// Elastic membership: scripted/Poisson join, leave, and rejoin
+  /// events consumed by a heartbeat/suspicion failure detector. Empty
+  /// by default — churn-free runs consume nothing from the membership
+  /// RNG stream and are bit-identical to fixed-fleet runs.
+  ChurnPlan churn;
 
   /// Spark speculative execution (spark.speculation): once a stage's
   /// pending tasks exceed `speculation_multiplier` times the duration

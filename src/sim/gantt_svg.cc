@@ -30,6 +30,14 @@ const char* ActivityColor(ActivityKind kind) {
       return "#2a8f8f";  // teal
     case ActivityKind::kSpeculative:
       return "#7fb04d";  // olive green
+    case ActivityKind::kMembershipJoin:
+      return "#2e86de";  // bright blue
+    case ActivityKind::kMembershipLeave:
+      return "#5d4037";  // brown
+    case ActivityKind::kMembershipSuspect:
+      return "#f4c20d";  // warning yellow
+    case ActivityKind::kMembershipRejoin:
+      return "#e91e63";  // magenta
   }
   return "#000000";
 }
@@ -54,6 +62,14 @@ const char* ActivityLabel(ActivityKind kind) {
       return "recompute";
     case ActivityKind::kSpeculative:
       return "speculative";
+    case ActivityKind::kMembershipJoin:
+      return "join";
+    case ActivityKind::kMembershipLeave:
+      return "leave";
+    case ActivityKind::kMembershipSuspect:
+      return "suspected";
+    case ActivityKind::kMembershipRejoin:
+      return "rejoin";
   }
   return "?";
 }
@@ -64,6 +80,8 @@ constexpr ActivityKind kAllKinds[] = {
     ActivityKind::kWait,      ActivityKind::kRetry,
     ActivityKind::kFault,     ActivityKind::kRecompute,
     ActivityKind::kSpeculative,
+    ActivityKind::kMembershipJoin,    ActivityKind::kMembershipLeave,
+    ActivityKind::kMembershipSuspect, ActivityKind::kMembershipRejoin,
 };
 
 }  // namespace

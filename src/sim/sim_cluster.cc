@@ -14,7 +14,8 @@ SimCluster::SimCluster(const ClusterConfig& config)
       // Failures live on their own stream so that enabling them leaves
       // the per-task jitter sequence untouched (and vice versa).
       failure_rng_(config.seed ^ 0x0fa111e5c0feeULL),
-      faults_(config.faults) {
+      faults_(config.faults),
+      membership_(config.churn, config.num_workers, config.num_servers) {
   MLLIBSTAR_CHECK_GT(config.num_workers, 0u);
   MLLIBSTAR_CHECK_GT(config.compute_speed, 0.0);
   driver_.name = "driver";
@@ -66,12 +67,17 @@ SimTime SimCluster::ComputeExact(SimNode* node, uint64_t work_units,
 
 SimTime SimCluster::MaxWorkerClock() const {
   SimTime latest = 0.0;
-  for (const SimNode& w : workers_) latest = std::max(latest, w.clock);
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (!membership_.IsActive(i)) continue;
+    latest = std::max(latest, workers_[i].clock);
+  }
   return latest;
 }
 
 void SimCluster::SyncWorkersTo(SimTime time) {
-  for (SimNode& w : workers_) {
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (!membership_.IsActive(i)) continue;
+    SimNode& w = workers_[i];
     if (w.clock < time) {
       trace_.Record(w.name, w.clock, time, ActivityKind::kWait, "barrier");
       w.clock = time;

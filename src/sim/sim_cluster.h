@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "sim/cluster_config.h"
 #include "sim/fault_plan.h"
+#include "sim/membership.h"
 #include "sim/network.h"
 #include "sim/trace.h"
 
@@ -69,14 +70,17 @@ class SimCluster {
   SimTime ComputeExact(SimNode* node, uint64_t work_units,
                        ActivityKind kind, const std::string& detail);
 
-  /// Latest clock among the workers.
+  /// Latest clock among the *participating* workers (pending joiners
+  /// and departed workers are invisible to barriers; with churn
+  /// disabled every worker participates).
   SimTime MaxWorkerClock() const;
 
-  /// Advances every worker clock to `time`, tracing the gap as wait.
+  /// Advances every participating worker clock to `time`, tracing the
+  /// gap as wait.
   void SyncWorkersTo(SimTime time);
 
-  /// Advances every worker and the driver to the max worker clock
-  /// (a BSP barrier) and returns that time.
+  /// Advances every participating worker and the driver to the max
+  /// worker clock (a BSP barrier) and returns that time.
   SimTime Barrier();
 
   /// Global simulated time: max clock over all nodes.
@@ -101,6 +105,11 @@ class SimCluster {
   FaultInjector& faults() { return faults_; }
   const FaultInjector& faults() const { return faults_; }
 
+  /// The failure detector / churn-event source consuming
+  /// config().churn.
+  MembershipTracker& membership() { return membership_; }
+  const MembershipTracker& membership() const { return membership_; }
+
   /// Slowdown factor for a transfer starting at `at` (degraded-link
   /// fault windows; 1.0 in fault-free runs).
   double LinkFactor(SimTime at) const { return faults_.LinkFactor(at); }
@@ -121,6 +130,7 @@ class SimCluster {
   Rng jitter_rng_;
   Rng failure_rng_;
   FaultInjector faults_;
+  MembershipTracker membership_;
   SimNode driver_;
   std::vector<SimNode> workers_;
   std::vector<SimNode> servers_;

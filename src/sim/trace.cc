@@ -29,6 +29,14 @@ char ActivityCode(ActivityKind kind) {
       return 'L';
     case ActivityKind::kSpeculative:
       return 'S';
+    case ActivityKind::kMembershipJoin:
+      return 'J';
+    case ActivityKind::kMembershipLeave:
+      return 'Q';
+    case ActivityKind::kMembershipSuspect:
+      return 'H';
+    case ActivityKind::kMembershipRejoin:
+      return 'B';
   }
   return '?';
 }
@@ -53,6 +61,14 @@ const char* ActivityName(ActivityKind kind) {
       return "recompute";
     case ActivityKind::kSpeculative:
       return "speculative";
+    case ActivityKind::kMembershipJoin:
+      return "join";
+    case ActivityKind::kMembershipLeave:
+      return "leave";
+    case ActivityKind::kMembershipSuspect:
+      return "suspected";
+    case ActivityKind::kMembershipRejoin:
+      return "rejoin";
   }
   return "unknown";
 }
@@ -122,7 +138,8 @@ std::string TraceLog::RenderAscii(size_t width) const {
      << std::string(width > 8 ? width - 8 : 1, ' ')
      << FormatDouble(total, 4) << "s\n";
   os << "legend: C=compute M=communicate A=aggregate U=update .=wait "
-        "R=retry X=fault L=recompute S=speculative\n";
+        "R=retry X=fault L=recompute S=speculative "
+        "J=join Q=leave H=suspected B=rejoin\n";
   return os.str();
 }
 

@@ -23,10 +23,14 @@ enum class ActivityKind {
   kFault,        ///< crash downtime of an executor or PS shard
   kRecompute,    ///< lineage rebuild of a lost partition / ckpt restore
   kSpeculative,  ///< backup copy of a straggler task
+  kMembershipJoin,     ///< new worker announcing itself, until admitted
+  kMembershipLeave,    ///< departed node, until its first missed heartbeat
+  kMembershipSuspect,  ///< suspicion window, until the detector evicts
+  kMembershipRejoin,   ///< returning worker, until re-admitted
 };
 
 /// Single-letter code used by the ASCII gantt
-/// ("C", "M", "A", "U", ".", "R", "X", "L", "S").
+/// ("C", "M", "A", "U", ".", "R", "X", "L", "S", "J", "Q", "H", "B").
 char ActivityCode(ActivityKind kind);
 
 /// Full lowercase name ("compute", "communicate", ...) used by the

@@ -34,6 +34,12 @@ void Accumulate(NodeSummary* summary, ActivityKind kind, double duration) {
     case ActivityKind::kSpeculative:
       summary->speculative += duration;
       break;
+    case ActivityKind::kMembershipJoin:
+    case ActivityKind::kMembershipLeave:
+    case ActivityKind::kMembershipSuspect:
+    case ActivityKind::kMembershipRejoin:
+      summary->membership += duration;
+      break;
   }
 }
 

@@ -139,6 +139,13 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
           state.rho_history.push_back(ck.TakeDouble());
         }
         TakeErrorFeedback(&ck, &ef);
+        // Elastic state: fired churn events stay fired, partition
+        // hosting and pending rebuilds resume exactly where they were.
+        {
+          std::vector<uint64_t> ewords(ck.TakeU64());
+          for (uint64_t& ew : ewords) ew = ck.TakeU64();
+          spark.RestoreElasticWords(ewords);
+        }
         MLLIBSTAR_CHECK(ck.exhausted());
       }
     }
@@ -162,6 +169,11 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
           ck.PutDouble(st.rho_history[i]);
         }
         PutErrorFeedback(&ck, ef);
+        {
+          const std::vector<uint64_t> ewords = spark.SaveElasticWords();
+          ck.PutU64(ewords.size());
+          for (uint64_t ew : ewords) ck.PutU64(ew);
+        }
         MLLIBSTAR_CHECK_OK(ck.WriteFile(config().checkpoint.path));
       };
     }
@@ -175,6 +187,7 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
   result.sim_seconds = spark.Now();
   result.total_bytes = spark.total_bytes();
   result.faults = spark.sim().faults().stats();
+  result.membership = spark.membership().stats();
   result.trace = std::move(spark.trace());
   return result;
 }

@@ -82,6 +82,13 @@ TrainResult MllibTrainer::Train(const Dataset& data,
       MLLIBSTAR_CHECK_EQ(w.dim(), d);
       TakeWorkerRngs(&ck, &rngs);
       TakeErrorFeedback(&ck, &ef);
+      // Elastic state: fired churn events stay fired, partition
+      // hosting and pending rebuilds resume exactly where they were.
+      {
+        std::vector<uint64_t> ewords(ck.TakeU64());
+        for (uint64_t& ew : ewords) ew = ck.TakeU64();
+        spark.RestoreElasticWords(ewords);
+      }
       MLLIBSTAR_CHECK(ck.exhausted());
     }
   }
@@ -151,6 +158,11 @@ TrainResult MllibTrainer::Train(const Dataset& data,
       ck.PutVector(w);
       PutWorkerRngs(&ck, rngs);
       PutErrorFeedback(&ck, ef);
+      {
+        const std::vector<uint64_t> ewords = spark.SaveElasticWords();
+        ck.PutU64(ewords.size());
+        for (uint64_t ew : ewords) ck.PutU64(ew);
+      }
       MLLIBSTAR_CHECK_OK(ck.WriteFile(config().checkpoint.path));
     }
     if ((t + 1) % config().eval_every == 0 ||
@@ -174,6 +186,7 @@ TrainResult MllibTrainer::Train(const Dataset& data,
   result.sim_seconds = spark.Now();
   result.total_bytes = spark.total_bytes();
   result.faults = spark.sim().faults().stats();
+  result.membership = spark.membership().stats();
   result.trace = std::move(spark.trace());
   return result;
 }
@@ -218,6 +231,13 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
       MLLIBSTAR_CHECK_EQ(w.dim(), d);
       TakeWorkerRngs(&ck, &rngs);
       TakeErrorFeedback(&ck, &ef);
+      // Elastic state: fired churn events stay fired, partition
+      // hosting and pending rebuilds resume exactly where they were.
+      {
+        std::vector<uint64_t> ewords(ck.TakeU64());
+        for (uint64_t& ew : ewords) ew = ck.TakeU64();
+        spark.RestoreElasticWords(ewords);
+      }
       MLLIBSTAR_CHECK(ck.exhausted());
     }
   }
@@ -282,6 +302,11 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
       ck.PutVector(w);
       PutWorkerRngs(&ck, rngs);
       PutErrorFeedback(&ck, ef);
+      {
+        const std::vector<uint64_t> ewords = spark.SaveElasticWords();
+        ck.PutU64(ewords.size());
+        for (uint64_t ew : ewords) ck.PutU64(ew);
+      }
       MLLIBSTAR_CHECK_OK(ck.WriteFile(config().checkpoint.path));
     }
     if ((t + 1) % config().eval_every == 0 ||
@@ -305,6 +330,7 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
   result.sim_seconds = spark.Now();
   result.total_bytes = spark.total_bytes();
   result.faults = spark.sim().faults().stats();
+  result.membership = spark.membership().stats();
   result.trace = std::move(spark.trace());
   return result;
 }
@@ -355,6 +381,13 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
       MLLIBSTAR_CHECK_EQ(global.dim(), d);
       TakeWorkerRngs(&ck, &rngs);
       TakeErrorFeedback(&ck, &ef);
+      // Elastic state: fired churn events stay fired, partition
+      // hosting and pending rebuilds resume exactly where they were.
+      {
+        std::vector<uint64_t> ewords(ck.TakeU64());
+        for (uint64_t& ew : ewords) ew = ck.TakeU64();
+        spark.RestoreElasticWords(ewords);
+      }
       MLLIBSTAR_CHECK(ck.exhausted());
       // Every step ends with locals[r] == global (the AllGather), so
       // the step boundary needs no per-worker local models on disk.
@@ -423,6 +456,11 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
       ck.PutVector(global);
       PutWorkerRngs(&ck, rngs);
       PutErrorFeedback(&ck, ef);
+      {
+        const std::vector<uint64_t> ewords = spark.SaveElasticWords();
+        ck.PutU64(ewords.size());
+        for (uint64_t ew : ewords) ck.PutU64(ew);
+      }
       MLLIBSTAR_CHECK_OK(ck.WriteFile(config().checkpoint.path));
     }
     if ((t + 1) % config().eval_every == 0 ||
@@ -446,6 +484,7 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
   result.sim_seconds = spark.Now();
   result.total_bytes = spark.total_bytes();
   result.faults = spark.sim().faults().stats();
+  result.membership = spark.membership().stats();
   result.trace = std::move(spark.trace());
   return result;
 }

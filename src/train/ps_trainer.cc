@@ -127,7 +127,24 @@ TrainResult PsTrainer::Train(const Dataset& data,
   std::vector<size_t> round_pushes;           // pushes seen per round
   std::vector<size_t> round_contribs;         // deltas actually applied
   std::vector<SimTime> round_end;             // latest push per round
+  std::vector<bool> round_complete;           // completion fired once
   std::vector<DenseVector> round_stage;       // averaging: delta sums
+
+  // Elastic membership. join_round[r] is the first round worker r
+  // participates in (kNeverJoined while it sits in the joiner pool);
+  // a round completes once every worker that joined by then and has
+  // not departed mid-round has pushed. incarnation[r] invalidates the
+  // queued events of an evicted worker: a push that pops after its
+  // eviction tick is dropped, never applied.
+  MembershipTracker& membership = sim.membership();
+  const int kNeverJoined = std::numeric_limits<int>::max();
+  std::vector<int> join_round(k, 0);
+  for (size_t r = 0; r < k; ++r) {
+    if (!membership.IsActive(r)) join_round[r] = kNeverJoined;
+  }
+  std::vector<uint64_t> incarnation(k, 0);
+  std::vector<SimTime> admit_time(k, 0.0);
+  std::vector<bool> pending_catchup(k, false);
 
   int max_rounds = config().max_comm_steps;
   int last_completed_round = 0;
@@ -161,13 +178,37 @@ TrainResult PsTrainer::Train(const Dataset& data,
       MLLIBSTAR_CHECK_EQ(ck.TakeU64(), k);
       for (size_t r = 0; r < k; ++r) finish_times[r] = ck.TakeDoubles();
       TakeErrorFeedback(&ck, &ef);
+      // Membership block: the failure detector resumes mid-churn with
+      // already-fired events fired, the Poisson cursor un-rewound, and
+      // every worker's participation window intact — a resumed churn
+      // run replays the remaining transitions bit-identically.
+      {
+        std::vector<uint64_t> mwords(ck.TakeU64());
+        for (uint64_t& w : mwords) w = ck.TakeU64();
+        membership.RestoreWords(mwords);
+        for (size_t v = 0; v < k; ++v) {
+          join_round[v] = static_cast<int>(ck.TakeU64());
+        }
+        for (size_t v = 0; v < k; ++v) {
+          rounds_done[v] = static_cast<int>(ck.TakeU64());
+        }
+        const std::vector<double> admits = ck.TakeDoubles();
+        MLLIBSTAR_CHECK_EQ(admits.size(), k);
+        for (size_t v = 0; v < k; ++v) admit_time[v] = admits[v];
+        for (size_t v = 0; v < k; ++v) pending_catchup[v] = ck.TakeU64() != 0;
+        // Shard departures already applied before the snapshot keep
+        // their redirection without re-charging the migration.
+        for (size_t s = 0; s < ps.num_shards; ++s) {
+          if (membership.IsServerLeft(s)) server.MarkServerLeft(s);
+        }
+      }
       MLLIBSTAR_CHECK(ck.exhausted());
-      std::fill(rounds_done.begin(), rounds_done.end(), resumed_round);
       // Completed rounds stay completed; their staging slots were
       // already released and will not be touched again.
       round_pushes.assign(resumed_round, k);
       round_contribs.assign(resumed_round, k);
       round_end.assign(resumed_round, 0.0);
+      round_complete.assign(resumed_round, true);
       if (ps.aggregation == PsAggregation::kAverageModels) {
         round_stage.assign(resumed_round, DenseVector());
       }
@@ -223,17 +264,21 @@ TrainResult PsTrainer::Train(const Dataset& data,
     return stats;
   };
 
-  // Event queue: (time, phase, worker), earliest first. Workers whose
-  // next round is blocked on the consistency barrier wait in `parked`
-  // and are reconsidered whenever any worker finishes a round.
+  // Event queue: (time, phase, worker, incarnation), earliest first.
+  // Workers whose next round is blocked on the consistency barrier
+  // wait in `parked` and are reconsidered whenever any worker finishes
+  // a round or the membership changes. The incarnation tag makes the
+  // queued events of an evicted worker recognizably stale.
   enum Phase { kPull = 0, kPush = 1 };
-  using Event = std::tuple<SimTime, int, size_t>;
+  using Event = std::tuple<SimTime, int, size_t, uint64_t>;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
   std::vector<size_t> parked;
 
   // Schedules worker r's next pull if the consistency barrier for its
-  // round is already determined; parks it otherwise.
+  // round is already determined; parks it otherwise. Departed and
+  // still-pending workers neither schedule nor hold the gate.
   auto try_schedule_pull = [&](size_t r) {
+    if (!membership.IsActive(r)) return;
     const int round = rounds_done[r];
     if (round >= max_rounds) return;
     if (ps.consistency != ConsistencyKind::kAsp) {
@@ -242,6 +287,7 @@ TrainResult PsTrainer::Train(const Dataset& data,
           (ps.consistency == ConsistencyKind::kSsp ? ps.staleness : 0);
       if (gate >= 0) {
         for (size_t v = 0; v < k; ++v) {
+          if (!membership.IsActive(v)) continue;
           if (rounds_done[v] <= gate) {
             parked.push_back(r);
             return;
@@ -257,7 +303,7 @@ TrainResult PsTrainer::Train(const Dataset& data,
                          "consistency-wait");
       node.clock = barrier;
     }
-    queue.emplace(node.clock, kPull, r);
+    queue.emplace(node.clock, kPull, r, incarnation[r]);
   };
 
   for (size_t r = 0; r < k; ++r) try_schedule_pull(r);
@@ -278,6 +324,7 @@ TrainResult PsTrainer::Train(const Dataset& data,
   struct InflightCompute {
     size_t worker = 0;
     int round = 0;
+    uint64_t inc = 0;       ///< worker incarnation at pull time
     double jitter = 1.0;    ///< pre-drawn from the shared stream
     SimTime pull_end = 0.0; ///< worker clock right after its pull
     DenseVector snapshot;   ///< model the wire delivered
@@ -328,17 +375,227 @@ TrainResult PsTrainer::Train(const Dataset& data,
       }
       fl->local.AddScaled(fl->snapshot, -1.0);  // local := delta
       pending_delta[fl->worker] = std::move(fl->local);
-      queue.emplace(node.clock, kPush, fl->worker);
+      queue.emplace(node.clock, kPush, fl->worker, fl->inc);
     }
     inflight.clear();
   };
 
-  while (!queue.empty() || !inflight.empty()) {
-    if (queue.empty()) {
-      drain();
-      continue;
+  // How many pushes round t needs before it is complete: every worker
+  // that had joined by round t and has not departed with the push
+  // still owed. Reduces to k when the membership never changes.
+  auto expected_pushes = [&](int t) -> size_t {
+    size_t n = 0;
+    for (size_t v = 0; v < k; ++v) {
+      if (join_round[v] > t) continue;
+      if (membership.IsActive(v) || rounds_done[v] > t) ++n;
     }
-    const auto [time, phase, r] = queue.top();
+    return n;
+  };
+
+  bool stop_all = false;
+
+  // Fires the round-t completion (averaging finalize, telemetry,
+  // checkpoint, eval) once its expected pushes are in. Invoked after
+  // every push and after every departure — a leave can complete the
+  // round that was only waiting on the departed pusher.
+  auto complete_round = [&](int t) {
+    if (t < 0 || static_cast<size_t>(t) >= round_pushes.size()) return;
+    if (round_complete[t]) return;
+    const size_t expected = expected_pushes(t);
+    if (round_pushes[t] < expected || round_pushes[t] == 0) return;
+    round_complete[t] = true;
+    if (membership.enabled() && expected < k) {
+      ++membership.stats().degraded_rounds;
+    }
+    // The round is complete everywhere.
+    if (ps.aggregation == PsAggregation::kAverageModels) {
+      // New global model = old model + average of the deltas that
+      // were actually applied (all contributors unless staleness
+      // discarded some; with a full fleet and none discarded this is
+      // exactly the old 1/k).
+      if (round_contribs[t] > 0) {
+        round_stage[t].Scale(1.0 / static_cast<double>(round_contribs[t]));
+        server.mutable_model()->AddScaled(round_stage[t], 1.0);
+        // The average was applied outside PsContext, so refresh its
+        // crash-restore snapshot (lossless mode only; a positive
+        // cadence keeps its lossy window).
+        if (ps.server_checkpoint_every_sec <= 0.0) {
+          server.CheckpointServerNow();
+        }
+      }
+      round_stage[t] = DenseVector();  // release
+    }
+    const int completed = t + 1;
+    last_completed_round = std::max(last_completed_round, completed);
+    {
+      Telemetry& obs = Telemetry::Get();
+      if (obs.enabled()) {
+        obs.metrics()
+            .Counter("train.rounds_completed", {{"system", name()}})
+            .Add();
+        obs.RecordEvent("round-complete", "trainer", round_end[t],
+                        {{"system", name()},
+                         {"round", std::to_string(completed)}});
+      }
+    }
+    // A completed BSP round is a quiescent point — every participating
+    // worker has pushed, nothing is queued or in flight — which is the
+    // one moment the whole trainer state is a handful of vectors and
+    // cursors. Snapshot it if the cadence says so.
+    if (ps.consistency == ConsistencyKind::kBsp && queue.empty() &&
+        inflight.empty() &&
+        ShouldCheckpoint(config().checkpoint, completed)) {
+      Checkpoint ck;
+      ck.PutU64(static_cast<uint64_t>(CheckpointTag::kPs));
+      ck.PutU64(static_cast<uint64_t>(config().num_classes));
+      ck.PutU64(static_cast<uint64_t>(completed));
+      ck.PutVector(server.model());
+      PutWorkerRngs(&ck, rngs);
+      ck.PutRngState(sim.mutable_jitter_rng()->SaveState());
+      ck.PutRngState(sim.mutable_failure_rng()->SaveState());
+      ck.PutRngState(sim.faults().mutable_rng()->SaveState());
+      ck.PutDoubles(sim.SaveClocks());
+      ck.PutU64(k);
+      for (size_t v = 0; v < k; ++v) ck.PutDoubles(finish_times[v]);
+      PutErrorFeedback(&ck, ef);
+      {
+        const std::vector<uint64_t> mwords = membership.SaveWords();
+        ck.PutU64(mwords.size());
+        for (uint64_t w : mwords) ck.PutU64(w);
+        for (size_t v = 0; v < k; ++v) {
+          ck.PutU64(static_cast<uint64_t>(join_round[v]));
+        }
+        for (size_t v = 0; v < k; ++v) {
+          ck.PutU64(static_cast<uint64_t>(rounds_done[v]));
+        }
+        ck.PutDoubles(
+            std::vector<double>(admit_time.begin(), admit_time.end()));
+        for (size_t v = 0; v < k; ++v) ck.PutU64(pending_catchup[v] ? 1 : 0);
+      }
+      MLLIBSTAR_CHECK_OK(ck.WriteFile(config().checkpoint.path));
+    }
+    if (completed % config().eval_every == 0 || completed >= max_rounds) {
+      const double objective = Eval(data, server.model());
+      result.curve.Add(completed, round_end[t], objective);
+      {
+        Telemetry& obs = Telemetry::Get();
+        if (obs.enabled()) {
+          obs.RecordEvent("eval", "trainer", round_end[t],
+                          {{"system", name()},
+                           {"step", std::to_string(completed)},
+                           {"objective", FormatDouble(objective, 9)}});
+          obs.metrics().Counter("train.evals", {{"system", name()}}).Add();
+        }
+      }
+      if (IsDiverged(objective)) {
+        result.diverged = true;
+        stop_all = true;
+        return;
+      }
+      if (ShouldStop(completed, round_end[t], objective)) {
+        max_rounds = std::min(max_rounds, completed);
+      }
+    }
+  };
+
+  // Fires every membership transition detected by `now`. A departed
+  // worker's incarnation bumps (its queued events become stale) and
+  // any round that was only waiting on its push completes; a joiner is
+  // admitted at the fleet's current frontier round and scheduled; a
+  // departed shard hands its range to its successor. Parked workers
+  // retry afterwards — the consistency gate may have lost a member.
+  auto process_churn = [&](SimTime now) {
+    if (!membership.enabled()) return;
+    const std::vector<MembershipEvent> events = membership.AdvanceTo(now);
+    if (events.empty()) return;
+    Telemetry& obs = Telemetry::Get();
+    for (const MembershipEvent& ev : events) {
+      switch (ev.kind) {
+        case MembershipEvent::Kind::kLeave: {
+          SimNode& gone = sim.worker(ev.node);
+          sim.trace().Record(gone.name, ev.at, ev.suspect_at,
+                             ActivityKind::kMembershipLeave,
+                             "membership/leave");
+          sim.trace().Record(gone.name, ev.suspect_at, ev.detected_at,
+                             ActivityKind::kMembershipSuspect,
+                             "membership/suspected");
+          ++incarnation[ev.node];
+          pending_delta[ev.node] = DenseVector();
+          pending_catchup[ev.node] = false;
+          if (obs.enabled()) {
+            obs.metrics().Counter("membership.leaves").Add();
+            obs.RecordEvent("membership-leave", "membership", ev.detected_at,
+                            {{"worker", gone.name}});
+          }
+          for (int t = 0; t < static_cast<int>(round_pushes.size()); ++t) {
+            complete_round(t);
+          }
+          break;
+        }
+        case MembershipEvent::Kind::kJoin:
+        case MembershipEvent::Kind::kRejoin: {
+          const bool rejoin = ev.kind == MembershipEvent::Kind::kRejoin;
+          SimNode& joiner = sim.worker(ev.node);
+          sim.trace().Record(joiner.name, ev.at, ev.detected_at,
+                             rejoin ? ActivityKind::kMembershipRejoin
+                                    : ActivityKind::kMembershipJoin,
+                             rejoin ? "membership/rejoin"
+                                    : "membership/join");
+          joiner.clock = std::max(joiner.clock, ev.detected_at);
+          // Admitted at the current leader round: the joiner pulls the
+          // live model and contributes from the fleet's frontier, not
+          // from round 0 (a rejoiner never re-pushes rounds it already
+          // finished in a previous incarnation).
+          int leader = last_completed_round;
+          for (size_t v = 0; v < k; ++v) {
+            if (v == ev.node || !membership.IsActive(v)) continue;
+            leader = std::max(leader, rounds_done[v]);
+          }
+          rounds_done[ev.node] = std::max(rounds_done[ev.node], leader);
+          join_round[ev.node] = rounds_done[ev.node];
+          admit_time[ev.node] = ev.detected_at;
+          pending_catchup[ev.node] = true;
+          if (obs.enabled()) {
+            obs.metrics()
+                .Counter(rejoin ? "membership.rejoins" : "membership.joins")
+                .Add();
+            obs.RecordEvent(rejoin ? "membership-rejoin" : "membership-join",
+                            "membership", ev.detected_at,
+                            {{"worker", joiner.name}});
+          }
+          try_schedule_pull(ev.node);
+          break;
+        }
+        case MembershipEvent::Kind::kServerLeave:
+          server.OnServerLeft(ev);
+          break;
+      }
+    }
+    std::vector<size_t> to_retry;
+    std::swap(parked, to_retry);
+    for (size_t v : to_retry) try_schedule_pull(v);
+  };
+
+  while (true) {
+    if (queue.empty()) {
+      if (!inflight.empty()) {
+        drain();
+        continue;
+      }
+      // Idle with workers parked: only a membership transition can
+      // unpark them (the gate is waiting on a silent, not-yet-evicted
+      // worker) — advance virtual time straight to the next one.
+      if (!parked.empty() && membership.enabled()) {
+        const SimTime next = membership.NextEventTime();
+        if (std::isfinite(next)) {
+          process_churn(next);
+          if (stop_all) break;
+          continue;
+        }
+      }
+      break;
+    }
+    const auto [time, phase, r, inc] = queue.top();
     if (!inflight.empty()) {
       SimTime bound = std::numeric_limits<SimTime>::infinity();
       for (const std::unique_ptr<InflightCompute>& fl : inflight) {
@@ -351,6 +608,15 @@ TrainResult PsTrainer::Train(const Dataset& data,
       }
     }
     queue.pop();
+    process_churn(time);
+    if (stop_all) break;
+    if (inc != incarnation[r] || !membership.IsActive(r)) {
+      // A stale event of an evicted (or evicted-and-readmitted)
+      // worker: the pull never happens / the in-flight push is lost
+      // with the node.
+      if (phase == kPush) pending_delta[r] = DenseVector();
+      continue;
+    }
     SimNode& node = sim.worker(r);
     const int round = rounds_done[r];
 
@@ -360,6 +626,7 @@ TrainResult PsTrainer::Train(const Dataset& data,
       auto fl = std::make_unique<InflightCompute>();
       fl->worker = r;
       fl->round = round;
+      fl->inc = inc;
       fl->jitter = sim.NextJitter();
       fl->pull_end = node.clock;
       fl->snapshot = CodecTransmit(codec(), nullptr, 0, server.model());
@@ -393,9 +660,16 @@ TrainResult PsTrainer::Train(const Dataset& data,
       round_pushes.resize(round + 1, 0);
       round_contribs.resize(round + 1, 0);
       round_end.resize(round + 1, 0.0);
+      round_complete.resize(round + 1, false);
       if (ps.aggregation == PsAggregation::kAverageModels) {
         round_stage.resize(round + 1, DenseVector(d));
       }
+    }
+    // A joiner's first landed push closes its catch-up window.
+    if (pending_catchup[r]) {
+      membership.stats().catchup_latency_sum += node.clock - admit_time[r];
+      ++membership.stats().catchup_count;
+      pending_catchup[r] = false;
     }
     // SSP/ASP graceful degradation: a worker more than staleness + 1
     // rounds behind the leader is pushing a delta computed on a model
@@ -420,85 +694,16 @@ TrainResult PsTrainer::Train(const Dataset& data,
     pending_delta[r] = DenseVector();  // release
     ++round_pushes[round];
     round_end[round] = std::max(round_end[round], node.clock);
-    finish_times[r].push_back(node.clock);
+    // Round-indexed (not appended): a joiner admitted at the frontier
+    // skips earlier rounds, whose slots stay 0 and never gate anyone.
+    if (static_cast<size_t>(round) >= finish_times[r].size()) {
+      finish_times[r].resize(round + 1, 0.0);
+    }
+    finish_times[r][round] = node.clock;
     ++rounds_done[r];
 
-    if (round_pushes[round] == k) {
-      // The round is complete everywhere.
-      if (ps.aggregation == PsAggregation::kAverageModels) {
-        // New global model = old model + average of the deltas that
-        // were actually applied (all k unless staleness discarded
-        // some; with none discarded this is exactly the old 1/k).
-        if (round_contribs[round] > 0) {
-          round_stage[round].Scale(
-              1.0 / static_cast<double>(round_contribs[round]));
-          server.mutable_model()->AddScaled(round_stage[round], 1.0);
-          // The average was applied outside PsContext, so refresh its
-          // crash-restore snapshot (lossless mode only; a positive
-          // cadence keeps its lossy window).
-          if (ps.server_checkpoint_every_sec <= 0.0) {
-            server.CheckpointServerNow();
-          }
-        }
-        round_stage[round] = DenseVector();  // release
-      }
-      const int completed = round + 1;
-      last_completed_round = std::max(last_completed_round, completed);
-      {
-        Telemetry& obs = Telemetry::Get();
-        if (obs.enabled()) {
-          obs.metrics()
-              .Counter("train.rounds_completed", {{"system", name()}})
-              .Add();
-          obs.RecordEvent("round-complete", "trainer", round_end[round],
-                          {{"system", name()},
-                           {"round", std::to_string(completed)}});
-        }
-      }
-      // A completed BSP round is a quiescent point — every worker has
-      // pushed, nothing is queued or in flight — which is the one
-      // moment the whole trainer state is a handful of vectors and
-      // cursors. Snapshot it if the cadence says so.
-      if (ps.consistency == ConsistencyKind::kBsp && queue.empty() &&
-          inflight.empty() &&
-          ShouldCheckpoint(config().checkpoint, completed)) {
-        Checkpoint ck;
-        ck.PutU64(static_cast<uint64_t>(CheckpointTag::kPs));
-        ck.PutU64(static_cast<uint64_t>(config().num_classes));
-        ck.PutU64(static_cast<uint64_t>(completed));
-        ck.PutVector(server.model());
-        PutWorkerRngs(&ck, rngs);
-        ck.PutRngState(sim.mutable_jitter_rng()->SaveState());
-        ck.PutRngState(sim.mutable_failure_rng()->SaveState());
-        ck.PutRngState(sim.faults().mutable_rng()->SaveState());
-        ck.PutDoubles(sim.SaveClocks());
-        ck.PutU64(k);
-        for (size_t v = 0; v < k; ++v) ck.PutDoubles(finish_times[v]);
-        PutErrorFeedback(&ck, ef);
-        MLLIBSTAR_CHECK_OK(ck.WriteFile(config().checkpoint.path));
-      }
-      if (completed % config().eval_every == 0 || completed >= max_rounds) {
-        const double objective = Eval(data, server.model());
-        result.curve.Add(completed, round_end[round], objective);
-        {
-          Telemetry& obs = Telemetry::Get();
-          if (obs.enabled()) {
-            obs.RecordEvent("eval", "trainer", round_end[round],
-                            {{"system", name()},
-                             {"step", std::to_string(completed)},
-                             {"objective", FormatDouble(objective, 9)}});
-            obs.metrics().Counter("train.evals", {{"system", name()}}).Add();
-          }
-        }
-        if (IsDiverged(objective)) {
-          result.diverged = true;
-          break;
-        }
-        if (ShouldStop(completed, round_end[round], objective)) {
-          max_rounds = std::min(max_rounds, completed);
-        }
-      }
-    }
+    complete_round(round);
+    if (stop_all) break;
 
     // This push may have unblocked parked workers (the gate condition
     // is per-worker progress, not whole-round completion).
@@ -519,6 +724,7 @@ TrainResult PsTrainer::Train(const Dataset& data,
   result.sim_seconds = sim.Now();
   result.total_bytes = server.total_bytes();
   result.faults = sim.faults().stats();
+  result.membership = membership.stats();
   result.trace = std::move(sim.trace());
   return result;
 }

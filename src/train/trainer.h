@@ -140,6 +140,9 @@ struct TrainResult {
   bool diverged = false;
   /// What the fault injector (and the recovery machinery) did.
   FaultStats faults;
+  /// What the failure detector and the elastic machinery did (all
+  /// zeros when the churn plan is empty).
+  MembershipStats membership;
   TraceLog trace;
 };
 

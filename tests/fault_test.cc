@@ -226,6 +226,73 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------
+// A DegradeLink window that overlaps the checkpoint boundary: the
+// snapshot is taken inside the degraded window, so the resumed run
+// must replay the remaining degradation (and its virtual-time tax)
+// bit-identically — for all seven systems.
+
+class DegradedResumeTest : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(DegradedResumeTest, ResumeInsideDegradedWindowIsBitIdentical) {
+  const Dataset data = FaultData();
+  ClusterConfig cluster = BaseCluster();
+  // Every system's step-4 checkpoint lands inside [0.02, 0.4]: the PS
+  // 8-step runs finish near 0.22 virtual seconds, the Spark ones near
+  // 0.55, so the boundary sits mid-window in both regimes.
+  cluster.faults.degraded_links = {{3.0, 0.02, 0.4}};
+
+  std::string name = SystemName(GetParam());
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  const std::string path =
+      testing::TempDir() + "/degraded_resume_" + name + ".bin";
+  std::remove(path.c_str());
+
+  TrainerConfig full = BaseConfig();
+  const TrainResult uninterrupted =
+      MakeTrainer(GetParam(), full)->Train(data, cluster);
+
+  TrainerConfig first = full;
+  first.max_comm_steps = 4;
+  first.checkpoint.path = path;
+  first.checkpoint.every_steps = 4;
+  first.checkpoint.resume = true;
+  (void)MakeTrainer(GetParam(), first)->Train(data, cluster);
+  ASSERT_TRUE(Checkpoint::Exists(path));
+
+  TrainerConfig second = full;
+  second.checkpoint = first.checkpoint;
+  const TrainResult resumed =
+      MakeTrainer(GetParam(), second)->Train(data, cluster);
+
+  ExpectSameWeights(uninterrupted.final_weights, resumed.final_weights);
+  // The window really taxed the run.
+  ClusterConfig clean = BaseCluster();
+  const TrainResult unfaulted =
+      MakeTrainer(GetParam(), full)->Train(data, clean);
+  EXPECT_GT(uninterrupted.sim_seconds, unfaulted.sim_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, DegradedResumeTest,
+    ::testing::Values(SystemKind::kMllib, SystemKind::kMllibMa,
+                      SystemKind::kMllibStar, SystemKind::kPetuum,
+                      SystemKind::kPetuumStar, SystemKind::kAngel,
+                      SystemKind::kMllibLbfgs),
+    [](const ::testing::TestParamInfo<SystemKind>& info) {
+      std::string name = SystemName(info.param);
+      for (char& c : name) {
+        if (c == '*') {
+          c = 'S';
+        } else if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------
 // Executor crashes: lineage recovery, determinism, numeric neutrality.
 
 TEST(ExecutorCrashTest, ScriptedCrashIsRecoveredAndDeterministic) {

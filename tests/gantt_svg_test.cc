@@ -100,6 +100,23 @@ TEST(GanttSvgTest, FaultBarsGetTheirOwnColorsAndLegendEntries) {
   EXPECT_NE(svg.find(">speculative</text>"), std::string::npos);
 }
 
+TEST(GanttSvgTest, MembershipBarsGetTheirOwnColorsAndLegendEntries) {
+  TraceLog trace;
+  trace.Record("w0", 0.0, 1.0, ActivityKind::kMembershipJoin, "announce");
+  trace.Record("w1", 1.0, 2.0, ActivityKind::kMembershipLeave, "silent");
+  trace.Record("w1", 2.0, 3.0, ActivityKind::kMembershipSuspect, "window");
+  trace.Record("w2", 3.0, 4.0, ActivityKind::kMembershipRejoin, "return");
+  const std::string svg = RenderGanttSvg(trace);
+  EXPECT_NE(svg.find("#2e86de"), std::string::npos);  // join
+  EXPECT_NE(svg.find("#5d4037"), std::string::npos);  // leave
+  EXPECT_NE(svg.find("#f4c20d"), std::string::npos);  // suspected
+  EXPECT_NE(svg.find("#e91e63"), std::string::npos);  // rejoin
+  EXPECT_NE(svg.find(">join</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">leave</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">suspected</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">rejoin</text>"), std::string::npos);
+}
+
 TEST(GanttSvgTest, ActivityKindsGetDistinctColors) {
   TraceLog trace;
   trace.Record("n", 0.0, 1.0, ActivityKind::kCompute, "c");
