@@ -110,6 +110,10 @@ int main(int argc, char** argv) {
   flags.AddInt64("steps", 10, "communication steps per run");
   flags.AddString("out", "BENCH_elastic.json",
                   "JSON report filename (written under results/)");
+  flags.AddBool("chrome-trace", false,
+                "export a Perfetto-loadable Chrome trace per run");
+  flags.AddBool("run-report", false,
+                "export a unified RunReport JSON per run");
   const Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.message().c_str(),
@@ -120,6 +124,10 @@ int main(int argc, char** argv) {
     std::printf("%s", flags.Usage().c_str());
     return 0;
   }
+
+  const bool chrome_trace = flags.GetBool("chrome-trace");
+  const bool run_report = flags.GetBool("run-report");
+  if (chrome_trace || run_report) Telemetry::Get().set_enabled(true);
 
   const std::string dataset_name = flags.GetString("dataset");
   const Dataset data =
@@ -158,8 +166,15 @@ int main(int argc, char** argv) {
       cluster.straggler_sigma = 0.08;
       cluster.churn = levels[i].plan;
 
+      // Per-run telemetry window so each exported report covers
+      // exactly one (system, churn level) run.
+      Telemetry::Get().Clear();
       const TrainResult result =
           MakeTrainer(kind, config)->Train(data, cluster);
+      bench::ExportRunArtifacts(
+          result,
+          std::string("elastic_") + SystemName(kind) + "_" + levels[i].name,
+          chrome_trace, run_report);
 
       SweepRow row;
       row.system = SystemName(kind);

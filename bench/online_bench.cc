@@ -30,6 +30,10 @@ int main(int argc, char** argv) {
   flags.AddInt64("spike-end", 7, "one past the last spike round");
   flags.AddDouble("spike-mult", 3.0, "latency multiplier during the spike");
   flags.AddString("out", "BENCH_online.json", "report filename (in results/)");
+  flags.AddBool("chrome-trace", false,
+                "export a Chrome trace of the telemetry spans");
+  flags.AddBool("run-report", false,
+                "export a unified RunReport JSON for the pipeline run");
   const Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.message().c_str(),
@@ -40,6 +44,10 @@ int main(int argc, char** argv) {
     std::printf("%s", flags.Usage().c_str());
     return 0;
   }
+
+  const bool chrome_trace = flags.GetBool("chrome-trace");
+  const bool run_report = flags.GetBool("run-report");
+  if (chrome_trace || run_report) Telemetry::Get().set_enabled(true);
 
   OnlinePipelineConfig config;
   config.drift.base.name = "online-drift";
@@ -106,6 +114,10 @@ int main(int argc, char** argv) {
       result.deploys.size(), result.final_stream_batches,
       static_cast<unsigned long long>(result.total_admitted),
       static_cast<unsigned long long>(result.total_shed));
+
+  bench::ExportTelemetryArtifacts(result.system, /*sim_seconds=*/0.0,
+                                  /*total_bytes=*/0, "online_bench",
+                                  chrome_trace, run_report);
 
   JsonValue report = BuildOnlineReport(config, result);
   report.Set("bench", JsonValue::Str("online_bench"));

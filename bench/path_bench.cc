@@ -32,6 +32,10 @@ int main(int argc, char** argv) {
   flags.AddInt64("max-steps", 40, "per-solve communication-step budget");
   flags.AddInt64("workers", 8, "simulated workers");
   flags.AddString("out", "BENCH_path.json", "report filename (in results/)");
+  flags.AddBool("chrome-trace", false,
+                "export a Chrome trace of the telemetry spans (warm path)");
+  flags.AddBool("run-report", false,
+                "export a unified RunReport JSON (warm path)");
   const Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.message().c_str(),
@@ -106,7 +110,20 @@ int main(int argc, char** argv) {
       path.l1_ratio, path.num_folds, data.name().c_str(), data.size(),
       data.num_features());
 
+  const bool chrome_trace = flags.GetBool("chrome-trace");
+  const bool run_report = flags.GetBool("run-report");
+  if (chrome_trace || run_report) Telemetry::Get().set_enabled(true);
+
+  // Telemetry window covers the warm path only, so the exported report
+  // describes the subsystem's headline configuration.
+  Telemetry::Get().Clear();
   const PathResult warm_result = RunPath(data, cluster, path);
+  double warm_path_sim = 0.0;
+  for (const PathSolve& s : warm_result.solves) warm_path_sim += s.sim_seconds;
+  bench::ExportTelemetryArtifacts(SystemName(system), warm_path_sim,
+                                  /*total_bytes=*/0,
+                                  "path_bench_" + SystemName(system),
+                                  chrome_trace, run_report);
   const PathResult cold_result = RunPath(data, cluster, cold);
 
   std::printf("%3s %12s %12s %10s %6s %8s %12s %12s\n", "i", "lambda",

@@ -1,6 +1,7 @@
 #include "comm/error_feedback.h"
 
 #include "common/logging.h"
+#include "obs/engine_profiler.h"
 #include "obs/telemetry.h"
 
 namespace mllibstar {
@@ -68,6 +69,8 @@ ErrorFeedback MakeErrorFeedback(const GradientCodec& codec,
 DenseVector CodecTransmit(const GradientCodec& codec, ErrorFeedback* ef,
                           size_t stream, const DenseVector& v,
                           uint64_t* wire_bytes) {
+  EngineProfiler::Scope codec_prof(Subsystem::kCodec);
+  EngineProfiler::Get().AddEvents(Subsystem::kCodec, 1);
   // Lossless fast path: the wire is transparent, so skip the
   // encode/decode copy (the roundtrip is bit-exact by contract, which
   // comm_test pins down).

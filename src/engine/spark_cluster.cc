@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/engine_profiler.h"
+#include "obs/round_profile.h"
 #include "obs/telemetry.h"
 
 namespace mllibstar {
@@ -228,15 +230,18 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
   const size_t k = num_workers();
   std::vector<WorkerStats> stats(k);
   ScopedSpan span("workers:" + detail, "engine");
+  EngineProfiler::Scope engine_prof(Subsystem::kEngine);
   // Phase 1 — the real math. Each callback writes only its own slot,
   // so the tasks are independent and may run on any host schedule.
   {
     ScopedSpan math_span("math:" + detail, "engine");
+    EngineProfiler::Scope kernel_prof(Subsystem::kKernels);
     if (pool_ != nullptr) {
       pool_->ParallelFor(k, [&](size_t r) { stats[r] = fn(r); });
     } else {
       for (size_t r = 0; r < k; ++r) stats[r] = fn(r);
     }
+    EngineProfiler::Get().AddEvents(Subsystem::kKernels, k);
   }
   // Phase 2 — virtual time. All shared-stream draws (task failures,
   // straggler jitter, fault-plan events) and clock/trace updates happen
@@ -452,6 +457,7 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
   }
   if (span.active()) {
     Telemetry::Get().metrics().Counter("engine.worker_tasks").Add(k);
+    EngineProfiler::Get().AddEvents(Subsystem::kEngine, k);
     SimTime sim_start = plan.empty() ? 0.0 : plan[0].start;
     SimTime sim_end = sim_start;
     for (size_t r = 0; r < k; ++r) {
@@ -459,6 +465,26 @@ std::vector<WorkerStats> SparkCluster::RunOnWorkers(
       sim_end = std::max(sim_end, sim_.worker(r).clock);
     }
     span.SetSimRange(sim_start, sim_end);
+    // Stage the committed task timings for the trainer's RoundCollector
+    // (straggler spread + compute/wait/comm split per round).
+    RoundTaskBatch batch;
+    bool any = false;
+    for (size_t r = 0; r < k; ++r) {
+      if (plan[r].crashed) continue;
+      batch.durations.push_back(plan[r].end - plan[r].start);
+      if (!any || plan[r].start < batch.first_start) {
+        batch.first_start = plan[r].start;
+      }
+      if (!any || plan[r].end > batch.last_end) batch.last_end = plan[r].end;
+      any = true;
+    }
+    if (any) {
+      for (size_t r = 0; r < k; ++r) {
+        if (plan[r].crashed) continue;
+        batch.wait_sec += batch.last_end - plan[r].end;
+      }
+      Telemetry::Get().StageRoundTasks(std::move(batch));
+    }
   }
   return stats;
 }
@@ -488,6 +514,7 @@ void SparkCluster::TreeAggregate(uint64_t bytes, size_t num_aggregators,
   if (a == 0) return;
   num_aggregators = std::clamp<size_t>(num_aggregators, 1, a);
   const NetworkModel& net = sim_.network();
+  EngineProfiler::Scope engine_prof(Subsystem::kEngine);
   // Level 1 moves (a - g) payloads, level 2 moves g: a total.
   total_bytes_ += bytes * a;
   {
@@ -497,6 +524,7 @@ void SparkCluster::TreeAggregate(uint64_t bytes, size_t num_aggregators,
       obs.metrics()
           .Counter("engine.bytes", {{"path", "tree_aggregate"}})
           .Add(bytes * a);
+      EngineProfiler::Get().AddEvents(Subsystem::kEngine, 1);
     }
   }
 
@@ -573,6 +601,7 @@ void SparkCluster::Broadcast(uint64_t bytes, BroadcastMode mode,
   const NetworkModel& net = sim_.network();
   SimNode& driver = sim_.driver();
   const SimTime start = driver.clock;
+  EngineProfiler::Scope engine_prof(Subsystem::kEngine);
   total_bytes_ += bytes * a;
   {
     Telemetry& obs = Telemetry::Get();
@@ -581,6 +610,7 @@ void SparkCluster::Broadcast(uint64_t bytes, BroadcastMode mode,
       obs.metrics()
           .Counter("engine.bytes", {{"path", "broadcast"}})
           .Add(bytes * a);
+      EngineProfiler::Get().AddEvents(Subsystem::kEngine, 1);
     }
   }
 
@@ -640,6 +670,7 @@ void SparkCluster::ShuffleAllToAll(uint64_t bytes_per_peer,
   const size_t a = active.size();
   if (a <= 1) return;
   const NetworkModel& net = sim_.network();
+  EngineProfiler::Scope engine_prof(Subsystem::kEngine);
   total_bytes_ += bytes_per_peer * a * (a - 1);
   {
     Telemetry& obs = Telemetry::Get();
@@ -648,6 +679,7 @@ void SparkCluster::ShuffleAllToAll(uint64_t bytes_per_peer,
       obs.metrics()
           .Counter("engine.bytes", {{"path", "shuffle"}})
           .Add(bytes_per_peer * a * (a - 1));
+      EngineProfiler::Get().AddEvents(Subsystem::kEngine, 1);
     }
   }
 

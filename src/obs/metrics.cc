@@ -28,23 +28,32 @@ uint64_t ObsHistogram::count() const {
   return total;
 }
 
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& buckets, double q) {
+  uint64_t total = 0;
+  for (uint64_t c : buckets) total += c;
+  if (total == 0) return -1.0;
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(clamped * total));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      if (i < bounds.size()) return bounds[i];
+      return -1.0;  // overflow bucket: unbounded above
+    }
+  }
+  return -1.0;
+}
+
 double ObsHistogram::Quantile(double q) const {
   const std::vector<uint64_t> counts = BucketCounts();
   uint64_t total = 0;
   for (uint64_t c : counts) total += c;
   if (total == 0) return 0.0;
-  const double clamped = std::min(std::max(q, 0.0), 1.0);
-  uint64_t rank = static_cast<uint64_t>(std::ceil(clamped * total));
-  if (rank == 0) rank = 1;
-  uint64_t cumulative = 0;
-  for (size_t i = 0; i < counts.size(); ++i) {
-    cumulative += counts[i];
-    if (cumulative >= rank) {
-      if (i < bounds_.size()) return bounds_[i];
-      return std::numeric_limits<double>::infinity();
-    }
-  }
-  return std::numeric_limits<double>::infinity();
+  const double v = HistogramQuantile(bounds_, counts, q);
+  return v < 0.0 ? std::numeric_limits<double>::infinity() : v;
 }
 
 std::vector<uint64_t> ObsHistogram::BucketCounts() const {
@@ -170,6 +179,9 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
         sample.buckets = s.histogram->BucketCounts();
         sample.count = 0;
         for (uint64_t c : sample.buckets) sample.count += c;
+        sample.p50 = HistogramQuantile(sample.bounds, sample.buckets, 0.5);
+        sample.p95 = HistogramQuantile(sample.bounds, sample.buckets, 0.95);
+        sample.p99 = HistogramQuantile(sample.bounds, sample.buckets, 0.99);
         break;
     }
     out.push_back(std::move(sample));

@@ -94,7 +94,20 @@ struct MetricSample {
   std::vector<double> bounds;
   std::vector<uint64_t> buckets;
   uint64_t count = 0;
+  // Quantile summaries over the fixed buckets; -1 when the quantile
+  // falls in the overflow bucket (unbounded above) or the histogram is
+  // empty, so the values stay JSON-serializable.
+  double p50 = -1.0;
+  double p95 = -1.0;
+  double p99 = -1.0;
 };
+
+/// Quantile over fixed-bucket counts (`buckets` has one extra final
+/// overflow entry): the inclusive upper bound of the bucket containing
+/// the ceil(q·count)-th smallest value, or -1 for the overflow bucket
+/// / an empty histogram.
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& buckets, double q);
 
 /// A process-level registry of labeled counters, gauges, and
 /// histograms. Registration (the name -> series lookup) takes a mutex;

@@ -1,0 +1,24 @@
+#ifndef MLLIBSTAR_OBS_REPORT_VIEW_H_
+#define MLLIBSTAR_OBS_REPORT_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace mllibstar {
+
+/// Unicode block-character sparkline of `values`, scaled min..max
+/// (flat series render as a mid-level bar). Empty input -> "".
+std::string Sparkline(const std::vector<double>& values);
+
+/// Renders a parsed RunReport (schema v1 or v2) as a terminal summary:
+/// headline result numbers, the objective curve, utilization, windowed
+/// series sparklines, a per-round breakdown table, the simulator
+/// self-profile, and telemetry buffer accounting. Sections absent from
+/// the report are skipped, so v1 reports render their subset.
+std::string RenderRunReport(const JsonValue& report);
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_OBS_REPORT_VIEW_H_

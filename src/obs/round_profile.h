@@ -1,0 +1,114 @@
+#ifndef MLLIBSTAR_OBS_ROUND_PROFILE_H_
+#define MLLIBSTAR_OBS_ROUND_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/trace.h"
+
+namespace mllibstar {
+
+class Telemetry;
+
+/// Committed task timings for one RunOnWorkers call, staged by the
+/// Spark engine for the trainer's RoundCollector to fold in. All times
+/// are virtual seconds; only tasks that actually committed (survived
+/// retries / speculation races) appear.
+struct RoundTaskBatch {
+  std::vector<double> durations;  ///< per committed task
+  double first_start = 0.0;       ///< earliest committed task start
+  double last_end = 0.0;          ///< latest committed task end
+  double wait_sec = 0.0;  ///< sum over tasks of (last_end - task_end)
+};
+
+/// One training round's breakdown: where virtual time went, how spread
+/// the stragglers were, what crossed the wire. Spark rounds carry the
+/// compute/wait/comm split (the engine stages committed task timings);
+/// PS rounds instead carry staleness occupancy — its compute overlaps
+/// communication by design, so the split is left zero there.
+struct RoundProfile {
+  std::string system;
+  int round = 0;
+  double sim_start = 0.0;
+  double sim_end = 0.0;
+  uint64_t tasks = 0;
+  // Straggler spread over committed task durations (virtual seconds).
+  double task_p50 = 0.0;
+  double task_p95 = 0.0;
+  double task_max = 0.0;
+  // Virtual-time attribution: compute = sum of task durations, wait =
+  // time finished tasks idled for the round's slowest task, comm =
+  // round span not covered by any task batch (broadcast, aggregate,
+  // driver work).
+  double compute_sec = 0.0;
+  double wait_sec = 0.0;
+  double comm_sec = 0.0;
+  // Wire bytes this round, by path (counter deltas).
+  uint64_t bytes_broadcast = 0;
+  uint64_t bytes_tree_aggregate = 0;
+  uint64_t bytes_shuffle = 0;
+  uint64_t bytes_pull = 0;
+  uint64_t bytes_push = 0;
+  uint64_t raw_bytes = 0;      ///< pre-codec payload bytes
+  uint64_t encoded_bytes = 0;  ///< post-codec payload bytes
+  uint64_t retries = 0;
+  // SSP staleness occupancy (PS rounds): how stale the pushes applied
+  // during this round were, in rounds behind the leader.
+  uint64_t staleness_samples = 0;
+  double staleness_mean = 0.0;
+  double staleness_max = 0.0;
+};
+
+/// Point-in-time reading of the communication counters, used to turn
+/// cumulative totals into per-round deltas.
+struct CommByteSnapshot {
+  uint64_t broadcast = 0;
+  uint64_t tree_aggregate = 0;
+  uint64_t shuffle = 0;
+  uint64_t pull = 0;
+  uint64_t push = 0;
+  uint64_t raw = 0;
+  uint64_t encoded = 0;
+  uint64_t retries = 0;
+
+  static CommByteSnapshot Capture(const MetricsRegistry& reg);
+
+  /// Writes (now - this) into the profile's byte/retry fields.
+  void DiffInto(const CommByteSnapshot& now, RoundProfile* profile) const;
+};
+
+/// Sorted-copy quantile over task durations: index floor(q * (n - 1)).
+double DurationQuantile(std::vector<double> values, double q);
+
+/// Builds one Spark round's RoundProfile across a trainer iteration.
+/// Construct after the round's barrier opens, call Finish at the
+/// closing barrier: it takes the task batches the engine staged in the
+/// Telemetry sink, computes the compute/wait/comm split and straggler
+/// quantiles, diffs the comm counters, feeds the windowed series
+/// (straggler.spread + window advance), and records the profile.
+/// Inert when telemetry is disabled at construction.
+class RoundCollector {
+ public:
+  RoundCollector(std::string system, int round, SimTime sim_start,
+                 Telemetry& sink);
+  ~RoundCollector();  ///< discards staged batches if Finish was never called
+
+  RoundCollector(const RoundCollector&) = delete;
+  RoundCollector& operator=(const RoundCollector&) = delete;
+
+  void Finish(SimTime sim_end);
+
+  bool active() const { return active_; }
+
+ private:
+  Telemetry* sink_ = nullptr;
+  bool active_ = false;
+  RoundProfile profile_;
+  CommByteSnapshot start_;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_OBS_ROUND_PROFILE_H_

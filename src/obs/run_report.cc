@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "obs/engine_profiler.h"
 #include "sim/trace_summary.h"
 
 namespace mllibstar {
@@ -44,6 +45,11 @@ JsonValue MetricSampleJson(const MetricSample& s) {
     case MetricSample::Kind::kHistogram: {
       out.Set("kind", JsonValue::Str("histogram"));
       out.Set("count", JsonValue::Number(s.count));
+      // -1 quantiles mean "overflow bucket / empty" (never infinity,
+      // which JSON cannot carry).
+      out.Set("p50", JsonValue::Number(s.p50));
+      out.Set("p95", JsonValue::Number(s.p95));
+      out.Set("p99", JsonValue::Number(s.p99));
       JsonValue bounds = JsonValue::Array();
       for (double b : s.bounds) bounds.Append(JsonValue::Number(b));
       out.Set("bounds", std::move(bounds));
@@ -56,11 +62,77 @@ JsonValue MetricSampleJson(const MetricSample& s) {
   return out;
 }
 
+const char* SeriesAggName(SeriesAgg agg) {
+  switch (agg) {
+    case SeriesAgg::kDelta:
+      return "delta";
+    case SeriesAgg::kSum:
+      return "sum";
+    case SeriesAgg::kMean:
+      return "mean";
+    case SeriesAgg::kMax:
+      return "max";
+  }
+  return "unknown";
+}
+
+JsonValue SeriesSnapshotJson(const SeriesSnapshot& s) {
+  JsonValue out = JsonValue::Object();
+  out.Set("name", JsonValue::Str(s.name));
+  out.Set("agg", JsonValue::Str(SeriesAggName(s.agg)));
+  out.Set("window_sec", JsonValue::Number(s.window_sec));
+  out.Set("dropped", JsonValue::Number(s.dropped));
+  JsonValue points = JsonValue::Array();
+  for (const SeriesPoint& p : s.points) {
+    JsonValue point = JsonValue::Object();
+    point.Set("t0", JsonValue::Number(p.t0));
+    point.Set("t1", JsonValue::Number(p.t1));
+    point.Set("value", JsonValue::Number(p.value));
+    if (p.count > 0) point.Set("count", JsonValue::Number(p.count));
+    points.Append(std::move(point));
+  }
+  out.Set("points", std::move(points));
+  return out;
+}
+
+JsonValue RoundProfileJson(const RoundProfile& r) {
+  JsonValue out = JsonValue::Object();
+  out.Set("system", JsonValue::Str(r.system));
+  out.Set("round", JsonValue::Number(static_cast<int64_t>(r.round)));
+  out.Set("sim_start", JsonValue::Number(r.sim_start));
+  out.Set("sim_end", JsonValue::Number(r.sim_end));
+  out.Set("tasks", JsonValue::Number(r.tasks));
+  out.Set("task_p50", JsonValue::Number(r.task_p50));
+  out.Set("task_p95", JsonValue::Number(r.task_p95));
+  out.Set("task_max", JsonValue::Number(r.task_max));
+  out.Set("compute_sec", JsonValue::Number(r.compute_sec));
+  out.Set("wait_sec", JsonValue::Number(r.wait_sec));
+  out.Set("comm_sec", JsonValue::Number(r.comm_sec));
+  JsonValue bytes = JsonValue::Object();
+  bytes.Set("broadcast", JsonValue::Number(r.bytes_broadcast));
+  bytes.Set("tree_aggregate", JsonValue::Number(r.bytes_tree_aggregate));
+  bytes.Set("shuffle", JsonValue::Number(r.bytes_shuffle));
+  bytes.Set("pull", JsonValue::Number(r.bytes_pull));
+  bytes.Set("push", JsonValue::Number(r.bytes_push));
+  bytes.Set("raw", JsonValue::Number(r.raw_bytes));
+  bytes.Set("encoded", JsonValue::Number(r.encoded_bytes));
+  out.Set("bytes", std::move(bytes));
+  out.Set("retries", JsonValue::Number(r.retries));
+  if (r.staleness_samples > 0) {
+    JsonValue stale = JsonValue::Object();
+    stale.Set("samples", JsonValue::Number(r.staleness_samples));
+    stale.Set("mean", JsonValue::Number(r.staleness_mean));
+    stale.Set("max", JsonValue::Number(r.staleness_max));
+    out.Set("staleness", std::move(stale));
+  }
+  return out;
+}
+
 }  // namespace
 
 JsonValue BuildRunReport(const RunInfo& info, const Telemetry* telemetry) {
   JsonValue report = JsonValue::Object();
-  report.Set("schema", JsonValue::Str("mllibstar.run_report.v1"));
+  report.Set("schema", JsonValue::Str("mllibstar.run_report.v2"));
   report.Set("system", JsonValue::Str(info.system));
 
   JsonValue result = JsonValue::Object();
@@ -126,6 +198,59 @@ JsonValue BuildRunReport(const RunInfo& info, const Telemetry* telemetry) {
       metrics.Append(MetricSampleJson(s));
     }
     report.Set("metrics", std::move(metrics));
+
+    // v2 sections: windowed series, per-round profiles, simulator
+    // self-profile, and telemetry buffer accounting. v1 consumers
+    // ignore unknown keys, so parse-back of old reports is unchanged.
+    JsonValue series = JsonValue::Array();
+    for (const SeriesSnapshot& s :
+         telemetry->time_series().Snapshot(telemetry->metrics())) {
+      series.Append(SeriesSnapshotJson(s));
+    }
+    report.Set("series", std::move(series));
+
+    JsonValue rounds = JsonValue::Array();
+    for (const RoundProfile& r : telemetry->round_profiles()) {
+      rounds.Append(RoundProfileJson(r));
+    }
+    report.Set("rounds", std::move(rounds));
+    report.Set("rounds_dropped", JsonValue::Number(telemetry->rounds_dropped()));
+
+    const EngineProfiler& prof = EngineProfiler::Get();
+    JsonValue profiler = JsonValue::Object();
+    JsonValue subsystems = JsonValue::Array();
+    for (const SubsystemStats& s : prof.Snapshot()) {
+      JsonValue sub = JsonValue::Object();
+      sub.Set("name", JsonValue::Str(s.name));
+      sub.Set("host_us", JsonValue::Number(s.host_us));
+      sub.Set("events", JsonValue::Number(s.events));
+      subsystems.Append(std::move(sub));
+    }
+    profiler.Set("subsystems", std::move(subsystems));
+    profiler.Set("total_host_us", JsonValue::Number(prof.TotalHostUs()));
+    profiler.Set("total_events", JsonValue::Number(prof.TotalEvents()));
+    if (info.sim_seconds > 0.0) {
+      profiler.Set("host_us_per_sim_sec",
+                   JsonValue::Number(static_cast<double>(prof.TotalHostUs()) /
+                                     info.sim_seconds));
+    }
+    report.Set("profiler", std::move(profiler));
+
+    JsonValue buffers = JsonValue::Object();
+    buffers.Set("spans", JsonValue::Number(
+                             static_cast<uint64_t>(telemetry->spans().size())));
+    buffers.Set("events", JsonValue::Number(static_cast<uint64_t>(
+                              telemetry->events().size())));
+    buffers.Set("span_capacity",
+                JsonValue::Number(
+                    static_cast<uint64_t>(telemetry->span_capacity())));
+    buffers.Set("event_capacity",
+                JsonValue::Number(
+                    static_cast<uint64_t>(telemetry->event_capacity())));
+    buffers.Set("spans_dropped", JsonValue::Number(telemetry->spans_dropped()));
+    buffers.Set("events_dropped",
+                JsonValue::Number(telemetry->events_dropped()));
+    report.Set("telemetry", std::move(buffers));
   }
 
   return report;

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/json.h"
+#include "obs/engine_profiler.h"
 
 namespace mllibstar {
 
@@ -21,6 +22,11 @@ thread_local uint64_t tls_thread_ordinal = ~uint64_t{0};
 Telemetry& Telemetry::Get() {
   static Telemetry* instance = new Telemetry();
   return *instance;
+}
+
+void Telemetry::set_enabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+  EngineProfiler::Get().set_enabled(on);
 }
 
 uint64_t Telemetry::HostNowUs() const {
@@ -41,12 +47,20 @@ uint64_t Telemetry::ThreadOrdinal() {
 void Telemetry::RecordSpan(SpanRecord span) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= span_capacity_) {
+    spans_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   spans_.push_back(std::move(span));
 }
 
 void Telemetry::RecordEvent(EventRecord event) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= event_capacity_) {
+    events_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   events_.push_back(std::move(event));
 }
 
@@ -60,8 +74,7 @@ void Telemetry::RecordEvent(
   e.host_ts_us = HostNowUs();
   e.sim_ts = sim_ts;
   e.attrs = std::move(attrs);
-  std::lock_guard<std::mutex> lock(mutex_);
-  events_.push_back(std::move(e));
+  RecordEvent(std::move(e));
 }
 
 std::vector<SpanRecord> Telemetry::spans() const {
@@ -74,11 +87,82 @@ std::vector<EventRecord> Telemetry::events() const {
   return events_;
 }
 
+void Telemetry::set_span_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  span_capacity_ = capacity > 0 ? capacity : 1;
+}
+
+void Telemetry::set_event_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  event_capacity_ = capacity > 0 ? capacity : 1;
+}
+
+size_t Telemetry::span_capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return span_capacity_;
+}
+
+size_t Telemetry::event_capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return event_capacity_;
+}
+
+void Telemetry::ObserveSeries(const std::string& series, SeriesAgg agg,
+                              SimTime t, double value) {
+  if (!enabled()) return;
+  time_series_.Observe(series, agg, t, value);
+}
+
+void Telemetry::SampleWindows(SimTime now) {
+  if (!enabled()) return;
+  time_series_.AdvanceTo(now, metrics_);
+}
+
+void Telemetry::StageRoundTasks(RoundTaskBatch batch) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  staged_tasks_.push_back(std::move(batch));
+}
+
+std::vector<RoundTaskBatch> Telemetry::TakeStagedRoundTasks() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RoundTaskBatch> out;
+  out.swap(staged_tasks_);
+  return out;
+}
+
+void Telemetry::RecordRoundProfile(RoundProfile profile) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (round_profiles_.size() >= round_capacity_) {
+    rounds_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  round_profiles_.push_back(std::move(profile));
+}
+
+std::vector<RoundProfile> Telemetry::round_profiles() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return round_profiles_;
+}
+
+void Telemetry::set_round_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  round_capacity_ = capacity > 0 ? capacity : 1;
+}
+
 void Telemetry::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   spans_.clear();
   events_.clear();
+  staged_tasks_.clear();
+  round_profiles_.clear();
+  spans_dropped_.store(0, std::memory_order_relaxed);
+  events_dropped_.store(0, std::memory_order_relaxed);
+  rounds_dropped_.store(0, std::memory_order_relaxed);
   metrics_.Reset();
+  time_series_.Reset();
+  EngineProfiler::Get().Reset();
   epoch_ = std::chrono::steady_clock::now();
 }
 

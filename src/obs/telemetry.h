@@ -11,6 +11,8 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/round_profile.h"
+#include "obs/time_series.h"
 #include "sim/trace.h"
 
 namespace mllibstar {
@@ -63,9 +65,9 @@ class Telemetry {
   Telemetry& operator=(const Telemetry&) = delete;
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
-  void set_enabled(bool on) {
-    enabled_.store(on, std::memory_order_relaxed);
-  }
+  /// Also mirrors the flag into the EngineProfiler singleton so one
+  /// switch arms all of telemetry.
+  void set_enabled(bool on);
 
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
@@ -82,8 +84,55 @@ class Telemetry {
   std::vector<SpanRecord> spans() const;
   std::vector<EventRecord> events() const;
 
-  /// Drops all spans/events, zeroes the metrics registry, and restarts
-  /// the host-clock epoch. Does not change enabled().
+  /// Span/event buffers are bounded: once a buffer holds `capacity`
+  /// records, further records are dropped (newest-dropped) and counted
+  /// instead, so unbounded online/path runs can't grow memory without
+  /// limit. Setting a capacity does not discard already-held records.
+  void set_span_capacity(size_t capacity);
+  void set_event_capacity(size_t capacity);
+  size_t span_capacity() const;
+  size_t event_capacity() const;
+  uint64_t spans_dropped() const {
+    return spans_dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t events_dropped() const {
+    return events_dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// The windowed time-series recorder fed by the trainers (virtual
+  /// time). Its series only move when telemetry is enabled.
+  TimeSeriesRecorder& time_series() { return time_series_; }
+  const TimeSeriesRecorder& time_series() const { return time_series_; }
+
+  /// Folds an observation into a windowed series (no-op when
+  /// disabled). Virtual-time `t`.
+  void ObserveSeries(const std::string& series, SeriesAgg agg, SimTime t,
+                     double value);
+
+  /// Closes every elapsed virtual-time window (no-op when disabled).
+  /// Trainers call this at deterministic points — round barriers /
+  /// round-frontier completions — so the resulting series are
+  /// byte-identical across host_threads.
+  void SampleWindows(SimTime now);
+
+  /// Engine -> RoundCollector handoff: the Spark engine stages the
+  /// committed task timings of each RunOnWorkers call here; the
+  /// trainer's RoundCollector takes them at the round barrier.
+  void StageRoundTasks(RoundTaskBatch batch);
+  std::vector<RoundTaskBatch> TakeStagedRoundTasks();
+
+  /// Bounded per-round profile store (newest-dropped past capacity).
+  void RecordRoundProfile(RoundProfile profile);
+  std::vector<RoundProfile> round_profiles() const;
+  void set_round_capacity(size_t capacity);
+  uint64_t rounds_dropped() const {
+    return rounds_dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops all spans/events/round profiles and staged batches, zeroes
+  /// the metrics registry, dropped-record counters, windowed series,
+  /// and the EngineProfiler, and restarts the host-clock epoch. Does
+  /// not change enabled().
   void Clear();
 
   /// Writes every span and event as one compact JSON object per line
@@ -99,10 +148,19 @@ class Telemetry {
 
   std::atomic<bool> enabled_{false};
   MetricsRegistry metrics_;
+  TimeSeriesRecorder time_series_;
 
   mutable std::mutex mutex_;
   std::vector<SpanRecord> spans_;
   std::vector<EventRecord> events_;
+  size_t span_capacity_ = 1 << 16;
+  size_t event_capacity_ = 1 << 16;
+  std::atomic<uint64_t> spans_dropped_{0};
+  std::atomic<uint64_t> events_dropped_{0};
+  std::vector<RoundTaskBatch> staged_tasks_;
+  std::vector<RoundProfile> round_profiles_;
+  size_t round_capacity_ = 4096;
+  std::atomic<uint64_t> rounds_dropped_{0};
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
 };

@@ -1,0 +1,178 @@
+#include "obs/time_series.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mllibstar {
+
+TimeSeries::TimeSeries(std::string name, SeriesAgg agg, size_t capacity)
+    : name_(std::move(name)), agg_(agg), ring_(std::max<size_t>(capacity, 1)) {}
+
+void TimeSeries::Push(SeriesPoint p) {
+  const size_t slot = (head_ + size_) % ring_.size();
+  ring_[slot] = p;
+  if (size_ < ring_.size()) {
+    ++size_;
+  } else {
+    head_ = (head_ + 1) % ring_.size();
+  }
+  ++total_pushed_;
+}
+
+std::vector<SeriesPoint> TimeSeries::Points() const {
+  std::vector<SeriesPoint> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TimeSeriesRecorder::Configure(double window_sec, size_t capacity) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    window_sec_ = window_sec > 0.0 ? window_sec : 0.25;
+    capacity_ = std::max<size_t>(capacity, 1);
+  }
+  Reset();
+}
+
+void TimeSeriesRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counter_series_.clear();
+  observed_series_.clear();
+  window_index_ = 0;
+  high_water_ = 0.0;
+  // The default series every report carries: wire bytes regardless of
+  // engine (Spark collectives or PS push/pull), codec effectiveness,
+  // training progress, and retry pressure.
+  counter_series_.emplace_back("bytes.wire", capacity_,
+                               std::vector<std::string>{"engine.bytes",
+                                                        "ps.bytes"});
+  counter_series_.emplace_back("bytes.raw", capacity_,
+                               std::vector<std::string>{"comm.raw_bytes"});
+  counter_series_.emplace_back("bytes.encoded", capacity_,
+                               std::vector<std::string>{"comm.encoded_bytes"});
+  counter_series_.emplace_back(
+      "rounds", capacity_,
+      std::vector<std::string>{"train.rounds_completed"});
+  counter_series_.emplace_back("retries", capacity_,
+                               std::vector<std::string>{"engine.task_retries",
+                                                        "ps.retries"});
+}
+
+void TimeSeriesRecorder::TrackCounters(const std::string& series,
+                                       std::vector<std::string> counters) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const CounterSeries& cs : counter_series_) {
+    if (cs.series.name() == series) return;
+  }
+  counter_series_.emplace_back(series, capacity_, std::move(counters));
+}
+
+void TimeSeriesRecorder::Observe(const std::string& series, SeriesAgg agg,
+                                 double t, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  high_water_ = std::max(high_water_, t);
+  for (ObservedSeries& os : observed_series_) {
+    if (os.series.name() != series) continue;
+    os.sum += value;
+    os.max = os.count == 0 ? value : std::max(os.max, value);
+    ++os.count;
+    return;
+  }
+  observed_series_.emplace_back(series, agg, capacity_);
+  ObservedSeries& os = observed_series_.back();
+  os.sum = value;
+  os.max = value;
+  os.count = 1;
+}
+
+uint64_t TimeSeriesRecorder::SumCounters(const std::vector<std::string>& names,
+                                         const MetricsRegistry& reg) const {
+  uint64_t total = 0;
+  for (const std::string& name : names) total += reg.CounterTotal(name);
+  return total;
+}
+
+double TimeSeriesRecorder::FoldObserved(const ObservedSeries& s) {
+  if (s.count == 0) return 0.0;
+  switch (s.series.agg()) {
+    case SeriesAgg::kSum:
+      return s.sum;
+    case SeriesAgg::kMean:
+      return s.sum / static_cast<double>(s.count);
+    case SeriesAgg::kMax:
+      return s.max;
+    case SeriesAgg::kDelta:
+      return s.sum;  // not reachable for observed series
+  }
+  return 0.0;
+}
+
+void TimeSeriesRecorder::AdvanceTo(double now, const MetricsRegistry& reg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  high_water_ = std::max(high_water_, now);
+  while (now >= static_cast<double>(window_index_ + 1) * window_sec_) {
+    const double t0 = static_cast<double>(window_index_) * window_sec_;
+    const double t1 = static_cast<double>(window_index_ + 1) * window_sec_;
+    for (CounterSeries& cs : counter_series_) {
+      const uint64_t total = SumCounters(cs.counters, reg);
+      const double delta =
+          static_cast<double>(total - std::min(total, cs.last_total));
+      cs.series.Push({t0, t1, delta, 0});
+      cs.last_total = total;
+    }
+    for (ObservedSeries& os : observed_series_) {
+      os.series.Push({t0, t1, FoldObserved(os), os.count});
+      os.sum = 0.0;
+      os.max = 0.0;
+      os.count = 0;
+    }
+    ++window_index_;
+  }
+}
+
+double TimeSeriesRecorder::window_sec() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return window_sec_;
+}
+
+std::vector<SeriesSnapshot> TimeSeriesRecorder::Snapshot(
+    const MetricsRegistry& reg) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SeriesSnapshot> out;
+  out.reserve(counter_series_.size() + observed_series_.size());
+  const double open_t0 = static_cast<double>(window_index_) * window_sec_;
+  const bool partial = high_water_ > open_t0;
+  for (const CounterSeries& cs : counter_series_) {
+    SeriesSnapshot snap;
+    snap.name = cs.series.name();
+    snap.agg = SeriesAgg::kDelta;
+    snap.window_sec = window_sec_;
+    snap.dropped = cs.series.dropped();
+    snap.points = cs.series.Points();
+    if (partial) {
+      const uint64_t total = SumCounters(cs.counters, reg);
+      const double delta =
+          static_cast<double>(total - std::min(total, cs.last_total));
+      if (delta > 0.0) snap.points.push_back({open_t0, high_water_, delta, 0});
+    }
+    out.push_back(std::move(snap));
+  }
+  for (const ObservedSeries& os : observed_series_) {
+    SeriesSnapshot snap;
+    snap.name = os.series.name();
+    snap.agg = os.series.agg();
+    snap.window_sec = window_sec_;
+    snap.dropped = os.series.dropped();
+    snap.points = os.series.Points();
+    if (partial && os.count > 0) {
+      snap.points.push_back({open_t0, high_water_, FoldObserved(os), os.count});
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace mllibstar

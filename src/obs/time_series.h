@@ -1,0 +1,151 @@
+#ifndef MLLIBSTAR_OBS_TIME_SERIES_H_
+#define MLLIBSTAR_OBS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/trace.h"
+
+namespace mllibstar {
+
+/// How a windowed series folds what happened inside one window into a
+/// single value.
+enum class SeriesAgg {
+  kDelta,  ///< counter totals: value = total at close - total at open
+  kSum,    ///< sum of the Observe()d values
+  kMean,   ///< mean of the Observe()d values
+  kMax,    ///< max of the Observe()d values
+};
+
+/// One closed (or, for the final snapshot entry, partial) window.
+/// Times are in the recorder's clock domain — virtual seconds for the
+/// training series, host seconds if a caller chooses to feed those.
+struct SeriesPoint {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  double value = 0.0;
+  uint64_t count = 0;  ///< observations folded in (0 for kDelta)
+};
+
+/// Fixed-capacity ring of SeriesPoints: pushing past capacity drops
+/// the oldest point and counts the drop, so unbounded runs keep a
+/// bounded tail of recent windows.
+class TimeSeries {
+ public:
+  TimeSeries(std::string name, SeriesAgg agg, size_t capacity);
+
+  void Push(SeriesPoint p);
+
+  /// Oldest-to-newest copy of the retained points.
+  std::vector<SeriesPoint> Points() const;
+
+  const std::string& name() const { return name_; }
+  SeriesAgg agg() const { return agg_; }
+  size_t size() const { return size_; }
+  uint64_t total_pushed() const { return total_pushed_; }
+  uint64_t dropped() const { return total_pushed_ - size_; }
+
+ private:
+  std::string name_;
+  SeriesAgg agg_;
+  std::vector<SeriesPoint> ring_;
+  size_t head_ = 0;  ///< index of the oldest retained point
+  size_t size_ = 0;
+  uint64_t total_pushed_ = 0;
+};
+
+/// Export-ready copy of one series (see TimeSeriesRecorder::Snapshot).
+struct SeriesSnapshot {
+  std::string name;
+  SeriesAgg agg = SeriesAgg::kDelta;
+  double window_sec = 0.0;
+  uint64_t dropped = 0;
+  std::vector<SeriesPoint> points;
+};
+
+/// Samples metric counters and explicit observations into
+/// fixed-virtual-time windows.
+///
+/// Windows are the half-open intervals [i*w, (i+1)*w) of the window
+/// grid; they close when AdvanceTo(now) passes their end. Because
+/// every input — the sample times, the counter totals at those times,
+/// and the observed values — is a deterministic function of the
+/// simulated run, the emitted series are byte-identical across
+/// `host_threads` settings (pinned by obs_test). When several windows
+/// elapse between two samples, the whole counter delta lands in the
+/// first closed window and the rest close empty: the recorder only
+/// knows what it was shown at sample points.
+///
+/// Thread-safe (one mutex); AdvanceTo may race with counter Add()s on
+/// other threads — it reads whatever totals are visible, which at the
+/// deterministic trainer sample points is always the committed value.
+class TimeSeriesRecorder {
+ public:
+  TimeSeriesRecorder() { Reset(); }
+
+  /// Sets the window width / per-series ring capacity and resets.
+  void Configure(double window_sec, size_t capacity);
+
+  /// Drops all points and re-registers the default counter-delta
+  /// series (bytes.wire, bytes.raw, bytes.encoded, rounds, retries).
+  void Reset();
+
+  /// Registers a kDelta series whose per-window value is the delta of
+  /// the summed CounterTotal of `counters`. Idempotent by name.
+  void TrackCounters(const std::string& series,
+                     std::vector<std::string> counters);
+
+  /// Folds one observation into the window containing `t` (or the
+  /// current open window when `t` lags it — the recorder never goes
+  /// back). Creates the series on first use.
+  void Observe(const std::string& series, SeriesAgg agg, double t,
+               double value);
+
+  /// Closes every window whose end is <= now against `reg`.
+  void AdvanceTo(double now, const MetricsRegistry& reg);
+
+  double window_sec() const;
+
+  /// All series, each with its closed points plus — when the run ended
+  /// mid-window with anything to show — one final partial point ending
+  /// at the latest sampled/observed time.
+  std::vector<SeriesSnapshot> Snapshot(const MetricsRegistry& reg) const;
+
+ private:
+  struct CounterSeries {
+    TimeSeries series;
+    std::vector<std::string> counters;
+    uint64_t last_total = 0;
+    CounterSeries(std::string name, size_t capacity,
+                  std::vector<std::string> names)
+        : series(std::move(name), SeriesAgg::kDelta, capacity),
+          counters(std::move(names)) {}
+  };
+  struct ObservedSeries {
+    TimeSeries series;
+    double sum = 0.0;
+    double max = 0.0;
+    uint64_t count = 0;
+    ObservedSeries(std::string name, SeriesAgg agg, size_t capacity)
+        : series(std::move(name), agg, capacity) {}
+  };
+
+  uint64_t SumCounters(const std::vector<std::string>& names,
+                       const MetricsRegistry& reg) const;
+  static double FoldObserved(const ObservedSeries& s);
+
+  mutable std::mutex mutex_;
+  double window_sec_ = 0.25;
+  size_t capacity_ = 512;
+  uint64_t window_index_ = 0;  ///< current open window [i*w, (i+1)*w)
+  double high_water_ = 0.0;    ///< latest time sampled or observed
+  std::vector<CounterSeries> counter_series_;
+  std::vector<ObservedSeries> observed_series_;
+};
+
+}  // namespace mllibstar
+
+#endif  // MLLIBSTAR_OBS_TIME_SERIES_H_

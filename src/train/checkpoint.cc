@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "obs/engine_profiler.h"
 
 namespace mllibstar {
 namespace {
@@ -74,6 +75,8 @@ std::array<uint64_t, Rng::kStateWords> Checkpoint::TakeRngState() {
 }
 
 Status Checkpoint::WriteFile(const std::string& path) const {
+  EngineProfiler::Scope ckpt_prof(Subsystem::kCheckpoint);
+  EngineProfiler::Get().AddEvents(Subsystem::kCheckpoint, 1);
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary);
@@ -95,6 +98,8 @@ Status Checkpoint::WriteFile(const std::string& path) const {
 }
 
 Status Checkpoint::ReadFile(const std::string& path) {
+  EngineProfiler::Scope ckpt_prof(Subsystem::kCheckpoint);
+  EngineProfiler::Get().AddEvents(Subsystem::kCheckpoint, 1);
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::NotFound("no checkpoint at: " + path);
   uint64_t header[3] = {};

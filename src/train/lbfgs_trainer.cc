@@ -9,6 +9,7 @@
 #include "core/lbfgs.h"
 #include "core/owlqn.h"
 #include "data/partition.h"
+#include "obs/round_profile.h"
 #include "obs/telemetry.h"
 
 namespace mllibstar {
@@ -41,6 +42,7 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
     spark.BeginStage("lbfgs pass " + std::to_string(passes));
     ScopedSpan pass_span("lbfgs pass " + std::to_string(passes), "trainer");
     const SimTime pass_sim_start = spark.Now();
+    RoundCollector round(name(), passes, pass_sim_start, Telemetry::Get());
     spark.Broadcast(model_bytes, config().broadcast, "model-bcast");
     const DenseVector w_recv = CodecTransmit(codec(), nullptr, 0, w);
 
@@ -80,6 +82,7 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
     const double smooth = loss_sum / n + regularizer().SmoothValue(w);
     const SimTime now = spark.Barrier();
     pass_span.SetSimRange(pass_sim_start, now);
+    round.Finish(now);
     // The recorded curve always shows the full objective.
     const double l1s = regularizer().l1_lambda();
     const double full = l1s > 0.0 ? smooth + l1s * w.Norm1() : smooth;
@@ -92,6 +95,8 @@ TrainResult MllibLbfgsTrainer::Train(const Dataset& data,
                          {"step", std::to_string(passes)},
                          {"objective", FormatDouble(full, 9)}});
         obs.metrics().Counter("train.evals", {{"system", name()}}).Add();
+        obs.ObserveSeries("objective", SeriesAgg::kMean, now, full);
+        obs.SampleWindows(now);
       }
     }
     return smooth;

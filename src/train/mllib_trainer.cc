@@ -8,6 +8,7 @@
 #include "common/strings.h"
 #include "core/gd.h"
 #include "data/partition.h"
+#include "obs/round_profile.h"
 #include "obs/telemetry.h"
 
 namespace mllibstar {
@@ -47,6 +48,8 @@ void RecordEvalEvent(const std::string& system, int step, SimTime now,
                    {"step", std::to_string(step)},
                    {"objective", FormatDouble(objective, 9)}});
   obs.metrics().Counter("train.evals", {{"system", system}}).Add();
+  obs.ObserveSeries("objective", SeriesAgg::kMean, now, objective);
+  obs.SampleWindows(now);
 }
 
 }  // namespace
@@ -101,6 +104,7 @@ TrainResult MllibTrainer::Train(const Dataset& data,
     spark.BeginStage("iteration " + std::to_string(t));
     ScopedSpan iter_span("iteration " + std::to_string(t), "trainer");
     const SimTime iter_sim_start = spark.Now();
+    RoundCollector round(name(), t, iter_sim_start, Telemetry::Get());
 
     // (1) Driver broadcasts the current model (through the codec:
     // executors compute at the model they actually received).
@@ -150,6 +154,7 @@ TrainResult MllibTrainer::Train(const Dataset& data,
 
     const SimTime now = spark.Barrier();
     iter_span.SetSimRange(iter_sim_start, now);
+    round.Finish(now);
     if (ShouldCheckpoint(config().checkpoint, t + 1)) {
       Checkpoint ck;
       ck.PutU64(static_cast<uint64_t>(CheckpointTag::kMllib));
@@ -250,6 +255,7 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
     spark.BeginStage("iteration " + std::to_string(t));
     ScopedSpan iter_span("iteration " + std::to_string(t), "trainer");
     const SimTime iter_sim_start = spark.Now();
+    RoundCollector round(name(), t, iter_sim_start, Telemetry::Get());
 
     // (1) Driver broadcasts the current global model through the codec.
     spark.Broadcast(model_bytes, config().broadcast, "model-bcast");
@@ -294,6 +300,7 @@ TrainResult MllibMaTrainer::Train(const Dataset& data,
 
     const SimTime now = spark.Barrier();
     iter_span.SetSimRange(iter_sim_start, now);
+    round.Finish(now);
     if (ShouldCheckpoint(config().checkpoint, t + 1)) {
       Checkpoint ck;
       ck.PutU64(static_cast<uint64_t>(CheckpointTag::kMllibMa));
@@ -403,6 +410,7 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
     spark.BeginStage("iteration " + std::to_string(t));
     ScopedSpan iter_span("iteration " + std::to_string(t), "trainer");
     const SimTime iter_sim_start = spark.Now();
+    RoundCollector round(name(), t, iter_sim_start, Telemetry::Get());
 
     // (1) UpdateModel: local SGD passes over the whole partition,
     // host-parallel when configured (per-worker state only).
@@ -448,6 +456,7 @@ TrainResult MllibStarTrainer::Train(const Dataset& data,
 
     const SimTime now = spark.Barrier();
     iter_span.SetSimRange(iter_sim_start, now);
+    round.Finish(now);
     if (ShouldCheckpoint(config().checkpoint, t + 1)) {
       Checkpoint ck;
       ck.PutU64(static_cast<uint64_t>(CheckpointTag::kMllibStar));

@@ -15,6 +15,8 @@
 #include "core/gd.h"
 #include "data/partition.h"
 #include "engine/spark_cluster.h"
+#include "obs/engine_profiler.h"
+#include "obs/round_profile.h"
 #include "obs/telemetry.h"
 
 namespace mllibstar {
@@ -129,6 +131,11 @@ TrainResult PsTrainer::Train(const Dataset& data,
   std::vector<SimTime> round_end;             // latest push per round
   std::vector<bool> round_complete;           // completion fired once
   std::vector<DenseVector> round_stage;       // averaging: delta sums
+  // Staleness occupancy per round (pure observation — never read by
+  // the math): how far behind the leader each applied push was.
+  std::vector<double> round_stale_sum;
+  std::vector<double> round_stale_max;
+  std::vector<uint64_t> round_stale_n;
 
   // Elastic membership. join_round[r] is the first round worker r
   // participates in (kNeverJoined while it sits in the joiner pool);
@@ -209,6 +216,9 @@ TrainResult PsTrainer::Train(const Dataset& data,
       round_contribs.assign(resumed_round, k);
       round_end.assign(resumed_round, 0.0);
       round_complete.assign(resumed_round, true);
+      round_stale_sum.assign(resumed_round, 0.0);
+      round_stale_max.assign(resumed_round, 0.0);
+      round_stale_n.assign(resumed_round, 0);
       if (ps.aggregation == PsAggregation::kAverageModels) {
         round_stage.assign(resumed_round, DenseVector());
       }
@@ -220,6 +230,15 @@ TrainResult PsTrainer::Train(const Dataset& data,
   result.curve.Add(resumed_round, 0.0, Eval(data, server.model()));
 
   ScopedSpan run_span("train:" + name(), "trainer");
+  // The whole PS event loop is kPs host time; the nested kKernels /
+  // kCodec / kCheckpoint scopes carve their shares out (exclusive
+  // attribution).
+  EngineProfiler::Scope ps_prof(Subsystem::kPs);
+  // Per-round profile state: the virtual frontier where the previous
+  // completed round ended, and the comm-counter reading at that point.
+  SimTime profile_frontier = 0.0;
+  CommByteSnapshot profile_snap =
+      CommByteSnapshot::Capture(Telemetry::Get().metrics());
 
   // Runs the system-specific local computation, updating `*local` in
   // place and returning the work done (paper §III-B differences).
@@ -436,6 +455,52 @@ TrainResult PsTrainer::Train(const Dataset& data,
         obs.RecordEvent("round-complete", "trainer", round_end[t],
                         {{"system", name()},
                          {"round", std::to_string(completed)}});
+        // Per-round profile. A PS round has no task batches — the
+        // "task duration" proxy is each worker's push instant relative
+        // to the round's earliest push, which is exactly the straggler
+        // spread SSP bounds. Compute overlaps communication here by
+        // design, so the Spark compute/wait/comm split stays zero.
+        RoundProfile profile;
+        profile.system = name();
+        profile.round = t;
+        profile.sim_start = profile_frontier;
+        profile.sim_end = round_end[t];
+        std::vector<double> offsets;
+        for (size_t v = 0; v < k; ++v) {
+          if (finish_times[v].size() > static_cast<size_t>(t) &&
+              finish_times[v][t] > 0.0) {
+            offsets.push_back(finish_times[v][t]);
+          }
+        }
+        if (!offsets.empty()) {
+          const double first =
+              *std::min_element(offsets.begin(), offsets.end());
+          for (double& f : offsets) f -= first;
+        }
+        profile.tasks = offsets.size();
+        profile.task_p50 = DurationQuantile(offsets, 0.5);
+        profile.task_p95 = DurationQuantile(offsets, 0.95);
+        profile.task_max =
+            offsets.empty()
+                ? 0.0
+                : *std::max_element(offsets.begin(), offsets.end());
+        const CommByteSnapshot now_snap =
+            CommByteSnapshot::Capture(obs.metrics());
+        profile_snap.DiffInto(now_snap, &profile);
+        profile_snap = now_snap;
+        profile.staleness_samples = round_stale_n[t];
+        if (round_stale_n[t] > 0) {
+          profile.staleness_mean =
+              round_stale_sum[t] / static_cast<double>(round_stale_n[t]);
+          profile.staleness_max = round_stale_max[t];
+          obs.ObserveSeries("staleness", SeriesAgg::kMean, round_end[t],
+                            profile.staleness_mean);
+        }
+        obs.ObserveSeries("straggler.spread", SeriesAgg::kMax, round_end[t],
+                          profile.task_max - profile.task_p50);
+        obs.SampleWindows(round_end[t]);
+        profile_frontier = std::max(profile_frontier, round_end[t]);
+        obs.RecordRoundProfile(std::move(profile));
       }
     }
     // A completed BSP round is a quiescent point — every participating
@@ -608,6 +673,7 @@ TrainResult PsTrainer::Train(const Dataset& data,
       }
     }
     queue.pop();
+    EngineProfiler::Get().AddEvents(Subsystem::kPs, 1);
     process_churn(time);
     if (stop_all) break;
     if (inc != incarnation[r] || !membership.IsActive(r)) {
@@ -635,6 +701,10 @@ TrainResult PsTrainer::Train(const Dataset& data,
       inflight.push_back(std::move(fl));
       if (pool != nullptr) {
         pool->Submit([task, &local_compute] {
+          // Pool thread: the profiler's frame stack is empty here, so
+          // the scope charges kKernels alone (no kPs double-count).
+          EngineProfiler::Scope kernel_prof(Subsystem::kKernels);
+          EngineProfiler::Get().AddEvents(Subsystem::kKernels, 1);
           task->stats =
               local_compute(task->worker, task->round, &task->local);
         });
@@ -642,6 +712,8 @@ TrainResult PsTrainer::Train(const Dataset& data,
         // Run the compute synchronously but leave the charge to the
         // same drain ordering the pool path uses, so the trace event
         // sequence is byte-identical for every host_threads value.
+        EngineProfiler::Scope kernel_prof(Subsystem::kKernels);
+        EngineProfiler::Get().AddEvents(Subsystem::kKernels, 1);
         task->stats = local_compute(task->worker, task->round, &task->local);
       }
       continue;
@@ -661,6 +733,9 @@ TrainResult PsTrainer::Train(const Dataset& data,
       round_contribs.resize(round + 1, 0);
       round_end.resize(round + 1, 0.0);
       round_complete.resize(round + 1, false);
+      round_stale_sum.resize(round + 1, 0.0);
+      round_stale_max.resize(round + 1, 0.0);
+      round_stale_n.resize(round + 1, 0);
       if (ps.aggregation == PsAggregation::kAverageModels) {
         round_stage.resize(round + 1, DenseVector(d));
       }
@@ -690,6 +765,12 @@ TrainResult PsTrainer::Train(const Dataset& data,
     } else {
       round_stage[round].AddScaled(delta, 1.0);
       ++round_contribs[round];
+    }
+    if (!stale) {
+      const double lag = static_cast<double>(leader - round);
+      round_stale_sum[round] += lag;
+      round_stale_max[round] = std::max(round_stale_max[round], lag);
+      ++round_stale_n[round];
     }
     pending_delta[r] = DenseVector();  // release
     ++round_pushes[round];

@@ -21,8 +21,10 @@
 #include "data/synthetic.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
+#include "obs/report_view.h"
 #include "obs/run_report.h"
 #include "obs/telemetry.h"
+#include "obs/time_series.h"
 #include "train/report.h"
 #include "train/trainer.h"
 
@@ -136,6 +138,33 @@ TEST(MetricsRegistryTest, ResetZeroesButKeepsReferencesValid) {
   EXPECT_EQ(registry.CounterValue("c"), 2u);
 }
 
+TEST(MetricsRegistryTest, HistogramSnapshotCarriesQuantiles) {
+  MetricsRegistry registry;
+  ObsHistogram& h = registry.Histogram("lat", {1.0, 2.0, 5.0, 10.0});
+  for (int i = 0; i < 50; ++i) h.Record(0.5);
+  for (int i = 0; i < 45; ++i) h.Record(1.5);
+  for (int i = 0; i < 5; ++i) h.Record(7.0);
+  const std::vector<MetricSample> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].count, 100u);
+  EXPECT_EQ(snap[0].p50, 1.0);
+  EXPECT_EQ(snap[0].p95, 2.0);
+  EXPECT_EQ(snap[0].p99, 10.0);
+}
+
+TEST(MetricsRegistryTest, HistogramOverflowQuantileIsMinusOneNotInf) {
+  // Samples past the last bound have no finite bound; the snapshot
+  // encodes that as -1 (JSON cannot carry infinity), while the serve
+  // layer's ObsHistogram::Quantile keeps returning +inf.
+  MetricsRegistry registry;
+  ObsHistogram& h = registry.Histogram("lat", {1.0});
+  h.Record(50.0);
+  const std::vector<MetricSample> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].p50, -1.0);
+  EXPECT_TRUE(std::isinf(h.Quantile(0.5)));
+}
+
 TEST(ObsHistogramTest, QuantileSemanticsMatchServe) {
   ObsHistogram h({1.0, 2.0, 5.0});
   EXPECT_EQ(h.Quantile(0.5), 0.0);  // empty
@@ -218,6 +247,156 @@ TEST(TelemetryTest, JsonlLinesParse) {
   }
   EXPECT_EQ(lines, 2u);
   EXPECT_EQ(types, (std::set<std::string>{"span", "event"}));
+}
+
+TEST(TelemetryTest, BoundedBuffersDropNewestAndAccount) {
+  TelemetryGuard guard;
+  Telemetry& obs = Telemetry::Get();
+  obs.set_enabled(true);
+  const size_t old_span_cap = obs.span_capacity();
+  const size_t old_event_cap = obs.event_capacity();
+  obs.set_span_capacity(4);
+  obs.set_event_capacity(3);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span("s" + std::to_string(i), "test");
+  }
+  for (int i = 0; i < 10; ++i) {
+    obs.RecordEvent("e" + std::to_string(i), "test", static_cast<double>(i));
+  }
+  ASSERT_EQ(obs.spans().size(), 4u);
+  EXPECT_EQ(obs.events().size(), 3u);
+  EXPECT_EQ(obs.spans_dropped(), 6u);
+  EXPECT_EQ(obs.events_dropped(), 7u);
+  // Drop-newest: the records kept are the earliest ones, so the head
+  // of a long run (setup, first rounds) survives.
+  EXPECT_EQ(obs.spans()[0].name, "s0");
+  EXPECT_EQ(obs.events()[0].name, "e0");
+
+  RunInfo info;
+  info.system = "drop-test";
+  const JsonValue report = BuildRunReport(info, &obs);
+  const JsonValue* buffers = report.Find("telemetry");
+  ASSERT_NE(buffers, nullptr);
+  EXPECT_EQ(buffers->Find("spans")->number_value(), 4.0);
+  EXPECT_EQ(buffers->Find("span_capacity")->number_value(), 4.0);
+  EXPECT_EQ(buffers->Find("spans_dropped")->number_value(), 6.0);
+  EXPECT_EQ(buffers->Find("events_dropped")->number_value(), 7.0);
+
+  // Clear zeroes the drop counters along with the buffers.
+  obs.Clear();
+  EXPECT_EQ(obs.spans_dropped(), 0u);
+  EXPECT_EQ(obs.events_dropped(), 0u);
+  obs.set_span_capacity(old_span_cap);
+  obs.set_event_capacity(old_event_cap);
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeriesRecorder windows
+
+TEST(TimeSeriesTest, WindowsAlignToGridAndDeltasLandInFirstClosedWindow) {
+  TimeSeriesRecorder rec;
+  rec.Configure(0.5, 8);
+  MetricsRegistry reg;
+  rec.TrackCounters("bytes", {"x.bytes"});
+  reg.Counter("x.bytes").Add(100);
+  rec.AdvanceTo(0.6, reg);  // closes [0, 0.5)
+  reg.Counter("x.bytes").Add(50);
+  rec.AdvanceTo(2.1, reg);  // closes [0.5,1.0) [1.0,1.5) [1.5,2.0)
+  const std::vector<SeriesSnapshot> snaps = rec.Snapshot(reg);
+  const SeriesSnapshot* bytes = nullptr;
+  for (const SeriesSnapshot& s : snaps) {
+    if (s.name == "bytes") bytes = &s;
+  }
+  ASSERT_NE(bytes, nullptr);
+  ASSERT_EQ(bytes->points.size(), 4u);
+  EXPECT_EQ(bytes->points[0].t0, 0.0);
+  EXPECT_EQ(bytes->points[0].t1, 0.5);
+  EXPECT_EQ(bytes->points[0].value, 100.0);
+  // The recorder only sees counter totals at sample points: the whole
+  // 50-byte delta lands in the first closed window, the rest are 0.
+  EXPECT_EQ(bytes->points[1].value, 50.0);
+  EXPECT_EQ(bytes->points[2].value, 0.0);
+  EXPECT_EQ(bytes->points[3].value, 0.0);
+}
+
+TEST(TimeSeriesTest, ObservedAggregationsFoldPerWindow) {
+  TimeSeriesRecorder rec;
+  rec.Configure(1.0, 8);
+  MetricsRegistry reg;
+  rec.Observe("m", SeriesAgg::kMean, 0.1, 2.0);
+  rec.Observe("m", SeriesAgg::kMean, 0.2, 4.0);
+  rec.Observe("x", SeriesAgg::kMax, 0.1, 2.0);
+  rec.Observe("x", SeriesAgg::kMax, 0.2, 7.0);
+  rec.AdvanceTo(1.0, reg);
+  const std::vector<SeriesSnapshot> snaps = rec.Snapshot(reg);
+  const SeriesSnapshot* mean = nullptr;
+  const SeriesSnapshot* max = nullptr;
+  for (const SeriesSnapshot& s : snaps) {
+    if (s.name == "m") mean = &s;
+    if (s.name == "x") max = &s;
+  }
+  ASSERT_NE(mean, nullptr);
+  ASSERT_NE(max, nullptr);
+  ASSERT_EQ(mean->points.size(), 1u);
+  EXPECT_EQ(mean->points[0].value, 3.0);
+  EXPECT_EQ(mean->points[0].count, 2u);
+  ASSERT_EQ(max->points.size(), 1u);
+  EXPECT_EQ(max->points[0].value, 7.0);
+}
+
+TEST(TimeSeriesTest, RingDropsOldestPastCapacityAndCounts) {
+  TimeSeriesRecorder rec;
+  rec.Configure(1.0, 4);
+  MetricsRegistry reg;
+  rec.Observe("v", SeriesAgg::kSum, 0.5, 1.0);
+  rec.AdvanceTo(10.0, reg);  // closes windows [0,1) .. [9,10)
+  const std::vector<SeriesSnapshot> snaps = rec.Snapshot(reg);
+  const SeriesSnapshot* v = nullptr;
+  for (const SeriesSnapshot& s : snaps) {
+    if (s.name == "v") v = &s;
+  }
+  ASSERT_NE(v, nullptr);
+  ASSERT_EQ(v->points.size(), 4u);
+  EXPECT_EQ(v->dropped, 6u);
+  // The retained tail is the newest windows.
+  EXPECT_EQ(v->points.front().t0, 6.0);
+  EXPECT_EQ(v->points.back().t1, 10.0);
+}
+
+TEST(TimeSeriesTest, ConcurrentObserveAndAdvanceIsSafe) {
+  // Hammered under tsan in CI: Observe and AdvanceTo race from
+  // different threads; the recorder must neither crash nor lose
+  // observations (every Observe lands in some window).
+  TimeSeriesRecorder rec;
+  rec.Configure(0.05, 64);
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, &reg, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const double now = static_cast<double>(i) * 0.001;
+        if (t % 2 == 0) {
+          reg.Counter("c").Add();
+          rec.Observe("obs", SeriesAgg::kSum, now, 1.0);
+        } else {
+          rec.AdvanceTo(now, reg);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  rec.AdvanceTo(2.5, reg);
+  const std::vector<SeriesSnapshot> snaps = rec.Snapshot(reg);
+  const SeriesSnapshot* obs = nullptr;
+  for (const SeriesSnapshot& s : snaps) {
+    if (s.name == "obs") obs = &s;
+  }
+  ASSERT_NE(obs, nullptr);
+  uint64_t folded = 0;
+  for (const SeriesPoint& p : obs->points) folded += p.count;
+  EXPECT_EQ(folded, static_cast<uint64_t>(kThreads / 2) * kIters);
 }
 
 // ---------------------------------------------------------------------------
@@ -308,6 +487,22 @@ ClusterConfig FaultyCluster() {
   return config;
 }
 
+/// FaultyCluster plus scripted churn through the failure detector: two
+/// leaves, two joins, one rejoin — every membership code path fires
+/// while telemetry records.
+ClusterConfig ChurnyCluster() {
+  ClusterConfig config = FaultyCluster();
+  ChurnPlan plan;
+  plan.heartbeat_interval_sec = 0.25;
+  plan.suspicion_timeout_sec = 0.5;
+  plan.initial_active = 6;
+  plan.leaves = {{0, 1.0}, {1, 2.0}};
+  plan.joins = {{6, 3.0}, {7, 4.0}};
+  plan.rejoins = {{0, 5.0}};
+  config.churn = plan;
+  return config;
+}
+
 TrainerConfig ObsConfig(SystemKind kind) {
   TrainerConfig config;
   config.loss = LossKind::kLogistic;
@@ -336,7 +531,7 @@ TEST(RunReportTest, RoundTripsTrainResult) {
   ASSERT_TRUE(parsed.ok());
   const JsonValue& report = *parsed;
 
-  EXPECT_EQ(report.Find("schema")->string_value(), "mllibstar.run_report.v1");
+  EXPECT_EQ(report.Find("schema")->string_value(), "mllibstar.run_report.v2");
   EXPECT_EQ(report.Find("system")->string_value(), result.system);
   const JsonValue* headline = report.Find("result");
   ASSERT_NE(headline, nullptr);
@@ -364,6 +559,81 @@ TEST(RunReportTest, RoundTripsTrainResult) {
   }
   EXPECT_TRUE(names.count("engine.worker_tasks"));
   EXPECT_TRUE(names.count("comm.raw_bytes"));
+
+  // v2 sections: at least three windowed series with points (bytes on
+  // the wire, the objective, the straggler spread), per-round profiles
+  // with the compute/wait/comm split, the simulator self-profile, and
+  // telemetry buffer accounting.
+  const JsonValue* series = report.Find("series");
+  ASSERT_NE(series, nullptr);
+  std::set<std::string> series_with_points;
+  for (size_t i = 0; i < series->size(); ++i) {
+    const JsonValue& s = series->at(i);
+    if (s.Find("points")->size() > 0) {
+      series_with_points.insert(s.Find("name")->string_value());
+    }
+  }
+  EXPECT_GE(series_with_points.size(), 3u);
+  EXPECT_TRUE(series_with_points.count("bytes.wire"));
+  EXPECT_TRUE(series_with_points.count("objective"));
+  EXPECT_TRUE(series_with_points.count("straggler.spread"));
+
+  const JsonValue* rounds = report.Find("rounds");
+  ASSERT_NE(rounds, nullptr);
+  ASSERT_EQ(rounds->size(), static_cast<size_t>(result.comm_steps));
+  for (size_t i = 0; i < rounds->size(); ++i) {
+    const JsonValue& r = rounds->at(i);
+    EXPECT_EQ(r.Find("system")->string_value(), result.system);
+    EXPECT_GT(r.Find("tasks")->number_value(), 0.0);
+    EXPECT_GT(r.Find("compute_sec")->number_value(), 0.0);
+    EXPECT_GE(r.Find("task_max")->number_value(),
+              r.Find("task_p50")->number_value());
+    EXPECT_GE(r.Find("sim_end")->number_value(),
+              r.Find("sim_start")->number_value());
+    const JsonValue* bytes = r.Find("bytes");
+    ASSERT_NE(bytes, nullptr);
+    EXPECT_GT(bytes->Find("raw")->number_value(), 0.0);
+  }
+
+  const JsonValue* profiler = report.Find("profiler");
+  ASSERT_NE(profiler, nullptr);
+  EXPECT_GT(profiler->Find("total_events")->number_value(), 0.0);
+  EXPECT_EQ(profiler->Find("subsystems")->size(), 5u);
+  EXPECT_GT(profiler->Find("host_us_per_sim_sec")->number_value(), 0.0);
+
+  const JsonValue* buffers = report.Find("telemetry");
+  ASSERT_NE(buffers, nullptr);
+  EXPECT_GT(buffers->Find("spans")->number_value(), 0.0);
+  EXPECT_EQ(buffers->Find("spans_dropped")->number_value(), 0.0);
+  EXPECT_EQ(buffers->Find("events_dropped")->number_value(), 0.0);
+}
+
+TEST(RunReportTest, HistogramQuantilesParseBack) {
+  TelemetryGuard guard;
+  Telemetry& obs = Telemetry::Get();
+  obs.set_enabled(true);
+  ObsHistogram& h = obs.metrics().Histogram("t.lat", {1.0, 10.0});
+  for (int i = 0; i < 9; ++i) h.Record(0.5);
+  h.Record(5.0);
+  RunInfo info;
+  info.system = "hist-test";
+  const Result<JsonValue> parsed =
+      JsonValue::Parse(BuildRunReport(info, &obs).Dump(2));
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* hist = nullptr;
+  for (size_t i = 0; i < metrics->size(); ++i) {
+    if (metrics->at(i).Find("name")->string_value() == "t.lat") {
+      hist = &metrics->at(i);
+    }
+  }
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("kind")->string_value(), "histogram");
+  EXPECT_EQ(hist->Find("count")->number_value(), 10.0);
+  EXPECT_EQ(hist->Find("p50")->number_value(), 1.0);
+  EXPECT_EQ(hist->Find("p95")->number_value(), 10.0);
+  EXPECT_EQ(hist->Find("p99")->number_value(), 10.0);
 }
 
 TEST(RunReportTest, SectionsOmittedForNullPointers) {
@@ -434,6 +704,61 @@ TEST_P(TelemetryIdentityTest, EnablingTelemetryIsBitInvisible) {
   ExpectBitIdentical(off, on);
 }
 
+TEST_P(TelemetryIdentityTest, BitInvisibleUnderChurnAndHostThreads) {
+  // The strongest regime: 8 host threads, crash faults, and scripted
+  // worker churn, with the full v2 recording stack (windowed series,
+  // round profiles, EngineProfiler) live.
+  TelemetryGuard guard;
+  const Dataset data = ObsData();
+  const ClusterConfig cluster = ChurnyCluster();
+  TrainerConfig config = ObsConfig(GetParam());
+  config.host_threads = 8;
+
+  Telemetry::Get().set_enabled(false);
+  const TrainResult off = MakeTrainer(GetParam(), config)->Train(data, cluster);
+
+  Telemetry::Get().set_enabled(true);
+  Telemetry::Get().Clear();
+  const TrainResult on = MakeTrainer(GetParam(), config)->Train(data, cluster);
+
+  EXPECT_FALSE(Telemetry::Get().spans().empty());
+  ExpectBitIdentical(off, on);
+}
+
+/// The exported series + rounds sections as a byte string (the
+/// profiler/telemetry sections carry host-time numbers and are
+/// legitimately run-dependent, so they are excluded).
+std::string SeriesAndRoundsDump() {
+  RunInfo info;
+  const JsonValue report = BuildRunReport(info, &Telemetry::Get());
+  return report.Find("series")->Dump(2) + "\n" +
+         report.Find("rounds")->Dump(2);
+}
+
+TEST_P(TelemetryIdentityTest, WindowedSeriesByteIdenticalAcrossHostThreads) {
+  // Windows align to virtual time and close at deterministic trainer
+  // sample points, so the serialized series and round profiles must be
+  // byte-identical for any host_threads value.
+  TelemetryGuard guard;
+  const Dataset data = ObsData();
+  const ClusterConfig cluster = FaultyCluster();
+  TrainerConfig config = ObsConfig(GetParam());
+  Telemetry::Get().set_enabled(true);
+
+  config.host_threads = 1;
+  Telemetry::Get().Clear();
+  MakeTrainer(GetParam(), config)->Train(data, cluster);
+  const std::string single = SeriesAndRoundsDump();
+
+  config.host_threads = 8;
+  Telemetry::Get().Clear();
+  MakeTrainer(GetParam(), config)->Train(data, cluster);
+  const std::string threaded = SeriesAndRoundsDump();
+
+  EXPECT_EQ(single, threaded);
+  EXPECT_NE(single.find("\"points\""), std::string::npos);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllSystems, TelemetryIdentityTest,
     ::testing::Values(SystemKind::kMllib, SystemKind::kMllibMa,
@@ -451,6 +776,64 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+// ---------------------------------------------------------------------------
+// Offline report renderer
+
+TEST(ReportViewTest, SparklineScalesAndHandlesEdgeCases) {
+  EXPECT_EQ(Sparkline({}), "");
+  EXPECT_FALSE(Sparkline({5.0, 5.0}).empty());  // flat -> mid-level bars
+  const std::string line = Sparkline({0.0, 1.0, 2.0, 3.0});
+  // One glyph per value; the first maps to the lowest level, the last
+  // to the highest.
+  EXPECT_EQ(line.size(), 4 * std::string("▁").size());
+  EXPECT_EQ(line.substr(0, std::string("▁").size()), "▁");
+  EXPECT_EQ(line.substr(line.size() - std::string("█").size()), "█");
+}
+
+TEST(ReportViewTest, RendersV2ReportWithSeriesRoundsAndProfiler) {
+  TelemetryGuard guard;
+  Telemetry::Get().set_enabled(true);
+  const TrainResult result =
+      MakeTrainer(SystemKind::kMllibStar, ObsConfig(SystemKind::kMllibStar))
+          ->Train(ObsData(), FaultyCluster());
+  const std::string path = testing::TempDir() + "/view_report.json";
+  ASSERT_TRUE(WriteRunReport(result, path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const Result<JsonValue> parsed = JsonValue::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok());
+
+  const std::string rendered = RenderRunReport(*parsed);
+  EXPECT_NE(rendered.find("mllibstar.run_report.v2"), std::string::npos);
+  EXPECT_NE(rendered.find("system mllib*"), std::string::npos);
+  EXPECT_NE(rendered.find("series ("), std::string::npos);
+  EXPECT_NE(rendered.find("bytes.wire"), std::string::npos);
+  EXPECT_NE(rendered.find("straggler.spread"), std::string::npos);
+  EXPECT_NE(rendered.find("rounds ("), std::string::npos);
+  EXPECT_NE(rendered.find("profiler:"), std::string::npos);
+  EXPECT_NE(rendered.find("engine"), std::string::npos);
+  EXPECT_NE(rendered.find("telemetry: spans="), std::string::npos);
+}
+
+TEST(ReportViewTest, RendersV1SubsetWithoutNewSections) {
+  // A v1-era report (no series/rounds/profiler) must still render its
+  // subset — the viewer is schema-tolerant, not schema-gated.
+  const char* v1 =
+      R"({"schema": "mllibstar.run_report.v1", "system": "mllib",)"
+      R"( "result": {"comm_steps": 3, "sim_seconds": 1.5,)"
+      R"( "total_bytes": 2048, "total_model_updates": 7,)"
+      R"( "diverged": false}})";
+  const Result<JsonValue> parsed = JsonValue::Parse(v1);
+  ASSERT_TRUE(parsed.ok());
+  const std::string rendered = RenderRunReport(*parsed);
+  EXPECT_NE(rendered.find("mllibstar.run_report.v1"), std::string::npos);
+  EXPECT_NE(rendered.find("comm_steps=3"), std::string::npos);
+  EXPECT_NE(rendered.find("2 KiB"), std::string::npos);
+  EXPECT_EQ(rendered.find("series ("), std::string::npos);
+  EXPECT_EQ(rendered.find("profiler:"), std::string::npos);
+}
 
 }  // namespace
 }  // namespace mllibstar

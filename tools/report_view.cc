@@ -1,0 +1,40 @@
+// Offline RunReport renderer: terminal sparklines and tables from any
+// exported RunReport (schema v1 or v2).
+//
+//   report_view results/fig3_trace_mllibs.report.json [more.json ...]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+#include "obs/report_view.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <report.json> [more.json ...]\n", argv[0]);
+    return 1;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      rc = 1;
+      continue;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = mllibstar::JsonValue::Parse(text.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: parse error: %s\n", argv[i],
+                   parsed.status().message().c_str());
+      rc = 1;
+      continue;
+    }
+    if (argc > 2) std::printf("== %s ==\n", argv[i]);
+    std::fputs(mllibstar::RenderRunReport(parsed.value()).c_str(), stdout);
+    if (i + 1 < argc) std::printf("\n");
+  }
+  return rc;
+}
